@@ -1,0 +1,151 @@
+"""Ablation benchmarks beyond the paper's figures.
+
+These cover the design decisions called out in DESIGN.md:
+
+* **Budget semantics** — the default at-most-k mode versus the
+  paper-literal exactly-k mode (identical on the paper's strictly-positive
+  leaf loads, never worse in general).
+* **Restricted availability** — how much of the optimum survives when only a
+  fraction of the switches can aggregate (the incremental-upgrade scenario of
+  the introduction).
+* **Dataplane latency** — the event-driven dataplane's completion time for
+  SOAR placements versus all-red, the objective the paper defers to future
+  work.
+* **Core building blocks** — micro-benchmarks of the utilization cost
+  evaluation and of a single SOAR solve on BT(256), the operations every
+  experiment is built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import all_red_cost, utilization_cost
+from repro.core.soar import solve
+from repro.simulation.dataplane import simulate_reduce
+from repro.topology.binary_tree import bt_network
+from repro.utils.stats import mean_and_stderr
+from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
+
+
+def _network(size: int = 256, seed: int = 2021):
+    tree = bt_network(size)
+    return tree.with_loads(sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=seed))
+
+
+@pytest.mark.benchmark(group="ablation building blocks")
+def test_utilization_cost_evaluation(benchmark):
+    tree = _network()
+    blue = solve(tree, 16).blue_nodes
+    benchmark(utilization_cost, tree, blue)
+
+
+@pytest.mark.benchmark(group="ablation building blocks")
+def test_single_soar_solve_bt256(benchmark):
+    tree = _network()
+    benchmark(solve, tree, 16)
+
+
+@pytest.mark.benchmark(group="ablation budget semantics")
+def test_exact_vs_at_most_budget_semantics(benchmark, emit_rows):
+    def run() -> list[dict]:
+        rows = []
+        for seed in range(3):
+            tree = _network(seed=seed)
+            for budget in (4, 16, 64):
+                at_most = solve(tree, budget).cost
+                exact = solve(tree, budget, exact_k=True).cost
+                rows.append(
+                    {
+                        "seed": seed,
+                        "k": budget,
+                        "at_most_k": at_most,
+                        "exact_k": exact,
+                        "gap": exact - at_most,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_rows(rows, "ablation_semantics", "Ablation: at-most-k vs exactly-k budget semantics")
+    for row in rows:
+        assert row["at_most_k"] <= row["exact_k"] + 1e-9
+        # With strictly positive leaf loads the two semantics coincide.
+        assert row["gap"] == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.benchmark(group="ablation availability")
+def test_restricted_availability(benchmark, emit_rows):
+    def run() -> list[dict]:
+        rng = np.random.default_rng(3)
+        tree = _network()
+        budget = 16
+        baseline = all_red_cost(tree)
+        full = solve(tree, budget).cost
+        rows = [
+            {
+                "available_fraction": 1.0,
+                "normalized_utilization": full / baseline,
+                "loss_vs_full_availability": 0.0,
+            }
+        ]
+        switches = sorted(tree.switches, key=repr)
+        for fraction in (0.5, 0.25, 0.1):
+            values = []
+            for _ in range(3):
+                count = max(budget, int(len(switches) * fraction))
+                chosen = rng.choice(len(switches), size=count, replace=False)
+                restricted = tree.with_available([switches[int(i)] for i in chosen])
+                values.append(solve(restricted, budget).cost / baseline)
+            mean, _ = mean_and_stderr(values)
+            rows.append(
+                {
+                    "available_fraction": fraction,
+                    "normalized_utilization": mean,
+                    "loss_vs_full_availability": mean - full / baseline,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_rows(rows, "ablation_availability", "Ablation: SOAR under restricted availability Λ")
+    values = [row["normalized_utilization"] for row in rows]
+    # Shrinking Λ can only hurt (weak monotonicity, allowing sampling noise).
+    assert values[0] <= values[-1] + 1e-9
+    for row in rows:
+        assert row["normalized_utilization"] <= 1.0 + 1e-9
+
+
+@pytest.mark.benchmark(group="ablation dataplane latency")
+def test_dataplane_completion_time(benchmark, emit_rows):
+    def run() -> list[dict]:
+        tree = _network(size=64)
+        baseline = simulate_reduce(tree, frozenset())
+        rows = [
+            {
+                "k": 0,
+                "completion_time": baseline.completion_time,
+                "normalized_completion": 1.0,
+                "bottleneck_busy": baseline.bottleneck_busy_time,
+            }
+        ]
+        for budget in (2, 8, 31):
+            blue = solve(tree, budget).blue_nodes
+            result = simulate_reduce(tree, blue)
+            rows.append(
+                {
+                    "k": budget,
+                    "completion_time": result.completion_time,
+                    "normalized_completion": result.completion_time / baseline.completion_time,
+                    "bottleneck_busy": result.bottleneck_busy_time,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_rows(rows, "ablation_latency", "Ablation: dataplane completion time vs budget")
+    # Aggregation relieves the congested core links, so with a saturating
+    # budget the Reduce completes no later than the all-red run.
+    assert rows[-1]["completion_time"] <= rows[0]["completion_time"] + 1e-9
+    assert rows[-1]["bottleneck_busy"] <= rows[0]["bottleneck_busy"] + 1e-9

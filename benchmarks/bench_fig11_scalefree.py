@@ -1,0 +1,59 @@
+"""Benchmark regenerating Figure 11 (Appendix B): scale-free tree networks.
+
+Claims reproduced: on an SF(128) sample the degree heuristic (Max) is far
+from optimal — the paper's sample saves roughly 70% of the messages when
+switching to SOAR; and on growing SF(n) networks the ``k = sqrt(n)`` budget
+keeps the normalized utilization roughly flat (around 40% of all-red) while
+``k = log n`` slowly loses ground.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig11_scalefree import run_fig11_example, run_fig11_scaling
+from repro.experiments.harness import ExperimentConfig
+
+SIZES = (256, 512, 1024, 2048, 4096)
+
+
+@pytest.mark.benchmark(group="fig11 scale-free")
+def test_fig11_example(benchmark, emit_rows):
+    rows = benchmark.pedantic(
+        run_fig11_example,
+        kwargs={"size": 128, "budget": 4, "seed": 2021, "samples": 10},
+        rounds=1,
+        iterations=1,
+    )
+    emit_rows(rows, "fig11ab", "Figure 11a/b: Max(degree) vs SOAR on SF(128), k = 4")
+
+    by_strategy = {row["strategy"]: row["utilization"] for row in rows}
+    # SOAR never loses to the degree heuristic ...
+    assert by_strategy["SOAR"] <= by_strategy["Max(degree)"] + 1e-9
+    # ... and four blue nodes already remove a large share of the all-red
+    # utilization on a 127-switch scale-free tree.  (The paper's single
+    # sample shows a ~70% gap to Max(degree); across random RPA samples the
+    # gap to Max is smaller, which EXPERIMENTS.md discusses.)
+    assert by_strategy["saving vs all-red"] > 0.3
+    assert by_strategy["saving vs Max"] >= 0.0
+
+
+@pytest.mark.benchmark(group="fig11 scale-free")
+def test_fig11_scaling(benchmark, emit_rows):
+    config = ExperimentConfig(network_size=256, repetitions=3, seed=2021)
+    rows = benchmark.pedantic(
+        run_fig11_scaling, kwargs={"sizes": SIZES, "config": config}, rounds=1, iterations=1
+    )
+    emit_rows(rows, "fig11c", "Figure 11c: SF(n) scaling for k = 1%, log n, sqrt n")
+
+    series = {
+        rule: {row["network_size"]: row["normalized_utilization"] for row in rows if row["budget_rule"] == rule}
+        for rule in ("1%", "log(n)", "sqrt(n)")
+    }
+    # sqrt(n) keeps the normalized utilization roughly flat and below log(n).
+    for size in SIZES:
+        assert series["sqrt(n)"][size] <= series["log(n)"][size] + 1e-9
+    spread = max(series["sqrt(n)"].values()) - min(series["sqrt(n)"].values())
+    assert spread < 0.25
+    # 1% improves with network size (more absolute budget).
+    assert series["1%"][4096] <= series["1%"][256] + 1e-9

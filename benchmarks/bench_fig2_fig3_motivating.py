@@ -1,0 +1,36 @@
+"""Benchmarks regenerating the motivating example (Figures 2 and 3).
+
+Figure 2: Top = 27, Max = 24, Level = 21, SOAR = 20 on the 7-switch example
+with ``k = 2``.  Figure 3: optimal costs 35 / 20 / 15 / 11 for ``k = 1..4``.
+Both are exact golden values; the benchmark asserts them while timing the
+solver on the small instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.motivating import (
+    FIGURE2_EXPECTED,
+    FIGURE3_EXPECTED,
+    run_budget_sweep,
+    run_strategy_comparison,
+)
+
+
+@pytest.mark.benchmark(group="fig2-3 motivating example")
+def test_fig2_strategy_comparison(benchmark, emit_rows):
+    rows = benchmark(run_strategy_comparison)
+    emit_rows(rows, "fig2", "Figure 2: strategies on the motivating example (k = 2)")
+    measured = {row["strategy"]: row["utilization"] for row in rows}
+    for name, expected in FIGURE2_EXPECTED.items():
+        assert measured[name] == pytest.approx(expected)
+
+
+@pytest.mark.benchmark(group="fig2-3 motivating example")
+def test_fig3_budget_sweep(benchmark, emit_rows):
+    rows = benchmark(run_budget_sweep)
+    emit_rows(rows, "fig3", "Figure 3: optimal cost per budget on the motivating example")
+    measured = {row["k"]: row["utilization"] for row in rows}
+    for budget, expected in FIGURE3_EXPECTED.items():
+        assert measured[budget] == pytest.approx(expected)

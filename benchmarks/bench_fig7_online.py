@@ -1,0 +1,70 @@
+"""Benchmark regenerating Figure 7: online multi-workload aggregation.
+
+Setup of Section 5.2: BT(256), per-workload budget k = 16, switch capacity
+a(s) = 4, 32 workloads drawn from a 50/50 uniform / power-law mix.  The
+claims reproduced: SOAR is the best strategy throughout the online run, the
+normalized utilization degrades as more workloads exhaust the capacity, and
+increasing the capacity improves every strategy except Top (whose root-heavy
+placements saturate the top of the tree).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7_online import (
+    run_fig7_capacity_sweep,
+    run_fig7_workload_sweep,
+)
+
+
+@pytest.mark.benchmark(group="fig7 online")
+def test_fig7_workload_sweep(benchmark, bench_config, emit_rows):
+    rows = benchmark.pedantic(
+        run_fig7_workload_sweep,
+        kwargs={"config": bench_config, "rate_schemes": ("constant", "linear", "exponential")},
+        rounds=1,
+        iterations=1,
+    )
+    emit_rows(rows, "fig7_workloads", "Figure 7 (top): utilization vs number of workloads")
+
+    for scheme in ("constant", "linear", "exponential"):
+        series = {
+            strategy: {
+                row["num_workloads"]: row["normalized_utilization"]
+                for row in rows
+                if row["rate_scheme"] == scheme and row["strategy"] == strategy
+            }
+            for strategy in ("Top", "Max", "Level", "SOAR")
+        }
+        last = max(series["SOAR"])
+        # SOAR is best at the end of the arrival sequence.
+        for contender in ("Top", "Max", "Level"):
+            assert series["SOAR"][last] <= series[contender][last] + 1e-9
+        # Utilization degrades (grows) as capacity fills up.
+        assert series["SOAR"][last] >= series["SOAR"][1] - 1e-9
+
+
+@pytest.mark.benchmark(group="fig7 online")
+def test_fig7_capacity_sweep(benchmark, bench_config, emit_rows):
+    rows = benchmark.pedantic(
+        run_fig7_capacity_sweep,
+        kwargs={"config": bench_config, "rate_schemes": ("constant",), "capacities": (2, 4, 8, 16, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    emit_rows(rows, "fig7_capacity", "Figure 7 (bottom): utilization vs switch capacity")
+
+    series = {
+        strategy: {
+            row["capacity"]: row["normalized_utilization"]
+            for row in rows
+            if row["strategy"] == strategy
+        }
+        for strategy in ("Top", "Max", "Level", "SOAR")
+    }
+    # SOAR best at every capacity; more capacity helps SOAR.
+    for capacity in (2, 4, 8, 16, 32):
+        for contender in ("Top", "Max", "Level"):
+            assert series["SOAR"][capacity] <= series[contender][capacity] + 1e-9
+    assert series["SOAR"][32] <= series["SOAR"][2] + 1e-9

@@ -1,0 +1,57 @@
+"""Benchmark regenerating Figure 8: WC and PS use cases (utilization and bytes).
+
+Claims reproduced (Section 5.3): the normalized utilization is identical for
+WC and PS (the placement model is application-agnostic); byte savings for WC
+lag the utilization savings because merged word-count messages keep growing;
+PS bytes track utilization closely under 0.5 dropout; and relative to the
+all-blue solution WC approaches 1x with only a few blue nodes while PS needs
+many more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8_applications import run_fig8
+from repro.experiments.harness import FIG8_BUDGETS
+
+
+def _series(rows, application, distribution, field):
+    return {
+        row["k"]: row[field]
+        for row in rows
+        if row["application"] == application and row["distribution"] == distribution
+    }
+
+
+@pytest.mark.benchmark(group="fig8 applications")
+def test_fig8_wordcount_and_paramserver(benchmark, bench_config, emit_rows):
+    rows = benchmark.pedantic(
+        run_fig8, kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    emit_rows(rows, "fig8", "Figure 8: WC / PS utilization and byte complexity (BT(256))")
+
+    for distribution in ("uniform", "power-law"):
+        wc_util = _series(rows, "WC", distribution, "normalized_utilization")
+        ps_util = _series(rows, "PS", distribution, "normalized_utilization")
+        # Fig 8a: utilization is application independent.
+        for k in FIG8_BUDGETS:
+            assert wc_util[k] == pytest.approx(ps_util[k])
+
+        wc_bytes = _series(rows, "WC", distribution, "bytes_vs_all_red")
+        ps_bytes = _series(rows, "PS", distribution, "bytes_vs_all_red")
+        for k in FIG8_BUDGETS:
+            # Fig 8b: WC byte savings lag its utilization savings; PS bytes
+            # stay close to the utilization curve.
+            assert wc_bytes[k] >= wc_util[k] - 1e-9
+            assert abs(ps_bytes[k] - ps_util[k]) < 0.2
+            # Aggregation never increases bytes relative to all-red.
+            assert wc_bytes[k] <= 1.0 + 1e-9
+            assert ps_bytes[k] <= 1.0 + 1e-9
+
+        # Fig 8c: with a few dozen blue nodes WC is much closer to the
+        # all-blue byte count than PS is.
+        wc_vs_blue = _series(rows, "WC", distribution, "bytes_vs_all_blue")
+        ps_vs_blue = _series(rows, "PS", distribution, "bytes_vs_all_blue")
+        assert wc_vs_blue[64] < ps_vs_blue[64]
+        assert wc_vs_blue[64] >= 1.0 - 1e-9

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure (or table-like claim) of the paper:
+it runs the corresponding experiment module once inside pytest-benchmark's
+timer, prints the resulting series as a text table, and writes the rows to
+``benchmarks/results/<figure>.csv`` so they can be compared against the
+paper or plotted externally.
+
+Benchmarks run at the paper's network scale but with fewer repetitions than
+the paper's ten (see ``BENCH_REPETITIONS``) to keep a full
+``pytest benchmarks/ --benchmark-only`` run in the minutes range; pass
+``--paper-scale`` to use ten repetitions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+from repro.utils.tables import render_table, write_csv
+
+#: Repetitions used by default in benchmarks (the paper uses 10).
+BENCH_REPETITIONS = 3
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks with the paper's full repetition count (10)",
+    )
+
+
+@pytest.fixture
+def bench_config(request) -> ExperimentConfig:
+    """BT(256), paper seed, benchmark repetition count."""
+    repetitions = 10 if request.config.getoption("--paper-scale") else BENCH_REPETITIONS
+    return ExperimentConfig(network_size=256, repetitions=repetitions, seed=2021)
+
+
+@pytest.fixture
+def emit_rows():
+    """Print rows as a table and persist them under ``benchmarks/results``."""
+
+    def _emit(rows: list[dict], name: str, title: str) -> None:
+        print()
+        print(render_table(rows, title=title))
+        write_csv(rows, RESULTS_DIR / f"{name}.csv")
+
+    return _emit

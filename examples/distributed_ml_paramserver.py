@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Distributed-ML case study: gradient aggregation towards a parameter server.
+
+This example mirrors Section 5.3's PS use case and adds the latency
+perspective the paper discusses qualitatively: worker servers send sparse
+gradient updates (10 000 features, 0.5 dropout) towards a parameter server;
+switches chosen by SOAR sum gradients in flight.
+
+For a range of budgets the script reports the normalized utilization, the
+normalized byte complexity, and — using the event-driven software dataplane —
+the Reduce completion time, showing the trade-off between saving bandwidth
+(aggregating switches wait for their whole subtree) and finishing early.
+
+Run with::
+
+    python examples/distributed_ml_paramserver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bt_network, solve_budget_sweep, with_sampled_leaf_loads
+from repro.apps import ParameterServerApplication, expected_byte_complexity
+from repro.core import all_red_cost
+from repro.simulation import simulate_reduce
+from repro.utils import render_table
+from repro.workload import UniformLoadDistribution, apply_rate_scheme
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # BT(64) with link rates that grow towards the core (the "linear" scheme
+    # of the paper) and 4-6 workers behind every top-of-rack switch.
+    tree = apply_rate_scheme(bt_network(64), "linear")
+    tree = with_sampled_leaf_loads(tree, UniformLoadDistribution(), rng=rng)
+    print(f"network: {tree.num_switches} switches, {tree.total_load} workers")
+
+    application = ParameterServerApplication(feature_dimension=10_000, dropout=0.5, rng=rng)
+    print(
+        f"gradients: {application.feature_dimension} features, "
+        f"dropout {application.dropout}, "
+        f"~{application.expected_message_bytes(1) / 1024:.1f} KiB per worker update"
+    )
+    print()
+
+    budgets = [0, 1, 2, 4, 8, 16, 32]
+    solutions = solve_budget_sweep(tree, budgets)
+
+    baseline_utilization = all_red_cost(tree)
+    baseline_bytes = expected_byte_complexity(tree, frozenset(), application)
+    baseline_sim = simulate_reduce(tree, frozenset())
+
+    rows = []
+    for budget in budgets:
+        solution = solutions[budget]
+        sim = simulate_reduce(tree, solution.blue_nodes)
+        placement_bytes = expected_byte_complexity(tree, solution.blue_nodes, application)
+        rows.append(
+            {
+                "k": budget,
+                "norm. utilization": solution.cost / baseline_utilization,
+                "norm. bytes": placement_bytes / baseline_bytes,
+                "completion time": sim.completion_time,
+                "completion vs all-red": sim.completion_time / baseline_sim.completion_time,
+                "bottleneck link busy": sim.bottleneck_busy_time,
+            }
+        )
+
+    print(
+        render_table(
+            rows,
+            title="Gradient aggregation on BT(64), linear link rates (normalized to all-red)",
+        )
+    )
+    print()
+    print(
+        "Observations: (i) with 0.5 dropout the byte curve tracks the utilization\n"
+        "curve closely (Figure 8 of the paper: PS message sizes barely grow up the\n"
+        "tree); (ii) the dataplane simulation shows aggregation also shortens the\n"
+        "completion time because far fewer messages queue on the core links."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: solve the paper's motivating example with SOAR.
+
+Builds the 7-switch complete binary tree of Figures 2 and 3 (leaf loads
+2, 6, 5, 4, unit link rates), compares the simple placement strategies
+against SOAR for a budget of two aggregation switches, and sweeps the
+budget from 0 to 4 to show how quickly a handful of aggregation switches
+shrinks the network utilization.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import complete_binary_tree, solve, solve_budget_sweep, utilization_cost
+from repro.baselines import level_strategy, max_load_strategy, top_strategy
+from repro.core import all_blue_cost, all_red_cost, per_link_utilization
+from repro.utils import render_table
+
+
+def main() -> None:
+    # The example network: four racks with 2, 6, 5 and 4 servers behind
+    # top-of-rack switches, aggregated through a binary tree towards the
+    # destination server d.
+    tree = complete_binary_tree(4, leaf_loads=[2, 6, 5, 4])
+
+    print("=== The φ-BIC instance ===")
+    print(f"switches: {tree.num_switches}, total servers: {tree.total_load}")
+    print(f"all-red utilization (no aggregation): {all_red_cost(tree):.0f}")
+    print(f"all-blue utilization (aggregate everywhere): {all_blue_cost(tree):.0f}")
+    print()
+
+    # --- Figure 2: strategies vs SOAR at k = 2 -------------------------- #
+    budget = 2
+    strategies = {
+        "Top": top_strategy(tree, budget),
+        "Max": max_load_strategy(tree, budget),
+        "Level": level_strategy(tree, budget),
+        "SOAR": solve(tree, budget).blue_nodes,
+    }
+    rows = [
+        {
+            "strategy": name,
+            "blue switches": ", ".join(sorted(map(str, blue))),
+            "utilization": utilization_cost(tree, blue),
+        }
+        for name, blue in strategies.items()
+    ]
+    print(render_table(rows, title=f"Placement strategies with k = {budget} (Figure 2)"))
+    print()
+
+    # --- Figure 3: the budget sweep -------------------------------------- #
+    sweep = solve_budget_sweep(tree, range(0, 5))
+    rows = [
+        {
+            "k": k,
+            "optimal utilization": solution.cost,
+            "blue switches": ", ".join(sorted(map(str, solution.blue_nodes))),
+        }
+        for k, solution in sorted(sweep.items())
+    ]
+    print(render_table(rows, title="Optimal utilization per budget (Figure 3)"))
+    print()
+
+    # --- A look inside one solution -------------------------------------- #
+    solution = solve(tree, 2)
+    link_rows = [
+        {"link": f"{switch} -> {tree.parent(switch)}", "messages x rho": value}
+        for switch, value in sorted(per_link_utilization(tree, solution.blue_nodes).items())
+    ]
+    print(render_table(link_rows, title="Per-link utilization of the optimal k = 2 placement"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Incremental-upgrade planning on an irregular (scale-free) topology.
+
+Two scenarios the paper motivates in its introduction and Appendix B:
+
+1. **Irregular topologies.**  On a random preferential-attachment tree
+   (a scale-free network, SF(128)) the "obvious" heuristic — upgrade the
+   highest-degree switches — is far from optimal.  The script compares it
+   against SOAR for a small budget.
+
+2. **Incremental upgrades with restricted availability.**  Only a subset Λ
+   of switches can physically host an aggregation engine (e.g. only the
+   newer line cards).  SOAR takes Λ into account directly; the script shows
+   how the achievable savings shrink as Λ shrinks, and that SOAR still
+   extracts the optimum from whatever is available.
+
+Run with::
+
+    python examples/scalefree_upgrade_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import scale_free_tree, solve, utilization_cost
+from repro.baselines import max_degree_strategy, random_strategy
+from repro.core import all_red_cost
+from repro.utils import render_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(2021)
+    tree = scale_free_tree(127, rng=rng, node_load=1)
+    budget = 4
+    baseline = all_red_cost(tree)
+    print(
+        f"scale-free network: {tree.num_switches} switches, height {tree.height}, "
+        f"all-red utilization {baseline:.0f}\n"
+    )
+
+    # --- Scenario 1: degree heuristic vs SOAR ---------------------------- #
+    degree_blue = max_degree_strategy(tree, budget)
+    random_blue = random_strategy(tree, budget, rng=rng)
+    soar_solution = solve(tree, budget)
+    rows = [
+        {
+            "strategy": "Max degree",
+            "utilization": utilization_cost(tree, degree_blue),
+            "normalized": utilization_cost(tree, degree_blue) / baseline,
+        },
+        {
+            "strategy": "Random",
+            "utilization": utilization_cost(tree, random_blue),
+            "normalized": utilization_cost(tree, random_blue) / baseline,
+        },
+        {
+            "strategy": "SOAR",
+            "utilization": soar_solution.cost,
+            "normalized": soar_solution.cost / baseline,
+        },
+    ]
+    print(render_table(rows, title=f"Placing k={budget} aggregation switches on SF(128)"))
+    print()
+
+    # --- Scenario 2: restricted availability ------------------------------ #
+    switches = sorted(tree.switches, key=repr)
+    rows = []
+    for fraction in (1.0, 0.5, 0.25, 0.1):
+        count = max(1, int(len(switches) * fraction))
+        available = rng.choice(len(switches), size=count, replace=False)
+        restricted = tree.with_available([switches[int(i)] for i in available])
+        solution = solve(restricted, budget)
+        rows.append(
+            {
+                "fraction of switches upgradeable": fraction,
+                "|Λ|": count,
+                "optimal utilization": solution.cost,
+                "normalized": solution.cost / baseline,
+                "blue switches used": solution.num_blue,
+            }
+        )
+    print(
+        render_table(
+            rows,
+            title=f"Incremental upgrade: SOAR with k={budget} under restricted availability Λ",
+        )
+    )
+    print()
+    print(
+        "Even when only 10% of the switches can host aggregation, placing the\n"
+        "budget optimally inside that subset recovers a large share of the savings —\n"
+        "the planning question the φ-BIC formulation was designed to answer."
+    )
+
+
+if __name__ == "__main__":
+    main()

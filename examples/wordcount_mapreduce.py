@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Word-count (MapReduce) case study: bytes on the wire with in-network combiners.
+
+This example mirrors Section 5.3's WC use case.  A rack-level tree network
+(BT(64)) carries the shuffle phase of a distributed word count: every server
+sends its local word-count shard towards the destination, and switches
+selected by SOAR merge shards in flight exactly like MapReduce combiners.
+
+The script reports, for a range of aggregation budgets:
+
+* the network utilization (messages weighted by link time),
+* the byte complexity of the sampled synthetic Zipf corpus,
+* the analytic expected byte complexity (closed form, no sampling),
+
+all normalized to the no-aggregation (all-red) baseline.
+
+Run with::
+
+    python examples/wordcount_mapreduce.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import bt_network, solve_budget_sweep, with_sampled_leaf_loads
+from repro.apps import (
+    WordCountApplication,
+    evaluate_application,
+    expected_byte_complexity,
+)
+from repro.core import all_red_cost
+from repro.utils import render_table
+from repro.workload import PowerLawLoadDistribution
+
+
+def main() -> None:
+    rng = np.random.default_rng(2021)
+
+    # A 63-switch binary tree whose 32 leaves are top-of-rack switches with
+    # a skewed (power-law) number of servers each.
+    tree = with_sampled_leaf_loads(bt_network(64), PowerLawLoadDistribution(), rng=rng)
+    print(f"network: {tree.num_switches} switches, {tree.total_load} servers")
+
+    # The synthetic corpus: Zipf-distributed word popularities. Each server
+    # holds a shard of word occurrences and emits its local counts.
+    application = WordCountApplication(
+        vocabulary_size=20_000, shard_size=1_000, zipf_exponent=1.1, rng=rng
+    )
+    stats = application.corpus_statistics()
+    print(
+        "corpus: vocabulary={vocabulary_size:.0f}, shard={shard_size:.0f} words, "
+        "expected distinct words per shard={expected_distinct_per_shard:.0f}".format(**stats)
+    )
+    print()
+
+    budgets = [0, 1, 2, 4, 8, 16]
+    solutions = solve_budget_sweep(tree, budgets)
+
+    baseline_utilization = all_red_cost(tree)
+    baseline_bytes_sampled = evaluate_application(tree, frozenset(), application).total_bytes
+    baseline_bytes_analytic = expected_byte_complexity(tree, frozenset(), application)
+
+    rows = []
+    for budget in budgets:
+        solution = solutions[budget]
+        evaluation = evaluate_application(tree, solution.blue_nodes, application)
+        analytic = expected_byte_complexity(tree, solution.blue_nodes, application)
+        rows.append(
+            {
+                "k": budget,
+                "norm. utilization": solution.cost / baseline_utilization,
+                "norm. bytes (sampled)": evaluation.total_bytes / baseline_bytes_sampled,
+                "norm. bytes (analytic)": analytic / baseline_bytes_analytic,
+                "blue switches": len(solution.blue_nodes),
+            }
+        )
+
+    print(
+        render_table(
+            rows,
+            title="Word count on BT(64): utilization vs bytes, normalized to all-red",
+        )
+    )
+    print()
+    print(
+        "Observation (matches Figure 8b): because merged word-count messages keep\n"
+        "growing with the number of distinct words, byte savings lag behind the\n"
+        "utilization savings — yet a handful of combiners already removes most of\n"
+        "the shuffle traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

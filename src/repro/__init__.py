@@ -1,0 +1,76 @@
+"""Reproduction of "SOAR: Minimizing Network Utilization with Bounded
+In-network Computing" (Segal, Avin, Scalosub — CoNEXT 2021).
+
+The package implements the φ-BIC problem and the SOAR optimal placement
+algorithm, the contending baselines, the topology / workload generators of
+the paper's evaluation, the online multi-workload extension, the word-count
+and parameter-server byte-complexity case studies, an event-driven software
+dataplane, and an experiment harness that regenerates every figure.
+
+Quickstart
+----------
+>>> import repro
+>>> tree = repro.complete_binary_tree(4, leaf_loads=[2, 6, 5, 4])
+>>> solution = repro.solve(tree, budget=2)
+>>> solution.cost
+20.0
+"""
+
+from repro.core import (
+    SoarSolution,
+    TreeNetwork,
+    all_blue_cost,
+    all_red_cost,
+    link_message_counts,
+    normalized_utilization,
+    optimal_cost,
+    solve,
+    solve_budget_sweep,
+    solve_bruteforce,
+    utilization_cost,
+)
+from repro.baselines import ALL_STRATEGIES, PAPER_STRATEGIES, get_strategy
+from repro.topology import (
+    bt_network,
+    complete_binary_tree,
+    fat_tree_aggregation_tree,
+    kary_tree,
+    scale_free_tree,
+    sf_network,
+)
+from repro.workload import (
+    PowerLawLoadDistribution,
+    UniformLoadDistribution,
+    apply_rate_scheme,
+    with_sampled_leaf_loads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "PAPER_STRATEGIES",
+    "PowerLawLoadDistribution",
+    "SoarSolution",
+    "TreeNetwork",
+    "UniformLoadDistribution",
+    "all_blue_cost",
+    "all_red_cost",
+    "apply_rate_scheme",
+    "bt_network",
+    "complete_binary_tree",
+    "fat_tree_aggregation_tree",
+    "get_strategy",
+    "kary_tree",
+    "link_message_counts",
+    "normalized_utilization",
+    "optimal_cost",
+    "scale_free_tree",
+    "sf_network",
+    "solve",
+    "solve_budget_sweep",
+    "solve_bruteforce",
+    "utilization_cost",
+    "with_sampled_leaf_loads",
+    "__version__",
+]

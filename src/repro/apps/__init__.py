@@ -1,0 +1,30 @@
+"""Application case studies: word count (WC) and parameter server (PS)."""
+
+from repro.apps.base import Application, ApplicationEvaluation, evaluate_application
+from repro.apps.bytes_model import (
+    analytic_link_bytes,
+    expected_byte_complexity,
+    message_group_sizes,
+    normalized_byte_complexity,
+)
+from repro.apps.paramserver import ParameterServerApplication, SparseGradient
+from repro.apps.wordcount import (
+    WordCountApplication,
+    expected_distinct_words,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "Application",
+    "ApplicationEvaluation",
+    "ParameterServerApplication",
+    "SparseGradient",
+    "WordCountApplication",
+    "analytic_link_bytes",
+    "evaluate_application",
+    "expected_byte_complexity",
+    "expected_distinct_words",
+    "message_group_sizes",
+    "normalized_byte_complexity",
+    "zipf_probabilities",
+]

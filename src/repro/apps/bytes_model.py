@@ -1,0 +1,141 @@
+"""Analytic byte-complexity model.
+
+Running the content-carrying Reduce of :mod:`repro.core.reduce_op` gives the
+exact byte complexity of one sampled workload, but it materializes every
+message.  For the large sweeps of Figure 8 (``BT(256)``, budgets up to 64,
+several repetitions) the library also provides an *analytic* model that
+computes the expected byte complexity directly:
+
+1. For a placement ``U``, every message crossing a link aggregates the
+   contributions of a well-defined set of servers: either a single server
+   whose message has not met a blue switch yet, or all the servers below a
+   blue switch whose aggregate has not been re-aggregated since.
+   :func:`message_group_sizes` computes, per link, the multiset of such
+   group sizes in one post-order pass.
+2. Applications expose ``expected_message_bytes(servers)`` — the expected
+   wire size of a message aggregating ``servers`` independent contributions
+   (the word-count occupancy formula, the parameter-server union formula).
+   By linearity of expectation, summing the expected size of every group on
+   every link gives the expected byte complexity.
+
+The sampled and analytic paths agree (the test-suite checks they are close),
+and the analytic path is orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from typing import Callable, Protocol
+
+from repro.core.reduce_op import validate_placement
+from repro.core.tree import NodeId, TreeNetwork
+
+
+class SizeModel(Protocol):
+    """Anything that can predict the expected size of an aggregate message."""
+
+    def expected_message_bytes(self, servers: int) -> float:
+        """Expected wire size (bytes) of a message aggregating ``servers`` inputs."""
+
+
+def message_group_sizes(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+) -> dict[NodeId, Counter]:
+    """Return, for every link, the multiset of aggregation-group sizes crossing it.
+
+    The result maps each switch ``s`` to a :class:`collections.Counter`
+    whose keys are group sizes (number of servers aggregated into one
+    message) and whose values are how many messages of that group size cross
+    the link ``(s, p(s))``.  The total message count per link equals
+    :func:`repro.core.reduce_op.link_message_counts` except that messages
+    aggregating zero servers are not sent (a blue switch with an empty
+    subtree stays silent), matching the content-carrying Reduce.
+    """
+    blue = validate_placement(tree, blue_nodes)
+    load_of = tree.load if loads is None else lambda s: int(loads.get(s, 0))
+
+    per_link: dict[NodeId, Counter] = {}
+    inbox: dict[NodeId, Counter] = {}
+    for switch in tree.switches:  # post-order
+        groups: Counter = inbox.pop(switch, Counter())
+        local = load_of(switch)
+        if local:
+            groups[1] += local
+
+        if switch in blue and groups:
+            total_servers = sum(size * count for size, count in groups.items())
+            groups = Counter({total_servers: 1})
+
+        per_link[switch] = groups
+        parent = tree.parent(switch)
+        if parent != tree.destination:
+            destination_box = inbox.setdefault(parent, Counter())
+            destination_box.update(groups)
+    return per_link
+
+
+def analytic_link_bytes(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    size_of_group: Callable[[int], float],
+    loads: Mapping[NodeId, int] | None = None,
+) -> dict[NodeId, float]:
+    """Expected bytes crossing every link under a generic group-size model.
+
+    ``size_of_group(servers)`` returns the expected wire size of a message
+    aggregating ``servers`` server contributions.
+    """
+    groups = message_group_sizes(tree, blue_nodes, loads=loads)
+    result: dict[NodeId, float] = {}
+    size_cache: dict[int, float] = {}
+    for switch, counter in groups.items():
+        total = 0.0
+        for size, count in counter.items():
+            if size not in size_cache:
+                size_cache[size] = float(size_of_group(size))
+            total += size_cache[size] * count
+        result[switch] = total
+    return result
+
+
+def expected_byte_complexity(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    model: SizeModel,
+    loads: Mapping[NodeId, int] | None = None,
+) -> float:
+    """Expected total bytes transmitted over all links for a placement."""
+    link_bytes = analytic_link_bytes(
+        tree, blue_nodes, model.expected_message_bytes, loads=loads
+    )
+    return float(sum(link_bytes.values()))
+
+
+def normalized_byte_complexity(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    model: SizeModel,
+    reference: str = "all-red",
+    loads: Mapping[NodeId, int] | None = None,
+) -> float:
+    """Byte complexity of a placement normalized to a reference placement.
+
+    ``reference`` is ``"all-red"`` (Figure 8b) or ``"all-blue"``
+    (Figure 8c).  Values below 1 mean the placement transmits fewer bytes
+    than the reference; Figure 8c reports values above 1 because a bounded
+    placement can never beat aggregating everywhere.
+    """
+    value = expected_byte_complexity(tree, blue_nodes, model, loads=loads)
+    if reference == "all-red":
+        reference_blue: frozenset[NodeId] = frozenset()
+    elif reference == "all-blue":
+        reference_blue = frozenset(tree.switches)
+    else:
+        raise ValueError(f"reference must be 'all-red' or 'all-blue', got {reference!r}")
+    baseline = expected_byte_complexity(tree, reference_blue, model, loads=loads)
+    if baseline == 0.0:
+        return 0.0
+    return value / baseline

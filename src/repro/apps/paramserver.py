@@ -1,0 +1,160 @@
+"""Parameter-server (PS) use case: distributed-ML gradient aggregation.
+
+The paper's PS case study has worker servers send gradient updates over a
+10 000-dimensional feature space to a parameter server, applying a dropout
+rate of 0.5 so that each worker's update touches only about half of the
+coordinates (the paper explicitly does *not* train a real network — only
+the messages matter — and we follow the same substitution).
+
+A worker's message is a sparse gradient: the set of active coordinates with
+their values.  Aggregation sums gradients, so the aggregate's support is the
+union of the supports; with a 0.5 dropout the union saturates quickly, which
+is why the paper observes byte complexity tracking utilization closely for
+PS (message sizes barely grow up the tree) in contrast to WC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tree import NodeId
+from repro.exceptions import WorkloadError
+
+#: Default wire size of one sparse entry: a 4-byte coordinate index plus a
+#: 4-byte float32 value.
+DEFAULT_INDEX_BYTES: int = 4
+DEFAULT_VALUE_BYTES: int = 4
+DEFAULT_HEADER_BYTES: int = 32
+
+
+@dataclass
+class SparseGradient:
+    """A sparse gradient message: active-coordinate mask plus dense values.
+
+    ``mask`` is a boolean array over the feature space; ``values`` holds the
+    gradient restricted to the active coordinates (zero elsewhere).  Keeping
+    the mask dense makes merging a cheap vectorized OR / add even for tens of
+    thousands of features.
+    """
+
+    mask: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of active coordinates."""
+        return int(self.mask.sum())
+
+    @property
+    def dimension(self) -> int:
+        """Size of the feature space."""
+        return int(self.mask.shape[0])
+
+
+@dataclass
+class ParameterServerApplication:
+    """Synthetic sparse-gradient workload.
+
+    Parameters
+    ----------
+    feature_dimension:
+        Size of the gradient vector (the paper uses 10 000).
+    dropout:
+        Probability that a coordinate is dropped from a worker's update
+        (the paper uses 0.5); ``dropout = 0`` sends dense gradients, which
+        makes byte complexity exactly proportional to message complexity.
+    rng:
+        ``numpy`` generator or seed.
+    index_bytes, value_bytes, header_bytes:
+        Wire-format constants for the sparse encoding.
+    dense_threshold:
+        When the fraction of active coordinates exceeds this threshold the
+        message is encoded densely (values only, no indices), as a real
+        system would; this caps the aggregate's size at
+        ``header + dimension * value_bytes``.
+    """
+
+    feature_dimension: int = 10_000
+    dropout: float = 0.5
+    rng: np.random.Generator | int | None = None
+    index_bytes: int = DEFAULT_INDEX_BYTES
+    value_bytes: int = DEFAULT_VALUE_BYTES
+    header_bytes: int = DEFAULT_HEADER_BYTES
+    dense_threshold: float = 0.5
+    name: str = "PS"
+    _generator: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.feature_dimension < 1:
+            raise WorkloadError(
+                f"feature dimension must be >= 1, got {self.feature_dimension}"
+            )
+        if not 0.0 <= self.dropout < 1.0:
+            raise WorkloadError(f"dropout must be in [0, 1), got {self.dropout}")
+        if not 0.0 < self.dense_threshold <= 1.0:
+            raise WorkloadError(
+                f"dense threshold must be in (0, 1], got {self.dense_threshold}"
+            )
+        self._generator = (
+            self.rng
+            if isinstance(self.rng, np.random.Generator)
+            else np.random.default_rng(self.rng)
+        )
+
+    # -- Application protocol ------------------------------------------- #
+
+    def produce(self, switch: NodeId, count: int) -> list[SparseGradient]:
+        """Sample one sparse gradient per server attached to ``switch``."""
+        payloads: list[SparseGradient] = []
+        for _ in range(count):
+            mask = self._generator.random(self.feature_dimension) >= self.dropout
+            values = np.zeros(self.feature_dimension, dtype=np.float64)
+            active = int(mask.sum())
+            if active:
+                values[mask] = self._generator.standard_normal(active)
+            payloads.append(SparseGradient(mask=mask, values=values))
+        return payloads
+
+    def combine(self, payloads: list[SparseGradient]) -> SparseGradient:
+        """Sum gradients; the aggregate's support is the union of supports."""
+        mask = np.zeros(self.feature_dimension, dtype=bool)
+        values = np.zeros(self.feature_dimension, dtype=np.float64)
+        for payload in payloads:
+            mask |= payload.mask
+            values += payload.values
+        return SparseGradient(mask=mask, values=values)
+
+    def sizeof(self, payload: SparseGradient) -> float:
+        """Wire size of a gradient message.
+
+        Sparse encoding (index + value per active coordinate) while the
+        density stays below ``dense_threshold``; dense encoding (values
+        only) above it.
+        """
+        nnz = payload.nnz
+        density = nnz / self.feature_dimension
+        sparse_bytes = nnz * (self.index_bytes + self.value_bytes)
+        dense_bytes = self.feature_dimension * self.value_bytes
+        body = dense_bytes if density > self.dense_threshold else sparse_bytes
+        return float(self.header_bytes + body)
+
+    # -- analytic helpers ------------------------------------------------ #
+
+    def expected_active_fraction(self, workers: int) -> float:
+        """Expected fraction of coordinates active in the sum of ``workers`` updates."""
+        if workers < 0:
+            raise WorkloadError(f"workers must be non-negative, got {workers}")
+        return 1.0 - self.dropout**workers
+
+    def expected_message_bytes(self, workers: int) -> float:
+        """Expected wire size of the aggregate of ``workers`` gradients."""
+        if workers == 0:
+            return 0.0
+        fraction = self.expected_active_fraction(workers)
+        nnz = fraction * self.feature_dimension
+        sparse_bytes = nnz * (self.index_bytes + self.value_bytes)
+        dense_bytes = self.feature_dimension * self.value_bytes
+        body = dense_bytes if fraction > self.dense_threshold else sparse_bytes
+        return self.header_bytes + body

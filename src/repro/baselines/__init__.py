@@ -1,0 +1,33 @@
+"""Contending placement strategies (Top, Max, Level, Random, all-red, all-blue)."""
+
+from repro.baselines.strategies import (
+    ALL_STRATEGIES,
+    PAPER_STRATEGIES,
+    PlacementStrategy,
+    all_blue,
+    all_red,
+    bottom_strategy,
+    get_strategy,
+    level_strategy,
+    max_degree_strategy,
+    max_load_strategy,
+    random_strategy,
+    soar_strategy,
+    top_strategy,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "PAPER_STRATEGIES",
+    "PlacementStrategy",
+    "all_blue",
+    "all_red",
+    "bottom_strategy",
+    "get_strategy",
+    "level_strategy",
+    "max_degree_strategy",
+    "max_load_strategy",
+    "random_strategy",
+    "soar_strategy",
+    "top_strategy",
+]

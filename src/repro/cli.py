@@ -1,0 +1,173 @@
+"""Command-line interface: regenerate any figure of the paper from a terminal.
+
+Examples
+--------
+Regenerate the motivating example (Figures 2 and 3)::
+
+    soar-repro fig2
+    soar-repro fig3
+
+Regenerate Figure 6 at a reduced scale and write the series as CSV::
+
+    soar-repro fig6 --quick --csv /tmp/fig6.csv
+
+Run everything the paper reports (this takes a while at full scale)::
+
+    soar-repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import (
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    run_budget_sweep,
+    run_fig10_required_fraction,
+    run_fig10_utilization,
+    run_fig11_example,
+    run_fig11_scaling,
+    run_fig6,
+    run_fig7_capacity_sweep,
+    run_fig7_workload_sweep,
+    run_fig8,
+    run_fig9,
+    run_strategy_comparison,
+)
+from repro.experiments.harness import ExperimentConfig
+from repro.utils.tables import render_table, write_csv
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the experiment configuration from the parsed CLI options."""
+    base = QUICK_CONFIG if args.quick else PAPER_CONFIG
+    return ExperimentConfig(
+        network_size=args.network_size or base.network_size,
+        repetitions=args.repetitions or base.repetitions,
+        seed=args.seed,
+    )
+
+
+def _emit(rows: list[dict], args: argparse.Namespace, title: str) -> None:
+    """Print a text table and optionally write the rows as CSV."""
+    print(render_table(rows, title=title))
+    if args.csv:
+        path = write_csv(rows, args.csv)
+        print(f"\nwrote {len(rows)} rows to {path}")
+
+
+# --------------------------------------------------------------------------- #
+# sub-command implementations
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_fig2(args: argparse.Namespace) -> list[dict]:
+    return run_strategy_comparison()
+
+
+def _cmd_fig3(args: argparse.Namespace) -> list[dict]:
+    return run_budget_sweep()
+
+
+def _cmd_fig6(args: argparse.Namespace) -> list[dict]:
+    return run_fig6(config=_config(args))
+
+
+def _cmd_fig7(args: argparse.Namespace) -> list[dict]:
+    config = _config(args)
+    rows = run_fig7_workload_sweep(config=config)
+    rows.extend(run_fig7_capacity_sweep(config=config))
+    return rows
+
+
+def _cmd_fig8(args: argparse.Namespace) -> list[dict]:
+    return run_fig8(config=_config(args))
+
+
+def _cmd_fig9(args: argparse.Namespace) -> list[dict]:
+    config = _config(args)
+    if args.quick:
+        return run_fig9(sizes=(64, 128), budgets=(4, 8, 16), config=config)
+    return run_fig9(config=config)
+
+
+def _cmd_fig10(args: argparse.Namespace) -> list[dict]:
+    config = _config(args)
+    sizes = (64, 128, 256) if args.quick else (256, 512, 1024, 2048, 4096)
+    rows = run_fig10_utilization(sizes=sizes, config=config)
+    rows.extend(run_fig10_required_fraction(sizes=sizes, config=config))
+    return rows
+
+
+def _cmd_fig11(args: argparse.Namespace) -> list[dict]:
+    config = _config(args)
+    sizes = (64, 128, 256) if args.quick else (256, 512, 1024, 2048, 4096)
+    rows = run_fig11_example(seed=args.seed)
+    rows.extend(run_fig11_scaling(sizes=sizes, config=config))
+    return rows
+
+
+_COMMANDS = {
+    "fig2": (_cmd_fig2, "Motivating example: strategy comparison (Figure 2)"),
+    "fig3": (_cmd_fig3, "Motivating example: budget sweep (Figure 3)"),
+    "fig6": (_cmd_fig6, "SOAR vs strategies on BT(256) (Figure 6)"),
+    "fig7": (_cmd_fig7, "Online multi-workload aggregation (Figure 7)"),
+    "fig8": (_cmd_fig8, "Word-count and parameter-server use cases (Figure 8)"),
+    "fig9": (_cmd_fig9, "SOAR running time (Figure 9)"),
+    "fig10": (_cmd_fig10, "Scaling on binary trees (Figure 10, Appendix A)"),
+    "fig11": (_cmd_fig11, "Scale-free networks (Figure 11, Appendix B)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="soar-repro",
+        description="Reproduce the evaluation of 'SOAR: Minimizing Network Utilization "
+        "with Bounded In-network Computing' (CoNEXT 2021).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--quick", action="store_true", help="run at a reduced scale")
+        sub.add_argument("--csv", type=str, default=None, help="also write rows to this CSV file")
+        sub.add_argument("--seed", type=int, default=2021, help="base random seed")
+        sub.add_argument(
+            "--network-size", type=int, default=None, help="override the BT(n) size"
+        )
+        sub.add_argument(
+            "--repetitions", type=int, default=None, help="override the number of repetitions"
+        )
+
+    for name, (_, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        add_common(sub)
+
+    sub_all = subparsers.add_parser("all", help="run every figure in sequence")
+    add_common(sub_all)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "all":
+        for name, (runner, title) in _COMMANDS.items():
+            rows = runner(args)
+            _emit(rows, args, title)
+            print()
+        return 0
+
+    runner, title = _COMMANDS[args.command]
+    rows = runner(args)
+    _emit(rows, args, title)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

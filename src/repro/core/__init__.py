@@ -1,0 +1,65 @@
+"""Core of the reproduction: the tree model, the cost metrics, and SOAR.
+
+The sub-modules map directly onto the paper's sections:
+
+* :mod:`repro.core.tree` — the weighted tree network of Section 2,
+* :mod:`repro.core.reduce_op` — the Reduce operation (Algorithm 1) and its
+  per-link message accounting,
+* :mod:`repro.core.cost` — the utilization complexity (Eq. 1) and its
+  barrier re-formulation (Lemma 4.2),
+* :mod:`repro.core.gather` / :mod:`repro.core.color` — the two phases of
+  SOAR (Algorithms 3 and 4),
+* :mod:`repro.core.soar` — the user-facing solver,
+* :mod:`repro.core.bruteforce` — the exhaustive reference used for
+  optimality certification in the tests.
+"""
+
+from repro.core.bruteforce import BruteForceSolution, solve_bruteforce
+from repro.core.color import soar_color
+from repro.core.cost import (
+    all_blue_cost,
+    all_red_cost,
+    cost_reduction,
+    normalized_utilization,
+    per_link_utilization,
+    utilization_cost,
+    utilization_cost_barrier,
+)
+from repro.core.gather import GatherResult, NodeTables, soar_gather
+from repro.core.reduce_op import (
+    ReduceTrace,
+    link_message_counts,
+    run_reduce,
+    total_messages,
+    validate_placement,
+)
+from repro.core.soar import SoarSolution, optimal_cost, solve, solve_budget_sweep
+from repro.core.tree import DEFAULT_DESTINATION, NodeId, TreeNetwork
+
+__all__ = [
+    "BruteForceSolution",
+    "DEFAULT_DESTINATION",
+    "GatherResult",
+    "NodeId",
+    "NodeTables",
+    "ReduceTrace",
+    "SoarSolution",
+    "TreeNetwork",
+    "all_blue_cost",
+    "all_red_cost",
+    "cost_reduction",
+    "link_message_counts",
+    "normalized_utilization",
+    "optimal_cost",
+    "per_link_utilization",
+    "run_reduce",
+    "soar_color",
+    "soar_gather",
+    "solve",
+    "solve_bruteforce",
+    "solve_budget_sweep",
+    "total_messages",
+    "utilization_cost",
+    "utilization_cost_barrier",
+    "validate_placement",
+]

@@ -1,0 +1,84 @@
+"""Exhaustive reference solver for the φ-BIC problem.
+
+The paper notes (Section 2) that a brute-force enumeration of all
+``Theta(n^k)`` subsets is possible but exorbitant for large ``k``.  For the
+test-suite, however, it is the perfect ground truth: on small trees it
+certifies that SOAR's dynamic program is optimal, for both budget
+semantics ("at most k" and "exactly k").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.cost import utilization_cost
+from repro.core.tree import NodeId, TreeNetwork
+from repro.exceptions import InvalidBudgetError
+
+
+@dataclass(frozen=True)
+class BruteForceSolution:
+    """Optimal placement found by exhaustive enumeration."""
+
+    blue_nodes: frozenset[NodeId]
+    cost: float
+    budget: int
+    subsets_examined: int
+
+
+def solve_bruteforce(
+    tree: TreeNetwork,
+    budget: int,
+    exact_k: bool = False,
+    max_subsets: int = 2_000_000,
+) -> BruteForceSolution:
+    """Enumerate placements and return the cheapest one.
+
+    Parameters
+    ----------
+    tree:
+        The tree network.
+    budget:
+        The bound ``k`` on the number of blue nodes.
+    exact_k:
+        When ``True`` only subsets of size exactly ``min(k, |Λ|)`` are
+        considered (Eq. 2); otherwise all subsets of size ``<= k``.
+    max_subsets:
+        Safety valve: raise if the enumeration would examine more subsets
+        than this, to keep accidental misuse from hanging the test-suite.
+
+    Returns
+    -------
+    BruteForceSolution
+        The minimizing subset, its cost, and how many subsets were examined.
+    """
+    if budget < 0:
+        raise InvalidBudgetError(f"budget must be non-negative, got {budget}")
+
+    available = sorted(tree.available, key=repr)
+    effective = min(int(budget), len(available))
+    sizes = [effective] if exact_k else list(range(effective + 1))
+
+    best_cost = float("inf")
+    best_set: frozenset[NodeId] = frozenset()
+    examined = 0
+    for size in sizes:
+        for subset in combinations(available, size):
+            examined += 1
+            if examined > max_subsets:
+                raise InvalidBudgetError(
+                    f"brute force would examine more than {max_subsets} subsets; "
+                    "use SOAR for instances of this size"
+                )
+            candidate = frozenset(subset)
+            cost = utilization_cost(tree, candidate, validate=False)
+            if cost < best_cost:
+                best_cost = cost
+                best_set = candidate
+    return BruteForceSolution(
+        blue_nodes=best_set,
+        cost=float(best_cost),
+        budget=effective,
+        subsets_examined=examined,
+    )

@@ -1,0 +1,155 @@
+"""SOAR-Color: tracing an optimal colouring out of the gather tables.
+
+Algorithm 4 of the paper walks the tree from the destination downwards.
+Every node receives, from its parent, the pair ``(i, l*)``: the number of
+blue nodes to distribute inside its subtree and its distance to the closest
+blue ancestor (or to the destination if no blue ancestor exists).  The node
+then
+
+1. decides its own colour by comparing the blue and red entries of its
+   final-stage ``Y`` table at ``(l*, i)``,
+2. splits the remaining budget among its children by re-deriving the argmin
+   of the ``mCost`` convolution (we stored those argmins during gather, so
+   the traceback is a pure table lookup), and
+3. forwards ``(i_child, l_child)`` to each child, where ``l_child = 1`` when
+   the node is blue and ``l* + 1`` otherwise.
+
+The traceback is iterative (explicit work list) so arbitrarily deep trees do
+not hit the recursion limit, mirroring the distributed description of the
+paper where each switch acts on the message received from its parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gather import GatherResult
+from repro.core.tree import NodeId, TreeNetwork
+from repro.exceptions import PlacementError
+
+
+@dataclass(frozen=True)
+class ColoringAssignment:
+    """The ``(i, l*)`` pair a node receives from its parent during traceback."""
+
+    node: NodeId
+    budget: int
+    distance: int
+
+
+def _leaf_is_blue(
+    tree: TreeNetwork,
+    node: NodeId,
+    budget: int,
+    exact_k: bool,
+) -> bool:
+    """Decide a leaf's colour (Algorithm 4 lines 4-5, adapted per semantics).
+
+    The paper colours a leaf blue whenever it received a positive budget.
+    Under at-most-k semantics we additionally require the blue colour to
+    strictly reduce the cost (load greater than one); a leaf with load 0 or 1
+    gains nothing from aggregating, so the budget is simply left unused.
+    """
+    if budget <= 0 or node not in tree.available:
+        return False
+    if exact_k:
+        return True
+    return tree.load(node) > 1
+
+
+def soar_color(
+    tree: TreeNetwork,
+    gathered: GatherResult,
+    budget: int | None = None,
+) -> frozenset[NodeId]:
+    """Trace back an optimal set of blue nodes from gather tables.
+
+    Parameters
+    ----------
+    tree:
+        The network the tables were computed for.
+    gathered:
+        Output of :func:`repro.core.gather.soar_gather`.
+    budget:
+        Budget to trace for.  Defaults to the budget the tables were built
+        with; any smaller value is also valid because the tables carry every
+        column, which lets a single gather answer a whole budget sweep.
+
+    Returns
+    -------
+    frozenset
+        The selected blue switches ``U`` with ``|U| <= budget``.
+
+    Raises
+    ------
+    PlacementError
+        If ``budget`` exceeds the budget the tables were built for, or the
+        tables do not belong to this tree.
+    """
+    if gathered.root != tree.root:
+        raise PlacementError("gather tables were computed for a different network")
+    if budget is None:
+        budget = gathered.budget
+    if budget > gathered.budget:
+        raise PlacementError(
+            f"requested budget {budget} exceeds the gathered budget {gathered.budget}"
+        )
+    if budget < 0:
+        raise PlacementError(f"budget must be non-negative, got {budget}")
+
+    blue: set[NodeId] = set()
+    # The destination sends (k, 1) to the root (Algorithm 4 line 2).
+    pending: list[ColoringAssignment] = [
+        ColoringAssignment(node=tree.root, budget=int(budget), distance=1)
+    ]
+
+    while pending:
+        assignment = pending.pop()
+        node = assignment.node
+        i = assignment.budget
+        distance = assignment.distance
+        tables = gathered.tables[node]
+        children = tree.children(node)
+
+        if not children:
+            if _leaf_is_blue(tree, node, i, gathered.exact_k):
+                blue.add(node)
+            continue
+
+        node_is_blue = bool(tables.y_blue[distance, i] < tables.y_red[distance, i])
+        if node_is_blue:
+            blue.add(node)
+            child_distance = 1
+            splits = tables.splits_blue
+        else:
+            child_distance = distance + 1
+            splits = tables.splits_red
+
+        # Children c_C .. c_2 take the budgets recorded at gather time; the
+        # first child receives whatever remains (minus one when the node
+        # itself is blue and therefore consumed one unit).
+        remaining = i
+        child_budgets: dict[NodeId, int] = {}
+        for index in range(len(children) - 1, 0, -1):
+            split_table = splits[index - 1]
+            share = int(split_table[distance, remaining])
+            child_budgets[children[index]] = share
+            remaining -= share
+        child_budgets[children[0]] = remaining - 1 if node_is_blue else remaining
+
+        for child, share in child_budgets.items():
+            if share < 0:
+                raise PlacementError(
+                    f"traceback assigned a negative budget to {child!r}; "
+                    "the gather tables are inconsistent"
+                )
+            pending.append(
+                ColoringAssignment(node=child, budget=share, distance=child_distance)
+            )
+
+    if len(blue) > budget:
+        raise PlacementError(
+            f"traceback selected {len(blue)} blue nodes for budget {budget}; "
+            "the gather tables are inconsistent"
+        )
+    return frozenset(blue)

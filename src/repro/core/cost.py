@@ -1,0 +1,153 @@
+"""Utilization complexity and related cost metrics.
+
+This module implements the objective function of the φ-BIC problem:
+
+* :func:`utilization_cost` — Eq. (1): ``phi(T, L, U) = sum_e msg_e * rho(e)``,
+* :func:`utilization_cost_barrier` — the equivalent "barrier" formulation of
+  Lemma 4.2 / Eq. (3), expressed in terms of each node's closest blue
+  ancestor (used both as an independent cross-check and as the conceptual
+  basis of the SOAR dynamic program),
+* :func:`per_link_utilization` — the per-link breakdown used by the paper's
+  worked examples (Figures 2 and 3 annotate each link with its utilization),
+* :func:`byte_cost` — the byte complexity of Section 5.3 given a message-size
+  model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.reduce_op import link_message_counts, validate_placement
+from repro.core.tree import NodeId, TreeNetwork
+
+
+def per_link_utilization(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+    validate: bool = True,
+) -> dict[NodeId, float]:
+    """Return ``msg_e * rho(e)`` for every link, keyed by the child switch."""
+    counts = link_message_counts(tree, blue_nodes, loads=loads, validate=validate)
+    return {switch: counts[switch] * tree.rho(switch) for switch in counts}
+
+
+def utilization_cost(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+    validate: bool = True,
+) -> float:
+    """Compute the network utilization cost ``phi(T, L, U)`` of Eq. (1)."""
+    counts = link_message_counts(tree, blue_nodes, loads=loads, validate=validate)
+    return float(sum(counts[switch] * tree.rho(switch) for switch in counts))
+
+
+def closest_blue_ancestor_distance(
+    tree: TreeNetwork,
+    node: NodeId,
+    blue_nodes: frozenset[NodeId],
+) -> int:
+    """Return the number of edges from ``node`` to ``p*_node``.
+
+    ``p*_node`` is the closest strict blue ancestor of ``node`` if one
+    exists, and the destination otherwise (Lemma 4.2).
+    """
+    distance = 0
+    current = node
+    while True:
+        current = tree.parent(current)
+        distance += 1
+        if current == tree.destination or current in blue_nodes:
+            return distance
+
+
+def utilization_cost_barrier(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+) -> float:
+    """Compute ``phi`` via the barrier re-formulation of Lemma 4.2 (Eq. 3).
+
+    ``phi = sum_{v in U} rho(v, p*_v) + sum_{v not in U} L(v) * rho(v, p*_v)``
+    where ``p*_v`` is the closest blue ancestor of ``v`` (or the destination).
+    The value is identical to :func:`utilization_cost`; having both lets the
+    test-suite cross-check the implementations against each other.
+    """
+    blue = validate_placement(tree, blue_nodes)
+    load_of = tree.load if loads is None else lambda s: int(loads.get(s, 0))
+
+    total = 0.0
+    for switch in tree.switches:
+        distance = closest_blue_ancestor_distance(tree, switch, blue)
+        path_cost = tree.path_rho(switch, distance)
+        if switch in blue:
+            total += path_cost
+        else:
+            total += load_of(switch) * path_cost
+    return float(total)
+
+
+def all_red_cost(
+    tree: TreeNetwork,
+    loads: Mapping[NodeId, int] | None = None,
+) -> float:
+    """Utilization of the all-red solution (no aggregation anywhere)."""
+    return utilization_cost(tree, frozenset(), loads=loads, validate=False)
+
+
+def all_blue_cost(
+    tree: TreeNetwork,
+    loads: Mapping[NodeId, int] | None = None,
+    respect_availability: bool = False,
+) -> float:
+    """Utilization when every switch aggregates.
+
+    By default the availability set Λ is ignored (the paper uses the
+    unrestricted all-blue solution purely as a lower-bound reference curve);
+    pass ``respect_availability=True`` to colour only the switches in Λ.
+    """
+    blue = tree.available if respect_availability else frozenset(tree.switches)
+    return utilization_cost(tree, blue, loads=loads, validate=False)
+
+
+def normalized_utilization(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+) -> float:
+    """Utilization of ``blue_nodes`` divided by the all-red utilization.
+
+    This is the quantity plotted on the y-axis of Figures 6, 7, 8a, 10 and
+    11 of the paper.  A value of ``alpha`` means the placement incurs an
+    ``alpha`` fraction of the cost of performing the Reduce without any
+    in-network aggregation.
+    """
+    baseline = all_red_cost(tree, loads=loads)
+    if baseline == 0.0:
+        return 0.0
+    return utilization_cost(tree, blue_nodes, loads=loads) / baseline
+
+
+def cost_reduction(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+) -> float:
+    """Fractional saving compared to all-red: ``1 - normalized_utilization``."""
+    return 1.0 - normalized_utilization(tree, blue_nodes, loads=loads)
+
+
+def byte_cost(link_bytes: Mapping[NodeId, float], tree: TreeNetwork) -> float:
+    """Aggregate a per-link byte map into the byte complexity.
+
+    The byte complexity of Section 5.3 weights the bytes crossing each link
+    by the per-message link time only implicitly (the paper evaluates it for
+    constant rates); we follow the paper and report the plain byte total.
+    ``tree`` is accepted for signature symmetry and future rate-weighted
+    variants but only used for validation of the keys.
+    """
+    for switch in link_bytes:
+        if not tree.is_switch(switch):
+            raise KeyError(f"byte map references unknown switch {switch!r}")
+    return float(sum(link_bytes.values()))

@@ -1,0 +1,135 @@
+"""The SOAR algorithm: optimal bounded in-network aggregation placement.
+
+This module is the public entry point for solving the φ-BIC problem
+(Definition 2.1 of the paper): given a weighted tree network, a load, an
+availability set Λ and a budget ``k``, find at most ``k`` aggregation (blue)
+switches minimizing the network utilization complexity of a Reduce.
+
+:func:`solve` runs the two phases — :func:`repro.core.gather.soar_gather`
+followed by :func:`repro.core.color.soar_color` — and wraps the outcome in a
+:class:`SoarSolution` carrying the chosen placement, its cost, and the DP
+tables (useful for budget sweeps and for inspecting the breadcrumbs).
+
+Example
+-------
+>>> from repro.topology import complete_binary_tree
+>>> from repro.core.soar import solve
+>>> tree = complete_binary_tree(4, leaf_loads=[2, 6, 5, 4])
+>>> solution = solve(tree, budget=2)
+>>> solution.cost
+20.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.color import soar_color
+from repro.core.cost import utilization_cost
+from repro.core.gather import GatherResult, soar_gather
+from repro.core.tree import NodeId, TreeNetwork
+
+
+@dataclass(frozen=True)
+class SoarSolution:
+    """Result of running SOAR on a φ-BIC instance.
+
+    Attributes
+    ----------
+    blue_nodes:
+        The selected aggregation switches ``U`` (``|U| <= budget``).
+    cost:
+        The utilization complexity ``phi(T, L, U)`` of the placement,
+        recomputed from the Reduce message counts (not just read from the DP
+        table) so it is verifiable against the cost module.
+    predicted_cost:
+        The optimum announced by the gather table ``X_r(1, k)``.  Equal to
+        ``cost`` whenever the tables are consistent; the test-suite asserts
+        this on every solve.
+    budget:
+        The budget ``k`` this solution was traced for.
+    gather:
+        The full gather result, kept for budget sweeps and diagnostics.
+    """
+
+    blue_nodes: frozenset[NodeId]
+    cost: float
+    predicted_cost: float
+    budget: int
+    gather: GatherResult
+
+    @property
+    def num_blue(self) -> int:
+        """Number of aggregation switches actually used."""
+        return len(self.blue_nodes)
+
+
+def solve(
+    tree: TreeNetwork,
+    budget: int,
+    exact_k: bool = False,
+    gathered: GatherResult | None = None,
+) -> SoarSolution:
+    """Solve the φ-BIC problem optimally with SOAR.
+
+    Parameters
+    ----------
+    tree:
+        The tree network (topology, link rates, loads, availability Λ).
+    budget:
+        Maximum number of blue nodes ``k``.
+    exact_k:
+        Budget semantics; see :mod:`repro.core.gather`.  The default
+        (at-most-k) is never worse than the paper-literal exactly-k mode.
+    gathered:
+        Optional pre-computed gather tables.  When sweeping budgets
+        ``1 .. k`` it is much cheaper to gather once at the largest budget
+        and trace each smaller budget from the same tables.
+
+    Returns
+    -------
+    SoarSolution
+        The optimal placement and its cost.
+    """
+    if gathered is None or gathered.budget < min(budget, len(tree.available)):
+        gathered = soar_gather(tree, budget, exact_k=exact_k)
+    effective_budget = min(int(budget), gathered.budget)
+    blue = soar_color(tree, gathered, budget=effective_budget)
+    achieved = utilization_cost(tree, blue)
+    predicted = gathered.cost_for_budget(effective_budget)
+    return SoarSolution(
+        blue_nodes=blue,
+        cost=achieved,
+        predicted_cost=predicted,
+        budget=effective_budget,
+        gather=gathered,
+    )
+
+
+def solve_budget_sweep(
+    tree: TreeNetwork,
+    budgets: Iterable[int],
+    exact_k: bool = False,
+) -> dict[int, SoarSolution]:
+    """Solve the φ-BIC problem for several budgets using a single gather.
+
+    This is how the evaluation figures (e.g. Figure 6, x-axis ``k``) are
+    produced: the gather tables for the largest budget contain every smaller
+    budget as a column, so only the cheap colouring phase is repeated.
+    """
+    budget_list = sorted({int(b) for b in budgets})
+    if not budget_list:
+        return {}
+    if min(budget_list) < 0:
+        raise ValueError("budgets must be non-negative")
+    gathered = soar_gather(tree, max(budget_list), exact_k=exact_k)
+    return {
+        budget: solve(tree, budget, exact_k=exact_k, gathered=gathered)
+        for budget in budget_list
+    }
+
+
+def optimal_cost(tree: TreeNetwork, budget: int, exact_k: bool = False) -> float:
+    """Convenience wrapper returning only the optimal utilization value."""
+    return solve(tree, budget, exact_k=exact_k).cost

@@ -1,0 +1,578 @@
+"""Rooted tree network model used by every other part of the library.
+
+The paper's system model (Section 2) is a weighted tree ``T = (V, E, w)``
+where ``V`` is the set of switches plus a special destination server ``d``,
+every edge is directed towards ``d``, every switch has a load ``L(s)``
+(the number of servers attached to it), and every edge has a rate ``w(e)``
+in messages per second.  The reciprocal ``rho(e) = 1 / w(e)`` is the
+transmission time of a single message on the edge.
+
+:class:`TreeNetwork` stores this model and precomputes the structural
+queries every algorithm in the library relies on:
+
+* parent / children relations and a post-order traversal of the switches,
+* the depth ``D(v)`` of every node, measured in edges from ``v`` to the
+  destination (``D(d) = 0``, ``D(r) = 1``),
+* the cumulative path cost ``rho(v, A^l_v)`` of walking ``l`` edges upward
+  from ``v`` (the parameterized potential of the SOAR dynamic program is
+  indexed by exactly this quantity).
+
+Instances are conceptually immutable: the "modify" helpers
+(:meth:`TreeNetwork.with_loads`, :meth:`TreeNetwork.with_available`,
+:meth:`TreeNetwork.with_rates`) return new objects sharing the topology.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Any
+
+import networkx as nx
+
+from repro.exceptions import (
+    AvailabilityError,
+    InvalidLoadError,
+    InvalidRateError,
+    TreeStructureError,
+)
+
+NodeId = Hashable
+
+#: Default identifier of the destination server.
+DEFAULT_DESTINATION: str = "d"
+
+
+def _validate_rate(node: NodeId, rate: float) -> float:
+    """Return ``rate`` as a float after checking it is finite and positive."""
+    try:
+        value = float(rate)
+    except (TypeError, ValueError) as exc:
+        raise InvalidRateError(f"rate of link above {node!r} is not a number: {rate!r}") from exc
+    if not math.isfinite(value) or value <= 0.0:
+        raise InvalidRateError(
+            f"rate of link above {node!r} must be a positive finite number, got {rate!r}"
+        )
+    return value
+
+
+def _validate_load(node: NodeId, load: Any) -> int:
+    """Return ``load`` as an int after checking it is a non-negative integer."""
+    try:
+        value = int(load)
+    except (TypeError, ValueError) as exc:
+        raise InvalidLoadError(f"load of switch {node!r} is not an integer: {load!r}") from exc
+    if value != load:
+        raise InvalidLoadError(f"load of switch {node!r} must be integral, got {load!r}")
+    if value < 0:
+        raise InvalidLoadError(f"load of switch {node!r} must be non-negative, got {load!r}")
+    return value
+
+
+class TreeNetwork:
+    """A weighted tree of switches rooted (logically) at a destination server.
+
+    Parameters
+    ----------
+    parents:
+        Mapping from every switch to its parent.  Exactly one switch (the
+        *root* ``r``) must have the destination as its parent.  The
+        destination itself must not appear as a key.
+    rates:
+        Mapping from a switch ``s`` to the rate ``w((s, p(s)))`` of the link
+        connecting it to its parent, in messages per second.  Switches
+        missing from the mapping default to rate ``1.0``.
+    loads:
+        Mapping from a switch to the number of servers attached to it
+        (the network load ``L``).  Missing switches default to ``0``.
+    available:
+        The set Λ of switches that may be turned into aggregation (blue)
+        switches.  ``None`` (the default) means every switch is available.
+    destination:
+        Identifier of the destination server ``d``.
+
+    Raises
+    ------
+    TreeStructureError
+        If the parent pointers do not describe a tree whose edges all lead
+        to the destination.
+    InvalidRateError, InvalidLoadError, AvailabilityError
+        If rates, loads, or Λ are malformed.
+    """
+
+    __slots__ = (
+        "_destination",
+        "_root",
+        "_parents",
+        "_children",
+        "_rates",
+        "_rho",
+        "_loads",
+        "_available",
+        "_depth",
+        "_postorder",
+        "_cum_rho",
+        "_height",
+    )
+
+    def __init__(
+        self,
+        parents: Mapping[NodeId, NodeId],
+        rates: Mapping[NodeId, float] | None = None,
+        loads: Mapping[NodeId, int] | None = None,
+        available: Iterable[NodeId] | None = None,
+        destination: NodeId = DEFAULT_DESTINATION,
+    ) -> None:
+        if destination in parents:
+            raise TreeStructureError("the destination must not have a parent")
+        if not parents:
+            raise TreeStructureError("a tree network needs at least one switch")
+
+        self._destination: NodeId = destination
+        self._parents: dict[NodeId, NodeId] = dict(parents)
+
+        roots = [s for s, p in self._parents.items() if p == destination]
+        if len(roots) != 1:
+            raise TreeStructureError(
+                f"exactly one switch must have the destination as parent, found {len(roots)}"
+            )
+        self._root: NodeId = roots[0]
+
+        self._children: dict[NodeId, list[NodeId]] = {s: [] for s in self._parents}
+        self._children[destination] = []
+        for switch, parent in self._parents.items():
+            if switch == parent:
+                raise TreeStructureError(f"switch {switch!r} is its own parent")
+            if parent != destination and parent not in self._parents:
+                raise TreeStructureError(
+                    f"switch {switch!r} points at unknown parent {parent!r}"
+                )
+            self._children[parent].append(switch)
+
+        rates = rates or {}
+        loads = loads or {}
+        for key in rates:
+            if key not in self._parents:
+                raise InvalidRateError(f"rate given for unknown switch {key!r}")
+        for key in loads:
+            if key not in self._parents:
+                raise InvalidLoadError(f"load given for unknown switch {key!r}")
+
+        self._rates: dict[NodeId, float] = {
+            s: _validate_rate(s, rates.get(s, 1.0)) for s in self._parents
+        }
+        self._rho: dict[NodeId, float] = {s: 1.0 / r for s, r in self._rates.items()}
+        self._loads: dict[NodeId, int] = {
+            s: _validate_load(s, loads.get(s, 0)) for s in self._parents
+        }
+
+        if available is None:
+            self._available: frozenset[NodeId] = frozenset(self._parents)
+        else:
+            available_set = frozenset(available)
+            unknown = available_set - set(self._parents)
+            if unknown:
+                raise AvailabilityError(
+                    f"availability set references unknown switches: {sorted(map(repr, unknown))}"
+                )
+            self._available = available_set
+
+        self._depth: dict[NodeId, int] = {}
+        self._cum_rho: dict[NodeId, float] = {destination: 0.0}
+        self._postorder: tuple[NodeId, ...] = self._compute_order()
+        self._height: int = max(self._depth.values(), default=0)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _compute_order(self) -> tuple[NodeId, ...]:
+        """Compute depths, cumulative path costs, and a post-order traversal.
+
+        Uses an explicit stack so arbitrarily deep trees (e.g. path graphs
+        with thousands of switches) do not hit the interpreter recursion
+        limit.  Also detects cycles / disconnected switches.
+        """
+        depth = self._depth
+        cum_rho = self._cum_rho
+        depth[self._destination] = 0
+
+        order: list[NodeId] = []
+        stack: list[tuple[NodeId, bool]] = [(self._root, False)]
+        visited: set[NodeId] = set()
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in visited:
+                raise TreeStructureError(f"cycle detected at switch {node!r}")
+            visited.add(node)
+            parent = self._parents[node]
+            depth[node] = depth[parent] + 1
+            cum_rho[node] = cum_rho[parent] + self._rho[node]
+            stack.append((node, True))
+            for child in self._children[node]:
+                stack.append((child, False))
+
+        if len(visited) != len(self._parents):
+            missing = set(self._parents) - visited
+            raise TreeStructureError(
+                f"switches unreachable from the root: {sorted(map(repr, missing))}"
+            )
+        return tuple(order)
+
+    @classmethod
+    def from_networkx(
+        cls,
+        graph: nx.Graph | nx.DiGraph,
+        root: NodeId,
+        loads: Mapping[NodeId, int] | None = None,
+        rates: Mapping[NodeId, float] | None = None,
+        available: Iterable[NodeId] | None = None,
+        destination: NodeId = DEFAULT_DESTINATION,
+        rate_attribute: str = "rate",
+        load_attribute: str = "load",
+    ) -> "TreeNetwork":
+        """Build a :class:`TreeNetwork` from an (undirected) networkx tree.
+
+        The graph must be a tree over the switches only; a fresh destination
+        node is attached above ``root``.  Edge rates are read from the
+        ``rate_attribute`` edge attribute unless overridden by ``rates``
+        (keyed by the child switch); node loads are read from the
+        ``load_attribute`` node attribute unless overridden by ``loads``.
+        The rate of the new ``(root, destination)`` link defaults to ``1.0``
+        and can be set via ``rates[root]``.
+        """
+        undirected = graph.to_undirected() if graph.is_directed() else graph
+        if root not in undirected:
+            raise TreeStructureError(f"root {root!r} is not a node of the graph")
+        if destination in undirected:
+            raise TreeStructureError(
+                f"destination id {destination!r} already exists in the graph; choose another"
+            )
+        if not nx.is_tree(undirected):
+            raise TreeStructureError("the supplied graph is not a tree")
+
+        parents: dict[NodeId, NodeId] = {root: destination}
+        for parent, child in nx.bfs_edges(undirected, root):
+            parents[child] = parent
+
+        effective_rates: dict[NodeId, float] = {}
+        for child, parent in parents.items():
+            if parent == destination:
+                effective_rates[child] = 1.0
+                continue
+            data = undirected.get_edge_data(child, parent, default={})
+            effective_rates[child] = data.get(rate_attribute, 1.0)
+        if rates:
+            effective_rates.update(rates)
+
+        effective_loads: dict[NodeId, int] = {
+            node: undirected.nodes[node].get(load_attribute, 0) for node in parents
+        }
+        if loads:
+            effective_loads.update(loads)
+
+        return cls(
+            parents,
+            rates=effective_rates,
+            loads=effective_loads,
+            available=available,
+            destination=destination,
+        )
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export the network (including the destination) as a directed graph.
+
+        Edges point towards the destination and carry ``rate`` and ``rho``
+        attributes; switch nodes carry ``load`` and ``available`` attributes.
+        """
+        graph = nx.DiGraph()
+        graph.add_node(self._destination, kind="destination")
+        for switch in self._parents:
+            graph.add_node(
+                switch,
+                kind="switch",
+                load=self._loads[switch],
+                available=switch in self._available,
+            )
+        for switch, parent in self._parents.items():
+            graph.add_edge(switch, parent, rate=self._rates[switch], rho=self._rho[switch])
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def destination(self) -> NodeId:
+        """The destination server ``d``."""
+        return self._destination
+
+    @property
+    def root(self) -> NodeId:
+        """The root switch ``r`` (the unique child of the destination)."""
+        return self._root
+
+    @property
+    def switches(self) -> tuple[NodeId, ...]:
+        """All switches in post-order (children before parents, root last)."""
+        return self._postorder
+
+    @property
+    def num_switches(self) -> int:
+        """Number of switches ``n`` (the destination is not counted)."""
+        return len(self._parents)
+
+    @property
+    def available(self) -> frozenset[NodeId]:
+        """The availability set Λ of switches allowed to aggregate."""
+        return self._available
+
+    @property
+    def loads(self) -> dict[NodeId, int]:
+        """A copy of the load function ``L``."""
+        return dict(self._loads)
+
+    @property
+    def rates(self) -> dict[NodeId, float]:
+        """A copy of the rate function, keyed by the child switch of each link."""
+        return dict(self._rates)
+
+    @property
+    def height(self) -> int:
+        """Height of the tree: the largest depth ``D(v)`` over all switches."""
+        return self._height
+
+    @property
+    def total_load(self) -> int:
+        """Total number of servers attached to the network."""
+        return sum(self._loads.values())
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._parents or node == self._destination
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TreeNetwork(n={self.num_switches}, height={self.height}, "
+            f"total_load={self.total_load})"
+        )
+
+    def is_switch(self, node: NodeId) -> bool:
+        """Return ``True`` when ``node`` is a switch of the network."""
+        return node in self._parents
+
+    def parent(self, node: NodeId) -> NodeId:
+        """Return the parent ``p(node)`` of a switch."""
+        try:
+            return self._parents[node]
+        except KeyError as exc:
+            raise TreeStructureError(f"{node!r} is not a switch of this network") from exc
+
+    def children(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Return the children of ``node`` (which may be the destination)."""
+        try:
+            return tuple(self._children[node])
+        except KeyError as exc:
+            raise TreeStructureError(f"{node!r} is not a node of this network") from exc
+
+    def num_children(self, node: NodeId) -> int:
+        """Return ``C(node)``, the number of children of ``node``."""
+        return len(self.children(node))
+
+    def is_leaf(self, node: NodeId) -> bool:
+        """Return ``True`` when the switch has no children."""
+        return self.is_switch(node) and not self._children[node]
+
+    def leaves(self) -> tuple[NodeId, ...]:
+        """Return all leaf switches in post-order."""
+        return tuple(s for s in self._postorder if not self._children[s])
+
+    def load(self, node: NodeId) -> int:
+        """Return the load ``L(node)`` of a switch."""
+        try:
+            return self._loads[node]
+        except KeyError as exc:
+            raise InvalidLoadError(f"{node!r} is not a switch of this network") from exc
+
+    def rate(self, node: NodeId) -> float:
+        """Return the rate of the link between ``node`` and its parent."""
+        try:
+            return self._rates[node]
+        except KeyError as exc:
+            raise InvalidRateError(f"{node!r} is not a switch of this network") from exc
+
+    def rho(self, node: NodeId) -> float:
+        """Return ``rho((node, p(node))) = 1 / rate``, the per-message link time."""
+        try:
+            return self._rho[node]
+        except KeyError as exc:
+            raise InvalidRateError(f"{node!r} is not a switch of this network") from exc
+
+    def depth(self, node: NodeId) -> int:
+        """Return ``D(node)``: the number of edges between ``node`` and ``d``."""
+        try:
+            return self._depth[node]
+        except KeyError as exc:
+            raise TreeStructureError(f"{node!r} is not a node of this network") from exc
+
+    # ------------------------------------------------------------------ #
+    # path and subtree queries
+    # ------------------------------------------------------------------ #
+
+    def ancestor_at(self, node: NodeId, distance: int) -> NodeId:
+        """Return ``A^distance_node``, the ancestor ``distance`` edges above ``node``.
+
+        ``distance = 0`` returns ``node`` itself; ``distance = D(node)``
+        returns the destination.
+        """
+        if distance < 0 or distance > self.depth(node):
+            raise TreeStructureError(
+                f"node {node!r} has no ancestor at distance {distance} (depth {self.depth(node)})"
+            )
+        current = node
+        for _ in range(distance):
+            current = self._parents[current]
+        return current
+
+    def ancestors(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Return the ancestors of ``node`` from its parent up to the destination."""
+        result: list[NodeId] = []
+        current = node
+        while current != self._destination:
+            current = self._parents[current]
+            result.append(current)
+        return tuple(result)
+
+    def path_rho(self, node: NodeId, distance: int) -> float:
+        """Return ``rho(node, A^distance_node)``: total per-message time of the
+        ``distance`` links on the path from ``node`` towards the destination.
+        """
+        ancestor = self.ancestor_at(node, distance)
+        return self._cum_rho[node] - self._cum_rho[ancestor]
+
+    def path_rho_prefix(self, node: NodeId) -> list[float]:
+        """Return ``[path_rho(node, l) for l in 0..D(node)]`` as one list.
+
+        The SOAR dynamic program needs all of these values for every node;
+        returning them in one call avoids repeated ancestor walks.
+        """
+        prefix: list[float] = [0.0]
+        current = node
+        total = 0.0
+        while current != self._destination:
+            total += self._rho[current]
+            prefix.append(total)
+            current = self._parents[current]
+        return prefix
+
+    def rho_to_destination(self, node: NodeId) -> float:
+        """Return the total per-message time from ``node`` all the way to ``d``."""
+        if node == self._destination:
+            return 0.0
+        try:
+            return self._cum_rho[node]
+        except KeyError as exc:
+            raise TreeStructureError(f"{node!r} is not a node of this network") from exc
+
+    def subtree(self, node: NodeId) -> tuple[NodeId, ...]:
+        """Return all switches in the subtree rooted at ``node`` (including it)."""
+        if not self.is_switch(node):
+            raise TreeStructureError(f"{node!r} is not a switch of this network")
+        result: list[NodeId] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self._children[current])
+        return tuple(result)
+
+    def subtree_load(self, node: NodeId) -> int:
+        """Return the total load of the subtree rooted at ``node``."""
+        return sum(self._loads[s] for s in self.subtree(node))
+
+    def levels(self) -> list[list[NodeId]]:
+        """Return switches grouped by depth: ``levels()[0]`` is ``[root]``.
+
+        Level index ``i`` holds the switches at depth ``i + 1`` from the
+        destination (i.e. distance ``i`` from the root switch).
+        """
+        grouped: dict[int, list[NodeId]] = {}
+        for switch in self._postorder:
+            grouped.setdefault(self._depth[switch] - 1, []).append(switch)
+        return [grouped[i] for i in sorted(grouped)]
+
+    # ------------------------------------------------------------------ #
+    # derived copies
+    # ------------------------------------------------------------------ #
+
+    def with_loads(self, loads: Mapping[NodeId, int]) -> "TreeNetwork":
+        """Return a copy of the network with a different load function.
+
+        Switches absent from ``loads`` get load 0 (the mapping fully replaces
+        the previous loads; use ``{**tree.loads, ...}`` to patch instead).
+        """
+        return TreeNetwork(
+            self._parents,
+            rates=self._rates,
+            loads=loads,
+            available=self._available,
+            destination=self._destination,
+        )
+
+    def with_available(self, available: Iterable[NodeId] | None) -> "TreeNetwork":
+        """Return a copy of the network with a different availability set Λ."""
+        return TreeNetwork(
+            self._parents,
+            rates=self._rates,
+            loads=self._loads,
+            available=available,
+            destination=self._destination,
+        )
+
+    def with_rates(self, rates: Mapping[NodeId, float]) -> "TreeNetwork":
+        """Return a copy of the network with different link rates.
+
+        Switches absent from ``rates`` keep their current rate.
+        """
+        merged = dict(self._rates)
+        merged.update(rates)
+        return TreeNetwork(
+            self._parents,
+            rates=merged,
+            loads=self._loads,
+            available=self._available,
+            destination=self._destination,
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors for tests and examples
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Sequence[tuple[NodeId, NodeId]],
+        rates: Mapping[NodeId, float] | None = None,
+        loads: Mapping[NodeId, int] | None = None,
+        available: Iterable[NodeId] | None = None,
+        destination: NodeId = DEFAULT_DESTINATION,
+    ) -> "TreeNetwork":
+        """Build a network from ``(child, parent)`` edge pairs.
+
+        Exactly one edge must have the destination as its parent endpoint.
+        """
+        parents = {child: parent for child, parent in edges}
+        if len(parents) != len(edges):
+            raise TreeStructureError("duplicate child in edge list")
+        return cls(
+            parents,
+            rates=rates,
+            loads=loads,
+            available=available,
+            destination=destination,
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the SOAR reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class TreeStructureError(ReproError):
+    """The supplied graph is not a valid rooted tree network.
+
+    Raised when the edges do not form a tree, when the destination has more
+    than one child, when a node references an unknown parent, or when the
+    structure is otherwise inconsistent (cycles, disconnected components,
+    self-loops).
+    """
+
+
+class InvalidRateError(ReproError):
+    """A link rate is not a strictly positive finite number."""
+
+
+class InvalidLoadError(ReproError):
+    """A switch load is negative or not an integer-valued number."""
+
+
+class InvalidBudgetError(ReproError):
+    """The aggregation budget ``k`` is negative or not an integer."""
+
+
+class AvailabilityError(ReproError):
+    """The availability set Λ references switches that are not in the tree."""
+
+
+class PlacementError(ReproError):
+    """A set of blue nodes violates the problem constraints.
+
+    Examples include exceeding the budget, selecting the destination, or
+    selecting a switch outside the availability set Λ.
+    """
+
+
+class CapacityError(ReproError):
+    """An online allocation violates per-switch aggregation capacity."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed (e.g. negative loads, unknown switches)."""
+
+
+class SimulationError(ReproError):
+    """The event-driven dataplane simulation reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid or cannot be executed."""

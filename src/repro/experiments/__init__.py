@@ -1,0 +1,59 @@
+"""Experiment harness: one module per figure of the paper's evaluation."""
+
+from repro.experiments.harness import (
+    DISTRIBUTION_NAMES,
+    FIG6_BUDGETS,
+    FIG8_BUDGETS,
+    PAPER_CONFIG,
+    QUICK_CONFIG,
+    RATE_SCHEME_NAMES,
+    ExperimentConfig,
+    build_evaluation_network,
+    repetition_seeds,
+)
+from repro.experiments.motivating import (
+    FIGURE2_EXPECTED,
+    FIGURE3_EXPECTED,
+    MOTIVATING_LOADS,
+    motivating_tree,
+    run_budget_sweep,
+    run_strategy_comparison,
+)
+from repro.experiments.fig6_strategies import run_fig6
+from repro.experiments.fig7_online import run_fig7_capacity_sweep, run_fig7_workload_sweep
+from repro.experiments.fig8_applications import run_fig8
+from repro.experiments.fig9_runtime import run_fig9
+from repro.experiments.fig10_scaling import (
+    BUDGET_RULES,
+    run_fig10_required_fraction,
+    run_fig10_utilization,
+)
+from repro.experiments.fig11_scalefree import run_fig11_example, run_fig11_scaling
+
+__all__ = [
+    "BUDGET_RULES",
+    "DISTRIBUTION_NAMES",
+    "ExperimentConfig",
+    "FIG6_BUDGETS",
+    "FIG8_BUDGETS",
+    "FIGURE2_EXPECTED",
+    "FIGURE3_EXPECTED",
+    "MOTIVATING_LOADS",
+    "PAPER_CONFIG",
+    "QUICK_CONFIG",
+    "RATE_SCHEME_NAMES",
+    "build_evaluation_network",
+    "motivating_tree",
+    "repetition_seeds",
+    "run_budget_sweep",
+    "run_fig10_required_fraction",
+    "run_fig10_utilization",
+    "run_fig11_example",
+    "run_fig11_scaling",
+    "run_fig6",
+    "run_fig7_capacity_sweep",
+    "run_fig7_workload_sweep",
+    "run_fig8",
+    "run_fig9",
+    "run_strategy_comparison",
+]

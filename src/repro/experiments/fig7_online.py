@@ -1,0 +1,137 @@
+"""Figure 7: online multi-workload aggregation with bounded switch capacity.
+
+Baseline setup of Section 5.2: ``BT(256)``, per-workload budget ``k = 16``,
+aggregation capacity ``a(s) = 4`` for every switch, 32 workloads drawn
+online from a 50/50 mix of the uniform and power-law load distributions.
+
+The figure has two rows per rate scheme:
+
+* **workload sweep** (top): total normalized utilization as a function of
+  the number of workloads handled so far, at fixed capacity;
+* **capacity sweep** (bottom): total normalized utilization of the full
+  32-workload sequence as a function of the per-switch capacity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.strategies import PAPER_STRATEGIES
+from repro.experiments.harness import (
+    ExperimentConfig,
+    PAPER_CONFIG,
+    RATE_SCHEME_NAMES,
+    repetition_seeds,
+)
+from repro.online.scheduler import compare_strategies_online, generate_workload_sequence
+from repro.topology.binary_tree import bt_network
+from repro.utils.stats import mean_and_stderr
+from repro.workload.rates import apply_rate_scheme
+
+#: Baseline parameters of Section 5.2.
+DEFAULT_BUDGET: int = 16
+DEFAULT_CAPACITY: int = 4
+DEFAULT_NUM_WORKLOADS: int = 32
+#: Capacities swept by the bottom row of Figure 7.
+CAPACITY_SWEEP: tuple[int, ...] = (2, 4, 8, 16, 32)
+
+
+def _prefix_normalized(results, prefix: int) -> float:
+    """Normalized total utilization of the first ``prefix`` workloads of a run."""
+    workloads = results.workloads[:prefix]
+    total = sum(item.cost for item in workloads)
+    baseline = sum(item.all_red_cost for item in workloads)
+    return total / baseline if baseline else 0.0
+
+
+def run_fig7_workload_sweep(
+    config: ExperimentConfig = PAPER_CONFIG,
+    budget: int = DEFAULT_BUDGET,
+    capacity: int = DEFAULT_CAPACITY,
+    num_workloads: int = DEFAULT_NUM_WORKLOADS,
+    rate_schemes: Sequence[str] = RATE_SCHEME_NAMES,
+    strategies: dict | None = None,
+) -> list[dict]:
+    """Top row of Figure 7: normalized utilization vs number of workloads.
+
+    A single online run over ``num_workloads`` arrivals yields the whole
+    curve (the value at ``x`` workloads is the normalized cost of the first
+    ``x`` arrivals), repeated and averaged over ``config.repetitions``
+    independently drawn arrival sequences.
+    """
+    strategies = dict(strategies or PAPER_STRATEGIES)
+    rows: list[dict] = []
+
+    for rate_scheme in rate_schemes:
+        per_strategy: dict[str, dict[int, list[float]]] = {name: {} for name in strategies}
+        for rng in repetition_seeds(config):
+            tree = apply_rate_scheme(bt_network(config.network_size), rate_scheme)
+            workloads = generate_workload_sequence(tree, num_workloads, rng=rng)
+            outcomes = compare_strategies_online(
+                tree, workloads, strategies, budget=budget, capacity=capacity
+            )
+            for name, outcome in outcomes.items():
+                for prefix in range(1, num_workloads + 1):
+                    per_strategy[name].setdefault(prefix, []).append(
+                        _prefix_normalized(outcome, prefix)
+                    )
+
+        for name, per_prefix in per_strategy.items():
+            for prefix, values in sorted(per_prefix.items()):
+                mean, stderr = mean_and_stderr(values)
+                rows.append(
+                    {
+                        "figure": "fig7-workloads",
+                        "rate_scheme": rate_scheme,
+                        "strategy": name,
+                        "num_workloads": prefix,
+                        "capacity": capacity,
+                        "k": budget,
+                        "normalized_utilization": mean,
+                        "stderr": stderr,
+                        "network_size": config.network_size,
+                    }
+                )
+    return rows
+
+
+def run_fig7_capacity_sweep(
+    config: ExperimentConfig = PAPER_CONFIG,
+    budget: int = DEFAULT_BUDGET,
+    capacities: Sequence[int] = CAPACITY_SWEEP,
+    num_workloads: int = DEFAULT_NUM_WORKLOADS,
+    rate_schemes: Sequence[str] = RATE_SCHEME_NAMES,
+    strategies: dict | None = None,
+) -> list[dict]:
+    """Bottom row of Figure 7: normalized utilization vs per-switch capacity."""
+    strategies = dict(strategies or PAPER_STRATEGIES)
+    rows: list[dict] = []
+
+    for rate_scheme in rate_schemes:
+        per_point: dict[tuple[str, int], list[float]] = {}
+        for rng in repetition_seeds(config):
+            tree = apply_rate_scheme(bt_network(config.network_size), rate_scheme)
+            workloads = generate_workload_sequence(tree, num_workloads, rng=rng)
+            for capacity in capacities:
+                outcomes = compare_strategies_online(
+                    tree, workloads, strategies, budget=budget, capacity=capacity
+                )
+                for name, outcome in outcomes.items():
+                    per_point.setdefault((name, capacity), []).append(outcome.normalized_cost)
+
+        for (name, capacity), values in sorted(per_point.items(), key=lambda kv: (kv[0][0], kv[0][1])):
+            mean, stderr = mean_and_stderr(values)
+            rows.append(
+                {
+                    "figure": "fig7-capacity",
+                    "rate_scheme": rate_scheme,
+                    "strategy": name,
+                    "num_workloads": num_workloads,
+                    "capacity": capacity,
+                    "k": budget,
+                    "normalized_utilization": mean,
+                    "stderr": stderr,
+                    "network_size": config.network_size,
+                }
+            )
+    return rows

@@ -1,0 +1,77 @@
+"""Figure 9 and Section 5.4: running time of SOAR-Gather and SOAR-Color.
+
+The paper measures the serial running time of the two phases on a laptop
+for network sizes 256-2048 and budgets 4-128, observing a quadratic
+dependence on ``k``, a near-linear dependence on ``n``, and SOAR-Color being
+roughly three orders of magnitude faster than SOAR-Gather.  Absolute numbers
+are hardware dependent; the shape is what this experiment (and the matching
+pytest benchmark) reproduces.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from repro.core.color import soar_color
+from repro.core.gather import soar_gather
+from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
+from repro.topology.binary_tree import bt_network
+from repro.utils.stats import mean_and_stderr
+from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
+import numpy as np
+
+#: Network sizes of Figure 9 (``BT(n)``, n counting the destination).
+FIG9_SIZES: tuple[int, ...] = (256, 512, 1024, 2048)
+#: Budgets of Figure 9.
+FIG9_BUDGETS: tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+
+
+def run_fig9(
+    sizes: Sequence[int] = FIG9_SIZES,
+    budgets: Sequence[int] = FIG9_BUDGETS,
+    config: ExperimentConfig = PAPER_CONFIG,
+) -> list[dict]:
+    """Time SOAR-Gather and SOAR-Color for every (network size, budget) pair.
+
+    Returns one row per pair with the mean wall-clock seconds of each phase
+    over ``config.repetitions`` runs (each on a freshly sampled power-law
+    workload), plus the color/gather runtime ratio the paper highlights.
+    """
+    distribution = PowerLawLoadDistribution()
+    rows: list[dict] = []
+    seeds = np.random.SeedSequence(config.seed).spawn(config.repetitions)
+
+    for size in sizes:
+        for budget in budgets:
+            gather_times: list[float] = []
+            color_times: list[float] = []
+            for seed in seeds:
+                rng = np.random.default_rng(seed)
+                tree = bt_network(size)
+                tree = tree.with_loads(sample_leaf_loads(tree, distribution, rng=rng))
+
+                start = time.perf_counter()
+                gathered = soar_gather(tree, budget)
+                gather_times.append(time.perf_counter() - start)
+
+                start = time.perf_counter()
+                soar_color(tree, gathered)
+                color_times.append(time.perf_counter() - start)
+
+            gather_mean, gather_err = mean_and_stderr(gather_times)
+            color_mean, color_err = mean_and_stderr(color_times)
+            rows.append(
+                {
+                    "figure": "fig9",
+                    "network_size": size,
+                    "k": budget,
+                    "gather_seconds": gather_mean,
+                    "gather_stderr": gather_err,
+                    "color_seconds": color_mean,
+                    "color_stderr": color_err,
+                    "color_to_gather_ratio": (color_mean / gather_mean) if gather_mean else 0.0,
+                    "repetitions": config.repetitions,
+                }
+            )
+    return rows

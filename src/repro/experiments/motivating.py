@@ -1,0 +1,96 @@
+"""The motivating example of Section 3 (Figures 2 and 3).
+
+A 7-switch complete binary tree with leaf loads (2, 6, 5, 4), unit rates and
+Λ = S.  Figure 2 compares the Top / Max / Level strategies against SOAR at
+``k = 2`` (costs 27 / 24 / 21 / 20); Figure 3 sweeps the budget ``k = 1..4``
+(optimal costs 35 / 20 / 15 / 11) and illustrates that the optimal blue sets
+are not monotone in ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.strategies import (
+    level_strategy,
+    max_load_strategy,
+    soar_strategy,
+    top_strategy,
+)
+from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
+from repro.core.soar import solve_budget_sweep
+from repro.core.tree import TreeNetwork
+from repro.topology.binary_tree import complete_binary_tree
+
+#: Leaf loads of the motivating example, left to right.
+MOTIVATING_LOADS: tuple[int, ...] = (2, 6, 5, 4)
+#: Utilization costs reported in Figure 2 for k = 2.
+FIGURE2_EXPECTED: dict[str, float] = {"Top": 27.0, "Max": 24.0, "Level": 21.0, "SOAR": 20.0}
+#: Optimal utilization costs reported in Figure 3 for k = 1..4.
+FIGURE3_EXPECTED: dict[int, float] = {1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}
+
+
+def motivating_tree() -> TreeNetwork:
+    """The 7-switch example network of Figures 2 and 3."""
+    return complete_binary_tree(4, leaf_loads=list(MOTIVATING_LOADS))
+
+
+def run_strategy_comparison(budget: int = 2) -> list[dict]:
+    """Reproduce Figure 2: each strategy's utilization on the example tree."""
+    tree = motivating_tree()
+    strategies = {
+        "Top": top_strategy,
+        "Max": max_load_strategy,
+        "Level": level_strategy,
+        "SOAR": soar_strategy,
+    }
+    rows: list[dict] = []
+    for name, strategy in strategies.items():
+        blue = strategy(tree, budget)
+        rows.append(
+            {
+                "figure": "fig2",
+                "strategy": name,
+                "k": budget,
+                "utilization": utilization_cost(tree, blue),
+                "blue_nodes": ",".join(sorted(map(str, blue))),
+                "paper_value": FIGURE2_EXPECTED.get(name, float("nan")),
+            }
+        )
+    rows.append(
+        {
+            "figure": "fig2",
+            "strategy": "AllRed",
+            "k": 0,
+            "utilization": all_red_cost(tree),
+            "blue_nodes": "",
+            "paper_value": float("nan"),
+        }
+    )
+    rows.append(
+        {
+            "figure": "fig2",
+            "strategy": "AllBlue",
+            "k": tree.num_switches,
+            "utilization": all_blue_cost(tree),
+            "blue_nodes": ",".join(sorted(map(str, tree.switches))),
+            "paper_value": float("nan"),
+        }
+    )
+    return rows
+
+
+def run_budget_sweep(max_budget: int = 4) -> list[dict]:
+    """Reproduce Figure 3: the optimal cost for each budget on the example tree."""
+    tree = motivating_tree()
+    solutions = solve_budget_sweep(tree, range(1, max_budget + 1))
+    rows: list[dict] = []
+    for budget, solution in sorted(solutions.items()):
+        rows.append(
+            {
+                "figure": "fig3",
+                "k": budget,
+                "utilization": solution.cost,
+                "blue_nodes": ",".join(sorted(map(str, solution.blue_nodes))),
+                "paper_value": FIGURE3_EXPECTED.get(budget, float("nan")),
+            }
+        )
+    return rows

@@ -1,0 +1,27 @@
+"""Online multi-workload extension: capacity tracking, scheduling, budget splitting."""
+
+from repro.online.budget_allocation import (
+    BudgetAllocation,
+    allocate_budgets,
+    workload_cost_curve,
+)
+from repro.online.capacity import CapacityTracker
+from repro.online.scheduler import (
+    OnlineRunResult,
+    WorkloadResult,
+    compare_strategies_online,
+    generate_workload_sequence,
+    run_online_sequence,
+)
+
+__all__ = [
+    "BudgetAllocation",
+    "CapacityTracker",
+    "OnlineRunResult",
+    "WorkloadResult",
+    "allocate_budgets",
+    "compare_strategies_online",
+    "generate_workload_sequence",
+    "run_online_sequence",
+    "workload_cost_curve",
+]

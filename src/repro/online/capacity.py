@@ -1,0 +1,125 @@
+"""Per-switch aggregation capacity tracking for the online multi-workload setting.
+
+Section 5.2 of the paper extends the single-workload model: every switch
+``s`` has an aggregation capacity ``a(s)`` bounding the number of workloads
+for which ``s`` may serve as an aggregation switch.  Workloads arrive one by
+one; when a workload is assigned a set of blue switches, the residual
+capacity ``a_t(s)`` of each of those switches drops by one.  The set of
+switches available to the next workload is ``Λ_t = {s : a_t(s) > 0}``.
+
+:class:`CapacityTracker` encapsulates the residual capacities and produces
+the availability set for each arrival.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.tree import NodeId, TreeNetwork
+from repro.exceptions import CapacityError
+
+
+class CapacityTracker:
+    """Track residual aggregation capacity ``a_t(s)`` across workload arrivals.
+
+    Parameters
+    ----------
+    tree:
+        The network whose switches are being tracked.
+    capacity:
+        Either a single integer (the same capacity for every switch, as in
+        the paper's baseline where ``a(s) = 4``) or a mapping from switch to
+        capacity.  Switches absent from the mapping get capacity 0.
+    """
+
+    def __init__(self, tree: TreeNetwork, capacity: int | Mapping[NodeId, int]) -> None:
+        self._tree = tree
+        if isinstance(capacity, Mapping):
+            unknown = [s for s in capacity if not tree.is_switch(s)]
+            if unknown:
+                raise CapacityError(f"capacity given for unknown switches: {unknown!r}")
+            initial = {s: int(capacity.get(s, 0)) for s in tree.switches}
+        else:
+            if int(capacity) < 0:
+                raise CapacityError(f"capacity must be non-negative, got {capacity}")
+            initial = {s: int(capacity) for s in tree.switches}
+        negative = [s for s, value in initial.items() if value < 0]
+        if negative:
+            raise CapacityError(f"negative capacities for switches: {negative!r}")
+        self._initial = dict(initial)
+        self._residual = dict(initial)
+        self._assignments: list[frozenset[NodeId]] = []
+
+    @property
+    def tree(self) -> TreeNetwork:
+        """The network the tracker was created for."""
+        return self._tree
+
+    @property
+    def num_assigned_workloads(self) -> int:
+        """Number of workloads consumed so far."""
+        return len(self._assignments)
+
+    @property
+    def assignments(self) -> tuple[frozenset[NodeId], ...]:
+        """The blue sets consumed so far, in arrival order."""
+        return tuple(self._assignments)
+
+    def residual(self, switch: NodeId) -> int:
+        """Residual capacity ``a_t(switch)`` before the next workload."""
+        try:
+            return self._residual[switch]
+        except KeyError as exc:
+            raise CapacityError(f"{switch!r} is not a switch of this network") from exc
+
+    def residual_capacities(self) -> dict[NodeId, int]:
+        """A copy of all residual capacities."""
+        return dict(self._residual)
+
+    def available(self) -> frozenset[NodeId]:
+        """The availability set ``Λ_t`` for the next workload."""
+        return frozenset(s for s, remaining in self._residual.items() if remaining > 0)
+
+    def available_tree(self) -> TreeNetwork:
+        """The network restricted to the currently available switches.
+
+        Convenience for running any placement strategy against the residual
+        capacities: the returned tree shares topology, rates and loads but
+        its Λ equals :meth:`available`.
+        """
+        return self._tree.with_available(self.available())
+
+    def consume(self, blue_nodes: Iterable[NodeId]) -> frozenset[NodeId]:
+        """Record that a workload was assigned the given aggregation switches.
+
+        Raises
+        ------
+        CapacityError
+            If any of the switches has no residual capacity left.
+        """
+        blue = frozenset(blue_nodes)
+        exhausted = [s for s in blue if self._residual.get(s, 0) <= 0]
+        unknown = [s for s in blue if s not in self._residual]
+        if unknown:
+            raise CapacityError(f"unknown switches in assignment: {unknown!r}")
+        if exhausted:
+            raise CapacityError(
+                f"switches have no residual aggregation capacity: {sorted(map(repr, exhausted))}"
+            )
+        for switch in blue:
+            self._residual[switch] -= 1
+        self._assignments.append(blue)
+        return blue
+
+    def reset(self) -> None:
+        """Restore the initial capacities and forget all assignments."""
+        self._residual = dict(self._initial)
+        self._assignments = []
+
+    def utilization_of_capacity(self) -> float:
+        """Fraction of the total aggregation capacity consumed so far."""
+        total = sum(self._initial.values())
+        if total == 0:
+            return 0.0
+        used = total - sum(self._residual.values())
+        return used / total

@@ -1,0 +1,12 @@
+"""Event-driven software dataplane substituting the paper's hardware prototype."""
+
+from repro.simulation.dataplane import SimMessage, SimulationResult, simulate_reduce
+from repro.simulation.events import Event, EventQueue
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimMessage",
+    "SimulationResult",
+    "simulate_reduce",
+]

@@ -1,0 +1,228 @@
+"""Event-driven software dataplane for the Reduce operation.
+
+The paper evaluates SOAR analytically (message counts weighted by link
+times) and notes that a hardware (P4) dataplane raises further questions —
+synchronization of aggregating switches, the latency impact of waiting for
+all children, store-and-forward behaviour of non-aggregating switches
+(Section 4.4).  This module substitutes a software dataplane that actually
+*executes* the Reduce as a discrete-event simulation:
+
+* every server injects one message at time 0 (optionally jittered),
+* every link transmits messages serially; a message of size ``s`` occupies
+  the link for ``s * rho`` seconds,
+* a red switch forwards each message as soon as it has fully arrived
+  (store-and-forward),
+* a blue switch waits until it has received everything its subtree will
+  ever send, then emits a single aggregated message.
+
+The total link busy time of the simulation equals the utilization
+complexity φ of the analytic model (the test-suite asserts this), and the
+simulation additionally reports the completion time — the latency metric
+the paper leaves to future work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.reduce_op import validate_placement
+from repro.core.tree import NodeId, TreeNetwork
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventQueue
+
+
+@dataclass
+class SimMessage:
+    """A message travelling through the simulated dataplane."""
+
+    identifier: int
+    size: float
+    servers: int  # how many server contributions are aggregated inside
+
+
+@dataclass
+class SimulationResult:
+    """Metrics collected by one dataplane run."""
+
+    completion_time: float
+    link_busy: dict[NodeId, float]
+    link_messages: dict[NodeId, int]
+    messages_delivered: int
+    servers_delivered: int
+    events_processed: int
+
+    @property
+    def total_busy_time(self) -> float:
+        """Sum of per-link busy times; equals φ when all messages have size 1."""
+        return float(sum(self.link_busy.values()))
+
+    @property
+    def bottleneck_busy_time(self) -> float:
+        """Busy time of the most loaded link (the paper's future-work objective)."""
+        return float(max(self.link_busy.values(), default=0.0))
+
+
+@dataclass
+class _SwitchState:
+    """Book-keeping of one switch during the simulation."""
+
+    is_blue: bool
+    expected_inputs: int
+    received_inputs: int = 0
+    held: list[SimMessage] = field(default_factory=list)
+
+
+def simulate_reduce(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+    message_size: float = 1.0,
+    aggregate_size: float | None = None,
+    injection_jitter: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> SimulationResult:
+    """Run the Reduce on the event-driven dataplane.
+
+    Parameters
+    ----------
+    tree:
+        The tree network (rates determine per-byte link times).
+    blue_nodes:
+        Aggregation switches ``U``.
+    loads:
+        Optional load override.
+    message_size:
+        Size of every server message (in abstract units; the link time of a
+        message is ``size * rho``).
+    aggregate_size:
+        Size of an aggregated message.  ``None`` keeps the model of the
+        paper (aggregates have the same bounded size ``M`` as inputs).
+    injection_jitter:
+        When positive, each server message is injected at a uniform random
+        time in ``[0, injection_jitter]`` instead of exactly 0, modelling
+        asynchronous workers.
+    rng:
+        Generator or seed used only when ``injection_jitter > 0``.
+
+    Returns
+    -------
+    SimulationResult
+        Completion time, per-link busy times and message counts.
+    """
+    blue = validate_placement(tree, blue_nodes)
+    load_of = tree.load if loads is None else lambda s: int(loads.get(s, 0))
+    if message_size <= 0:
+        raise SimulationError(f"message size must be positive, got {message_size}")
+    aggregate = message_size if aggregate_size is None else float(aggregate_size)
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    # How many messages each switch will receive in total (children output
+    # plus local servers); blue switches wait for exactly this many.  Unlike
+    # the analytic count of :func:`link_message_counts`, a blue switch whose
+    # subtree carries no load sends nothing (there is nothing to aggregate),
+    # so its parent must not wait for it.
+    outgoing: dict[NodeId, int] = {}
+    expected: dict[NodeId, int] = {}
+    for switch in tree.switches:  # post-order: children first
+        arrived = load_of(switch) + sum(
+            outgoing[child] for child in tree.children(switch)
+        )
+        expected[switch] = arrived
+        if switch in blue and arrived > 0:
+            outgoing[switch] = 1
+        else:
+            outgoing[switch] = arrived
+
+    states = {
+        switch: _SwitchState(is_blue=switch in blue, expected_inputs=expected[switch])
+        for switch in tree.switches
+    }
+
+    queue = EventQueue()
+    link_free: dict[NodeId, float] = {switch: 0.0 for switch in tree.switches}
+    link_busy: dict[NodeId, float] = {switch: 0.0 for switch in tree.switches}
+    link_msgs: dict[NodeId, int] = {switch: 0 for switch in tree.switches}
+    next_id = 0
+    delivered_messages = 0
+    delivered_servers = 0
+    completion = 0.0
+
+    def transmit(sender: NodeId, message: SimMessage, ready_time: float) -> None:
+        """Serialize ``message`` on the uplink of ``sender``."""
+        nonlocal completion
+        rho = tree.rho(sender)
+        start = max(ready_time, link_free[sender])
+        duration = message.size * rho
+        finish = start + duration
+        link_free[sender] = finish
+        link_busy[sender] += duration
+        link_msgs[sender] += 1
+        queue.schedule(finish, "arrival", (sender, message))
+        completion = max(completion, finish)
+
+    def handle_at_switch(switch: NodeId, message: SimMessage, time: float) -> None:
+        """Process a message that has fully arrived at ``switch``."""
+        nonlocal next_id
+        state = states[switch]
+        state.received_inputs += 1
+        if state.received_inputs > state.expected_inputs:
+            raise SimulationError(
+                f"switch {switch!r} received more messages than expected; "
+                "the dataplane and the analytic model disagree"
+            )
+        if not state.is_blue:
+            transmit(switch, message, time)
+            return
+        state.held.append(message)
+        if state.received_inputs == state.expected_inputs:
+            servers = sum(item.servers for item in state.held)
+            aggregated = SimMessage(identifier=next_id, size=aggregate, servers=servers)
+            next_id += 1
+            state.held.clear()
+            transmit(switch, aggregated, time)
+
+    # Inject server messages.
+    for switch in tree.switches:
+        for _ in range(load_of(switch)):
+            inject_time = (
+                float(generator.uniform(0.0, injection_jitter)) if injection_jitter > 0 else 0.0
+            )
+            message = SimMessage(identifier=next_id, size=message_size, servers=1)
+            next_id += 1
+            queue.schedule(inject_time, "injection", (switch, message))
+
+    # Main loop.
+    while queue:
+        event = queue.pop()
+        if event.kind == "injection":
+            switch, message = event.payload
+            handle_at_switch(switch, message, event.time)
+        elif event.kind == "arrival":
+            sender, message = event.payload
+            receiver = tree.parent(sender)
+            if receiver == tree.destination:
+                delivered_messages += 1
+                delivered_servers += message.servers
+                completion = max(completion, event.time)
+            else:
+                handle_at_switch(receiver, message, event.time)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    total_servers = sum(load_of(s) for s in tree.switches)
+    if delivered_servers != total_servers:
+        raise SimulationError(
+            f"destination accounted for {delivered_servers} servers, expected {total_servers}"
+        )
+
+    return SimulationResult(
+        completion_time=completion,
+        link_busy=link_busy,
+        link_messages=link_msgs,
+        messages_delivered=delivered_messages,
+        servers_delivered=delivered_servers,
+        events_processed=queue.processed,
+    )

@@ -1,0 +1,85 @@
+"""Minimal discrete-event engine used by the software dataplane.
+
+The engine is a classic priority-queue event loop: events carry a timestamp
+and a payload callback description, are processed in non-decreasing time
+order, and processing an event may schedule further events.  Keeping it in
+its own module (rather than inlining a heap into the simulator) makes the
+simulator logic readable and lets the tests exercise the engine invariants
+(monotonic time, FIFO tie-breaking) in isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Events compare by ``(time, sequence)`` so that simultaneous events are
+    processed in the order they were scheduled (deterministic FIFO
+    tie-breaking), which keeps simulation traces reproducible.
+    """
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """The timestamp of the most recently popped event (0 before any pop)."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """How many events have been popped so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Add an event at the given simulated time.
+
+        Raises
+        ------
+        SimulationError
+            If the event would be scheduled in the past (before the event
+            currently being processed), which would violate causality.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {kind!r} at t={time}; current time is {self._now}"
+            )
+        event = Event(time=float(time), sequence=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event, advancing ``now``."""
+        if not self._heap:
+            raise SimulationError("cannot pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._processed += 1
+        return event

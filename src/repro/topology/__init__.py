@@ -1,0 +1,33 @@
+"""Tree topology generators (binary trees, fat-trees, scale-free trees, ...)."""
+
+from repro.topology.binary_tree import bt_network, complete_binary_tree, leaf_switches
+from repro.topology.generic import (
+    fat_tree_aggregation_tree,
+    kary_tree,
+    path_network,
+    random_recursive_tree,
+    random_tree,
+    star_network,
+)
+from repro.topology.scale_free import (
+    degree_sequence,
+    preferential_attachment_parents,
+    scale_free_tree,
+    sf_network,
+)
+
+__all__ = [
+    "bt_network",
+    "complete_binary_tree",
+    "degree_sequence",
+    "fat_tree_aggregation_tree",
+    "kary_tree",
+    "leaf_switches",
+    "path_network",
+    "preferential_attachment_parents",
+    "random_recursive_tree",
+    "random_tree",
+    "scale_free_tree",
+    "sf_network",
+    "star_network",
+]

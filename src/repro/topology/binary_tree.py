@@ -1,0 +1,130 @@
+"""Complete binary-tree topologies ``BT(n)``.
+
+The paper's evaluation mostly runs on complete binary weighted trees
+``BT(n)`` where ``n`` counts every node including the destination server:
+the switches form a complete binary tree, servers attach only to the leaf
+switches (which play the role of top-of-rack switches), and the root switch
+connects upward to the destination.
+
+``BT(2^h)`` therefore has ``2^h - 1`` switches arranged in ``h`` levels with
+``2^(h-1)`` leaves.  For example ``BT(8)`` is the 7-switch tree of the
+motivating example (Figures 2 and 3) and ``BT(256)`` is the 255-switch tree
+used throughout Section 5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.tree import DEFAULT_DESTINATION, NodeId, TreeNetwork
+from repro.exceptions import TreeStructureError
+
+
+def switch_name(level: int, index: int) -> str:
+    """Canonical switch identifier: ``s<level>_<index>`` (root is ``s0_0``)."""
+    return f"s{level}_{index}"
+
+
+def complete_binary_tree(
+    num_leaves: int,
+    leaf_loads: Sequence[int] | Mapping[NodeId, int] | None = None,
+    rates: Mapping[NodeId, float] | None = None,
+    available: Sequence[NodeId] | None = None,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build a complete binary tree of switches with the given number of leaves.
+
+    Parameters
+    ----------
+    num_leaves:
+        Number of leaf (top-of-rack) switches; must be a power of two.
+    leaf_loads:
+        Either a sequence of loads assigned to the leaves left-to-right, or a
+        mapping from switch name to load (which may also load internal
+        switches).  Defaults to zero load everywhere.
+    rates:
+        Optional link-rate overrides, keyed by the child switch of each link.
+    available:
+        Optional availability set Λ; defaults to all switches.
+    destination:
+        Identifier of the destination server.
+
+    Returns
+    -------
+    TreeNetwork
+        The assembled network.  Switch naming: level 0 is the root switch,
+        level ``h-1`` holds the leaves, and ``s<level>_<index>`` is the
+        ``index``-th switch of its level, left to right.
+    """
+    if num_leaves < 1 or num_leaves & (num_leaves - 1) != 0:
+        raise TreeStructureError(
+            f"a complete binary tree needs a power-of-two leaf count, got {num_leaves}"
+        )
+
+    height = num_leaves.bit_length() - 1  # number of levels below the root
+    parents: dict[NodeId, NodeId] = {switch_name(0, 0): destination}
+    for level in range(1, height + 1):
+        for index in range(2**level):
+            parents[switch_name(level, index)] = switch_name(level - 1, index // 2)
+
+    leaves = [switch_name(height, index) for index in range(num_leaves)]
+    loads: dict[NodeId, int] = {}
+    if leaf_loads is not None:
+        if isinstance(leaf_loads, Mapping):
+            loads.update(leaf_loads)
+        else:
+            if len(leaf_loads) != num_leaves:
+                raise TreeStructureError(
+                    f"expected {num_leaves} leaf loads, got {len(leaf_loads)}"
+                )
+            loads.update(dict(zip(leaves, leaf_loads)))
+
+    return TreeNetwork(
+        parents,
+        rates=rates,
+        loads=loads,
+        available=available,
+        destination=destination,
+    )
+
+
+def bt_network(
+    total_nodes: int,
+    leaf_loads: Sequence[int] | Mapping[NodeId, int] | None = None,
+    rates: Mapping[NodeId, float] | None = None,
+    available: Sequence[NodeId] | None = None,
+) -> TreeNetwork:
+    """Build the paper's ``BT(n)`` network where ``n`` includes the destination.
+
+    ``BT(n)`` requires ``n`` to be a power of two: the ``n - 1`` switches
+    form a complete binary tree with ``n / 2`` leaves.  ``BT(8)`` is the
+    motivating-example tree; ``BT(256)`` the main evaluation topology.
+    """
+    if total_nodes < 2 or total_nodes & (total_nodes - 1) != 0:
+        raise TreeStructureError(f"BT(n) needs n to be a power of two >= 2, got {total_nodes}")
+    return complete_binary_tree(
+        total_nodes // 2,
+        leaf_loads=leaf_loads,
+        rates=rates,
+        available=available,
+    )
+
+
+def leaf_switches(tree: TreeNetwork) -> tuple[NodeId, ...]:
+    """Return the leaves of a tree in deterministic left-to-right order.
+
+    For trees built by :func:`complete_binary_tree` the canonical names sort
+    by level and index, which yields the left-to-right order used when the
+    paper lists leaf loads such as ``(2, 6, 5, 4)``.
+    """
+    leaves = list(tree.leaves())
+
+    def sort_key(name: NodeId) -> tuple:
+        text = str(name)
+        if text.startswith("s") and "_" in text:
+            level, _, index = text[1:].partition("_")
+            if level.isdigit() and index.isdigit():
+                return (0, int(level), int(index))
+        return (1, text)
+
+    return tuple(sorted(leaves, key=sort_key))

@@ -1,0 +1,171 @@
+"""Additional tree topology generators.
+
+Beyond the complete binary trees and scale-free trees used by the paper's
+evaluation, the library ships a few generic generators that are useful for
+property-based testing and for exploring the algorithm on other datacenter
+shapes:
+
+* :func:`kary_tree` — complete k-ary trees (k = 2 recovers ``BT``),
+* :func:`fat_tree_aggregation_tree` — the aggregation tree induced by a
+  canonical k-ary fat-tree when one core switch is the reduction root,
+* :func:`random_recursive_tree` — uniform-attachment random trees,
+* :func:`path_network` / :func:`star_network` — degenerate extremes that
+  exercise deep and wide corner cases,
+* :func:`random_tree` — networkx-backed uniformly random labelled trees.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.tree import DEFAULT_DESTINATION, NodeId, TreeNetwork
+from repro.exceptions import TreeStructureError
+
+
+def kary_tree(
+    arity: int,
+    height: int,
+    leaf_loads: Sequence[int] | None = None,
+    rates: Mapping[NodeId, float] | None = None,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build a complete ``arity``-ary tree of switches of the given height.
+
+    ``height`` is the number of switch levels below the root; ``height = 0``
+    yields a single root switch.  Leaves (the deepest level) receive the
+    loads in ``leaf_loads`` left to right when provided.
+    """
+    if arity < 1:
+        raise TreeStructureError(f"arity must be >= 1, got {arity}")
+    if height < 0:
+        raise TreeStructureError(f"height must be >= 0, got {height}")
+
+    parents: dict[NodeId, NodeId] = {"s0_0": destination}
+    for level in range(1, height + 1):
+        for index in range(arity**level):
+            parents[f"s{level}_{index}"] = f"s{level - 1}_{index // arity}"
+
+    loads: dict[NodeId, int] = {}
+    if leaf_loads is not None:
+        leaves = [f"s{height}_{index}" for index in range(arity**height)]
+        if len(leaf_loads) != len(leaves):
+            raise TreeStructureError(
+                f"expected {len(leaves)} leaf loads, got {len(leaf_loads)}"
+            )
+        loads = dict(zip(leaves, leaf_loads))
+    return TreeNetwork(parents, rates=rates, loads=loads, destination=destination)
+
+
+def fat_tree_aggregation_tree(
+    pods: int,
+    hosts_per_edge: int = 1,
+    rates: Mapping[NodeId, float] | None = None,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build the aggregation tree carved out of a ``pods``-pod fat-tree.
+
+    A k-pod fat-tree has ``k`` pods, each with ``k/2`` aggregation and
+    ``k/2`` edge switches.  When a Reduce is rooted at one core switch, the
+    routing tree below it touches one aggregation switch per pod and every
+    edge switch of the pod, with hosts attached to the edge switches.  This
+    generator materializes exactly that tree — core switch at the top (the
+    root switch), one aggregation switch per pod, ``k/2`` edge switches per
+    aggregation switch, each loaded with ``hosts_per_edge`` servers.
+    """
+    if pods < 2 or pods % 2 != 0:
+        raise TreeStructureError(f"a fat-tree needs an even pod count >= 2, got {pods}")
+    if hosts_per_edge < 0:
+        raise TreeStructureError(f"hosts_per_edge must be >= 0, got {hosts_per_edge}")
+
+    parents: dict[NodeId, NodeId] = {"core": destination}
+    loads: dict[NodeId, int] = {}
+    for pod in range(pods):
+        aggregation = f"agg{pod}"
+        parents[aggregation] = "core"
+        for edge in range(pods // 2):
+            edge_switch = f"edge{pod}_{edge}"
+            parents[edge_switch] = aggregation
+            loads[edge_switch] = hosts_per_edge
+    return TreeNetwork(parents, rates=rates, loads=loads, destination=destination)
+
+
+def random_recursive_tree(
+    num_switches: int,
+    rng: np.random.Generator | int | None = None,
+    node_load: int = 0,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build a uniform-attachment random tree (each node picks a uniform parent)."""
+    if num_switches < 1:
+        raise TreeStructureError(f"need at least one switch, got {num_switches}")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    parents: dict[NodeId, NodeId] = {0: destination}
+    for node in range(1, num_switches):
+        parents[node] = int(generator.integers(0, node))
+    loads = {node: node_load for node in parents}
+    return TreeNetwork(parents, loads=loads, destination=destination)
+
+
+def path_network(
+    num_switches: int,
+    leaf_load: int = 1,
+    rates: Mapping[NodeId, float] | None = None,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build a path of switches (deepest possible tree) with load at the far end."""
+    if num_switches < 1:
+        raise TreeStructureError(f"need at least one switch, got {num_switches}")
+    parents: dict[NodeId, NodeId] = {0: destination}
+    for node in range(1, num_switches):
+        parents[node] = node - 1
+    loads = {num_switches - 1: leaf_load}
+    return TreeNetwork(parents, rates=rates, loads=loads, destination=destination)
+
+
+def star_network(
+    num_leaves: int,
+    leaf_loads: Sequence[int] | None = None,
+    rates: Mapping[NodeId, float] | None = None,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build a root switch with ``num_leaves`` leaf switches directly below it."""
+    if num_leaves < 1:
+        raise TreeStructureError(f"need at least one leaf, got {num_leaves}")
+    parents: dict[NodeId, NodeId] = {"root": destination}
+    loads: dict[NodeId, int] = {}
+    for index in range(num_leaves):
+        leaf = f"leaf{index}"
+        parents[leaf] = "root"
+        if leaf_loads is not None:
+            loads[leaf] = leaf_loads[index]
+    return TreeNetwork(parents, rates=rates, loads=loads, destination=destination)
+
+
+def random_tree(
+    num_switches: int,
+    rng: np.random.Generator | int | None = None,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build a uniformly random labelled tree of switches rooted at switch 0.
+
+    Uses a random Prüfer sequence, so every labelled tree on ``num_switches``
+    nodes is equally likely; handy for property-based testing.
+    """
+    if num_switches < 1:
+        raise TreeStructureError(f"need at least one switch, got {num_switches}")
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if num_switches == 1:
+        return TreeNetwork({0: destination}, destination=destination)
+    if num_switches == 2:
+        return TreeNetwork({0: destination, 1: 0}, destination=destination)
+
+    import networkx as nx
+
+    prufer = [int(generator.integers(0, num_switches)) for _ in range(num_switches - 2)]
+    graph = nx.from_prufer_sequence(prufer)
+    parents: dict[NodeId, NodeId] = {0: destination}
+    for parent, child in nx.bfs_edges(graph, 0):
+        parents[child] = parent
+    return TreeNetwork(parents, destination=destination)

@@ -1,0 +1,107 @@
+"""Scale-free (random preferential attachment) tree topologies ``SF(n)``.
+
+Appendix B of the paper evaluates SOAR on random preferential-attachment
+(RPA) trees, which produce scale-free degree distributions: a new node
+attaches to an existing node with probability proportional to the existing
+node's degree (Barabási–Albert with one edge per arriving node).  The paper
+uses unit load on every node of such networks to avoid biasing the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.tree import DEFAULT_DESTINATION, NodeId, TreeNetwork
+from repro.exceptions import TreeStructureError
+
+
+def preferential_attachment_parents(
+    num_switches: int,
+    rng: np.random.Generator,
+) -> dict[int, int]:
+    """Generate the parent map of an RPA tree over switches ``0 .. n-1``.
+
+    Switch 0 is the root.  Every switch ``i >= 1`` picks its parent among
+    switches ``0 .. i-1`` with probability proportional to ``degree + 1``
+    (the ``+ 1`` seeds the very first attachments and matches the standard
+    Barabási–Albert tree construction with ``m = 1``).
+    """
+    if num_switches < 1:
+        raise TreeStructureError(f"need at least one switch, got {num_switches}")
+    parents: dict[int, int] = {}
+    degree = np.ones(num_switches, dtype=np.float64)  # degree + 1 weights
+    for node in range(1, num_switches):
+        weights = degree[:node]
+        probabilities = weights / weights.sum()
+        parent = int(rng.choice(node, p=probabilities))
+        parents[node] = parent
+        degree[parent] += 1.0
+        degree[node] += 1.0
+    return parents
+
+
+def scale_free_tree(
+    num_switches: int,
+    rng: np.random.Generator | int | None = None,
+    node_load: int = 1,
+    loads: Mapping[NodeId, int] | None = None,
+    rates: Mapping[NodeId, float] | None = None,
+    destination: NodeId = DEFAULT_DESTINATION,
+) -> TreeNetwork:
+    """Build an ``SF(n)``-style scale-free tree network of switches.
+
+    Parameters
+    ----------
+    num_switches:
+        Number of switches (the paper's ``SF(n)`` includes the destination in
+        ``n``; use :func:`sf_network` for that convention).
+    rng:
+        ``numpy`` random generator or seed; ``None`` draws a fresh seed.
+    node_load:
+        Uniform load assigned to every switch (the appendix uses 1).
+    loads:
+        Optional explicit load mapping overriding ``node_load``.
+    rates:
+        Optional link-rate mapping keyed by child switch.
+    destination:
+        Destination server identifier.
+    """
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    parent_indices = preferential_attachment_parents(num_switches, generator)
+
+    parents: dict[NodeId, NodeId] = {0: destination}
+    parents.update(parent_indices)
+    if loads is None:
+        loads = {node: node_load for node in parents}
+    return TreeNetwork(
+        parents,
+        rates=rates,
+        loads=loads,
+        destination=destination,
+    )
+
+
+def sf_network(
+    total_nodes: int,
+    rng: np.random.Generator | int | None = None,
+    node_load: int = 1,
+    rates: Mapping[NodeId, float] | None = None,
+) -> TreeNetwork:
+    """Build the paper's ``SF(n)`` network where ``n`` includes the destination."""
+    if total_nodes < 2:
+        raise TreeStructureError(f"SF(n) needs n >= 2, got {total_nodes}")
+    return scale_free_tree(total_nodes - 1, rng=rng, node_load=node_load, rates=rates)
+
+
+def degree_sequence(tree: TreeNetwork) -> list[int]:
+    """Return switch degrees (within the switch tree plus the uplink) sorted descending.
+
+    The degree of a switch counts its children plus its parent link — the
+    quantity the appendix reports when describing the highest-degree nodes
+    of an ``SF(128)`` sample.
+    """
+    degrees = [tree.num_children(switch) + 1 for switch in tree.switches]
+    return sorted(degrees, reverse=True)

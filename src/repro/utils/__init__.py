@@ -1,0 +1,13 @@
+"""Small shared utilities: text/CSV tables, statistics helpers."""
+
+from repro.utils.stats import mean_and_stderr, summarize
+from repro.utils.tables import format_value, render_table, rows_to_csv, write_csv
+
+__all__ = [
+    "format_value",
+    "mean_and_stderr",
+    "render_table",
+    "rows_to_csv",
+    "summarize",
+    "write_csv",
+]

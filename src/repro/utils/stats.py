@@ -1,0 +1,35 @@
+"""Statistics helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def mean_and_stderr(values: Sequence[float]) -> tuple[float, float]:
+    """Return the sample mean and the standard error of the mean.
+
+    The paper repeats every experiment ten times and plots the average with
+    error bars only where the variance is significant; the standard error is
+    what those bars represent.
+    """
+    if not values:
+        return 0.0, 0.0
+    count = len(values)
+    mean = sum(values) / count
+    if count == 1:
+        return mean, 0.0
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    return mean, math.sqrt(variance / count)
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Return mean, standard error, min and max of a sample."""
+    mean, stderr = mean_and_stderr(values)
+    return {
+        "mean": mean,
+        "stderr": stderr,
+        "min": min(values) if values else 0.0,
+        "max": max(values) if values else 0.0,
+        "count": float(len(values)),
+    }

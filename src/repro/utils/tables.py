@@ -1,0 +1,82 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper's figures are line plots; without a plotting backend available
+offline, the experiment harness emits the underlying series as aligned text
+tables (for reading in a terminal) and as CSV rows (for plotting elsewhere).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Render a cell: floats get fixed precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of row-dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {column: format_value(row.get(column, ""), precision) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        for column in columns
+    }
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for row in rendered:
+        lines.append("  ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as a CSV document (header included)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, Any]],
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write rows to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows, columns=columns))
+    return path

@@ -1,0 +1,33 @@
+"""Workload generators: load distributions, link-rate schemes, workload sequences."""
+
+from repro.workload.distributions import (
+    LOAD_DISTRIBUTIONS,
+    PowerLawLoadDistribution,
+    UniformLoadDistribution,
+    make_distribution,
+    sample_leaf_loads,
+    uniform_node_loads,
+    with_sampled_leaf_loads,
+)
+from repro.workload.rates import (
+    RATE_SCHEMES,
+    apply_rate_scheme,
+    constant_rate,
+    exponential_rate,
+    linear_rate,
+)
+
+__all__ = [
+    "LOAD_DISTRIBUTIONS",
+    "PowerLawLoadDistribution",
+    "RATE_SCHEMES",
+    "UniformLoadDistribution",
+    "apply_rate_scheme",
+    "constant_rate",
+    "exponential_rate",
+    "linear_rate",
+    "make_distribution",
+    "sample_leaf_loads",
+    "uniform_node_loads",
+    "with_sampled_leaf_loads",
+]

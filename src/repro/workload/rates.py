@@ -1,0 +1,69 @@
+"""Link-rate schemes used by the paper's evaluation.
+
+Section 5 evaluates three scaling laws for link rates on ``BT(n)``:
+
+* **constant** — every link has rate 1,
+* **linear** — the rate grows by 1 per level from the leaves (rate 1 at the
+  leaf links) towards the destination,
+* **exponential** — the rate doubles per level from the leaves (rate 1 at
+  the leaf links) towards the destination.
+
+The rate of a link is keyed by its child switch (the link connects the
+switch to its parent), matching :class:`repro.core.tree.TreeNetwork`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.tree import NodeId, TreeNetwork
+
+#: Signature of a rate scheme: given the tree and a switch, return the rate
+#: of the link between the switch and its parent.
+RateScheme = Callable[[TreeNetwork, NodeId], float]
+
+
+def constant_rate(tree: TreeNetwork, switch: NodeId) -> float:
+    """All links carry rate 1 (the utilization equals the message complexity)."""
+    return 1.0
+
+
+def linear_rate(tree: TreeNetwork, switch: NodeId) -> float:
+    """Rate grows by one per level above the leaves.
+
+    The deepest links (those hanging off the deepest switches) have rate 1;
+    a link one level higher has rate 2, and so on up to the ``(r, d)`` link.
+    """
+    return float(tree.height - tree.depth(switch) + 1)
+
+
+def exponential_rate(tree: TreeNetwork, switch: NodeId) -> float:
+    """Rate doubles per level above the leaves (1, 2, 4, ... towards ``d``)."""
+    return float(2 ** (tree.height - tree.depth(switch)))
+
+
+#: The three schemes of Figures 6 and 7, keyed by the names used in the text.
+RATE_SCHEMES: dict[str, RateScheme] = {
+    "constant": constant_rate,
+    "linear": linear_rate,
+    "exponential": exponential_rate,
+}
+
+
+def apply_rate_scheme(tree: TreeNetwork, scheme: RateScheme | str) -> TreeNetwork:
+    """Return a copy of ``tree`` whose link rates follow the given scheme.
+
+    ``scheme`` may be a callable or one of the names in :data:`RATE_SCHEMES`
+    (``"constant"``, ``"linear"``, ``"exponential"``).
+    """
+    if isinstance(scheme, str):
+        try:
+            scheme_fn = RATE_SCHEMES[scheme]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown rate scheme {scheme!r}; expected one of {sorted(RATE_SCHEMES)}"
+            ) from exc
+    else:
+        scheme_fn = scheme
+    rates = {switch: scheme_fn(tree, switch) for switch in tree.switches}
+    return tree.with_rates(rates)

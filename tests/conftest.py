@@ -1,0 +1,61 @@
+"""Shared fixtures for the SOAR reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tree import TreeNetwork
+from repro.experiments.motivating import motivating_tree
+from repro.topology.binary_tree import complete_binary_tree
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests that need randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def paper_tree() -> TreeNetwork:
+    """The 7-switch motivating-example tree of Figures 2 and 3."""
+    return motivating_tree()
+
+
+@pytest.fixture
+def small_tree() -> TreeNetwork:
+    """A 3-switch tree with uneven rates, handy for hand-computed expectations.
+
+    Layout::
+
+        d <- r (rate 2) <- a (rate 1, load 3)
+                        <- b (rate 4, load 1)
+    """
+    return TreeNetwork(
+        parents={"r": "d", "a": "r", "b": "r"},
+        rates={"r": 2.0, "a": 1.0, "b": 4.0},
+        loads={"a": 3, "b": 1},
+    )
+
+
+@pytest.fixture
+def loaded_bt16() -> TreeNetwork:
+    """A BT(16) tree (15 switches) with deterministic skewed leaf loads."""
+    loads = [1, 9, 2, 8, 3, 7, 4, 6]
+    return complete_binary_tree(8, leaf_loads=loads)
+
+
+def make_random_instance(
+    rng: np.random.Generator,
+    max_switches: int = 10,
+    max_load: int = 6,
+    rate_choices=(0.5, 1.0, 2.0, 4.0),
+) -> TreeNetwork:
+    """Build a small random tree instance for randomized comparison tests."""
+    num_switches = int(rng.integers(1, max_switches + 1))
+    parents = {0: "d"}
+    for node in range(1, num_switches):
+        parents[node] = int(rng.integers(0, node))
+    rates = {node: float(rng.choice(rate_choices)) for node in parents}
+    loads = {node: int(rng.integers(0, max_load + 1)) for node in parents}
+    return TreeNetwork(parents, rates=rates, loads=loads)

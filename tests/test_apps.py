@@ -1,0 +1,244 @@
+"""Tests for the WC / PS application models and the byte-complexity machinery."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.apps.base import evaluate_application
+from repro.apps.bytes_model import (
+    analytic_link_bytes,
+    expected_byte_complexity,
+    message_group_sizes,
+    normalized_byte_complexity,
+)
+from repro.apps.paramserver import ParameterServerApplication, SparseGradient
+from repro.apps.wordcount import (
+    WordCountApplication,
+    expected_distinct_words,
+    zipf_probabilities,
+)
+from repro.core.reduce_op import link_message_counts
+from repro.core.soar import solve
+from repro.exceptions import WorkloadError
+from repro.topology.binary_tree import complete_binary_tree
+
+
+@pytest.fixture
+def small_loaded_tree():
+    return complete_binary_tree(4, leaf_loads=[2, 3, 1, 2])
+
+
+class TestZipfCorpus:
+    def test_probabilities_sum_to_one(self):
+        probabilities = zipf_probabilities(1000, 1.1)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(0)
+        with pytest.raises(WorkloadError):
+            zipf_probabilities(10, exponent=0)
+
+    def test_expected_distinct_words_bounds(self):
+        probabilities = zipf_probabilities(500, 1.0)
+        assert expected_distinct_words(0, probabilities) == 0.0
+        one = expected_distinct_words(1, probabilities)
+        many = expected_distinct_words(10_000, probabilities)
+        assert one == pytest.approx(1.0)
+        assert one < many <= 500.0
+
+    def test_expected_distinct_words_monotone(self):
+        probabilities = zipf_probabilities(200, 1.2)
+        values = [expected_distinct_words(n, probabilities) for n in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+
+class TestWordCountApplication:
+    def test_produce_shapes(self):
+        app = WordCountApplication(vocabulary_size=100, shard_size=50, rng=1)
+        payloads = app.produce("s", 3)
+        assert len(payloads) == 3
+        for payload in payloads:
+            assert isinstance(payload, Counter)
+            assert sum(payload.values()) == 50
+            assert all(0 <= word < 100 for word in payload)
+
+    def test_combine_preserves_total_count(self):
+        app = WordCountApplication(vocabulary_size=100, shard_size=40, rng=2)
+        payloads = app.produce("s", 4)
+        merged = app.combine(payloads)
+        assert sum(merged.values()) == 4 * 40
+        assert len(merged) <= sum(len(p) for p in payloads)
+
+    def test_sizeof_counts_entries(self):
+        app = WordCountApplication(vocabulary_size=10, shard_size=5, rng=3)
+        payload = Counter({1: 2, 2: 3})
+        assert app.sizeof(payload) == app.header_bytes + 2 * (app.key_bytes + app.count_bytes)
+
+    def test_expected_message_bytes_grows_sublinearly(self):
+        app = WordCountApplication(vocabulary_size=1_000, shard_size=500, rng=4)
+        one = app.expected_message_bytes(1)
+        four = app.expected_message_bytes(4)
+        assert one < four < 4 * one  # aggregation helps but keys keep growing
+
+    def test_corpus_statistics(self):
+        stats = WordCountApplication(vocabulary_size=100, shard_size=10).corpus_statistics()
+        assert stats["vocabulary_size"] == 100
+        assert 0 < stats["expected_distinct_per_shard"] <= 10
+
+    def test_invalid_shard_size(self):
+        with pytest.raises(WorkloadError):
+            WordCountApplication(shard_size=-1)
+
+
+class TestParameterServerApplication:
+    def test_produce_respects_dropout(self):
+        app = ParameterServerApplication(feature_dimension=5_000, dropout=0.5, rng=5)
+        gradients = app.produce("s", 2)
+        assert len(gradients) == 2
+        for gradient in gradients:
+            assert gradient.dimension == 5_000
+            assert 0.4 < gradient.nnz / 5_000 < 0.6
+
+    def test_zero_dropout_is_dense(self):
+        app = ParameterServerApplication(feature_dimension=100, dropout=0.0, rng=6)
+        gradient = app.produce("s", 1)[0]
+        assert gradient.nnz == 100
+
+    def test_combine_unions_support(self):
+        app = ParameterServerApplication(feature_dimension=1_000, dropout=0.5, rng=7)
+        gradients = app.produce("s", 3)
+        merged = app.combine(gradients)
+        assert merged.nnz >= max(g.nnz for g in gradients)
+        assert merged.nnz <= 1_000
+        assert np.allclose(merged.values, sum(g.values for g in gradients))
+
+    def test_sizeof_sparse_vs_dense(self):
+        app = ParameterServerApplication(feature_dimension=1_000, dropout=0.5, dense_threshold=0.5)
+        sparse = SparseGradient(mask=np.arange(1_000) < 100, values=np.zeros(1_000))
+        dense = SparseGradient(mask=np.ones(1_000, dtype=bool), values=np.zeros(1_000))
+        assert app.sizeof(sparse) == app.header_bytes + 100 * 8
+        assert app.sizeof(dense) == app.header_bytes + 1_000 * 4
+
+    def test_expected_active_fraction(self):
+        app = ParameterServerApplication(dropout=0.5)
+        assert app.expected_active_fraction(1) == pytest.approx(0.5)
+        assert app.expected_active_fraction(2) == pytest.approx(0.75)
+        assert app.expected_active_fraction(10) == pytest.approx(1.0, abs=1e-3)
+        with pytest.raises(WorkloadError):
+            app.expected_active_fraction(-1)
+
+    def test_expected_message_bytes_saturates(self):
+        app = ParameterServerApplication(feature_dimension=1_000, dropout=0.7)
+        assert app.expected_message_bytes(0) == 0.0
+        few = app.expected_message_bytes(1)
+        many = app.expected_message_bytes(50)
+        assert few < many
+        # The aggregate of many workers switches to the dense encoding and
+        # therefore saturates at header + dimension * value_bytes.
+        assert many <= app.header_bytes + 1_000 * 4 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ParameterServerApplication(feature_dimension=0)
+        with pytest.raises(WorkloadError):
+            ParameterServerApplication(dropout=1.0)
+        with pytest.raises(WorkloadError):
+            ParameterServerApplication(dense_threshold=0.0)
+
+
+class TestMessageGroupSizes:
+    def test_all_red_groups_are_singletons(self, small_loaded_tree):
+        groups = message_group_sizes(small_loaded_tree, frozenset())
+        for switch, counter in groups.items():
+            assert set(counter) <= {1}
+        assert groups[small_loaded_tree.root][1] == small_loaded_tree.total_load
+
+    def test_all_blue_one_group_per_link(self, small_loaded_tree):
+        groups = message_group_sizes(
+            small_loaded_tree, frozenset(small_loaded_tree.switches)
+        )
+        root_groups = groups[small_loaded_tree.root]
+        assert sum(root_groups.values()) == 1
+        assert list(root_groups) == [small_loaded_tree.total_load]
+
+    def test_group_counts_match_message_counts(self, small_loaded_tree):
+        blue = solve(small_loaded_tree, 2).blue_nodes
+        groups = message_group_sizes(small_loaded_tree, blue)
+        counts = link_message_counts(small_loaded_tree, blue)
+        for switch, counter in groups.items():
+            # Content-carrying counts differ only for empty blue subtrees.
+            assert sum(counter.values()) <= counts[switch]
+            servers = sum(size * count for size, count in counter.items())
+            assert servers == small_loaded_tree.subtree_load(switch)
+
+    def test_analytic_link_bytes_uses_group_model(self, small_loaded_tree):
+        link_bytes = analytic_link_bytes(
+            small_loaded_tree, frozenset(), lambda servers: 10.0 * servers
+        )
+        # All-red: every server message is 10 bytes and crosses depth(leaf) links.
+        expected_root = 10.0 * small_loaded_tree.total_load
+        assert link_bytes[small_loaded_tree.root] == pytest.approx(expected_root)
+
+
+class TestByteComplexity:
+    def test_sampled_and_analytic_agree_for_ps(self, small_loaded_tree):
+        app = ParameterServerApplication(feature_dimension=2_000, dropout=0.5, rng=11)
+        blue = solve(small_loaded_tree, 2).blue_nodes
+        sampled = evaluate_application(small_loaded_tree, blue, app).total_bytes
+        analytic = expected_byte_complexity(small_loaded_tree, blue, app)
+        assert sampled == pytest.approx(analytic, rel=0.05)
+
+    def test_sampled_and_analytic_agree_for_wc(self, small_loaded_tree):
+        app = WordCountApplication(vocabulary_size=2_000, shard_size=300, rng=12)
+        blue = frozenset(small_loaded_tree.switches)
+        sampled = evaluate_application(small_loaded_tree, blue, app).total_bytes
+        analytic = expected_byte_complexity(small_loaded_tree, blue, app)
+        assert sampled == pytest.approx(analytic, rel=0.05)
+
+    def test_aggregation_reduces_bytes(self, small_loaded_tree):
+        app = WordCountApplication(vocabulary_size=1_000, shard_size=200, rng=13)
+        all_red = expected_byte_complexity(small_loaded_tree, frozenset(), app)
+        all_blue = expected_byte_complexity(
+            small_loaded_tree, frozenset(small_loaded_tree.switches), app
+        )
+        assert all_blue < all_red
+
+    def test_normalized_byte_complexity_references(self, small_loaded_tree):
+        app = ParameterServerApplication(feature_dimension=500, dropout=0.5, rng=14)
+        blue = solve(small_loaded_tree, 1).blue_nodes
+        vs_red = normalized_byte_complexity(small_loaded_tree, blue, app, reference="all-red")
+        vs_blue = normalized_byte_complexity(small_loaded_tree, blue, app, reference="all-blue")
+        assert 0.0 < vs_red <= 1.0 + 1e-9
+        assert vs_blue >= 1.0 - 1e-9
+        with pytest.raises(ValueError):
+            normalized_byte_complexity(small_loaded_tree, blue, app, reference="bogus")
+
+    def test_wc_bytes_savings_lag_utilization_savings(self):
+        """Figure 8b shape: WC byte savings are smaller than utilization savings."""
+        tree = complete_binary_tree(8, leaf_loads=[4, 5, 6, 4, 5, 6, 4, 5])
+        app = WordCountApplication(vocabulary_size=5_000, shard_size=1_000, rng=15)
+        solution = solve(tree, 2)
+        util_ratio = solution.cost / solve(tree, 0).cost
+        byte_ratio = normalized_byte_complexity(tree, solution.blue_nodes, app)
+        assert byte_ratio > util_ratio
+
+    def test_ps_bytes_track_utilization(self):
+        """Figure 8 shape: with 0.5 dropout PS bytes follow utilization closely."""
+        tree = complete_binary_tree(8, leaf_loads=[4, 5, 6, 4, 5, 6, 4, 5])
+        app = ParameterServerApplication(feature_dimension=10_000, dropout=0.5)
+        solution = solve(tree, 4)
+        util_ratio = solution.cost / solve(tree, 0).cost
+        byte_ratio = normalized_byte_complexity(tree, solution.blue_nodes, app)
+        assert abs(byte_ratio - util_ratio) < 0.25
+
+    def test_evaluate_application_metadata(self, small_loaded_tree):
+        app = ParameterServerApplication(feature_dimension=200, dropout=0.5, rng=16)
+        evaluation = evaluate_application(small_loaded_tree, frozenset(), app)
+        assert evaluation.application == "PS"
+        assert evaluation.normalized_utilization == pytest.approx(1.0)
+        assert evaluation.total_bytes > 0

@@ -1,0 +1,159 @@
+"""Tests for the contending placement strategies (Top, Max, Level, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.strategies import (
+    ALL_STRATEGIES,
+    PAPER_STRATEGIES,
+    all_blue,
+    all_red,
+    bottom_strategy,
+    get_strategy,
+    level_strategy,
+    max_degree_strategy,
+    max_load_strategy,
+    random_strategy,
+    soar_strategy,
+    top_strategy,
+)
+from repro.core.cost import utilization_cost
+from repro.exceptions import InvalidBudgetError
+from repro.topology.binary_tree import complete_binary_tree
+from repro.topology.scale_free import scale_free_tree
+
+
+class TestFigure2GoldenValues:
+    """The motivating example: each strategy's cost as reported by the paper."""
+
+    @pytest.mark.parametrize(
+        "strategy,expected",
+        [(top_strategy, 27.0), (max_load_strategy, 24.0), (level_strategy, 21.0), (soar_strategy, 20.0)],
+        ids=["Top", "Max", "Level", "SOAR"],
+    )
+    def test_cost(self, paper_tree, strategy, expected):
+        blue = strategy(paper_tree, 2)
+        assert utilization_cost(paper_tree, blue) == pytest.approx(expected)
+
+    def test_top_picks_root_first(self, paper_tree):
+        assert paper_tree.root in top_strategy(paper_tree, 1)
+
+    def test_max_picks_heaviest_leaves(self, paper_tree):
+        assert max_load_strategy(paper_tree, 2) == frozenset({"s2_1", "s2_2"})
+
+    def test_level_picks_middle_level(self, paper_tree):
+        assert level_strategy(paper_tree, 2) == frozenset({"s1_0", "s1_1"})
+
+    def test_level_picks_leaf_level_with_larger_budget(self, paper_tree):
+        assert level_strategy(paper_tree, 4) == frozenset({"s2_0", "s2_1", "s2_2", "s2_3"})
+
+
+class TestStrategyContracts:
+    """Generic invariants every bounded strategy must satisfy."""
+
+    @pytest.mark.parametrize("name", [n for n in ALL_STRATEGIES if n != "AllBlue"])
+    @pytest.mark.parametrize("budget", [0, 1, 3, 7])
+    def test_budget_respected(self, loaded_bt16, name, budget):
+        strategy = ALL_STRATEGIES[name]
+        blue = strategy(loaded_bt16, budget)
+        assert len(blue) <= max(budget, 0)
+
+    @pytest.mark.parametrize("name", [n for n in ALL_STRATEGIES if n not in ("AllBlue",)])
+    def test_availability_respected(self, loaded_bt16, name):
+        restricted = loaded_bt16.with_available({"s1_0", "s3_2", "s3_7"})
+        strategy = ALL_STRATEGIES[name]
+        blue = strategy(restricted, 2)
+        assert frozenset(blue) <= restricted.available
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [top_strategy, max_load_strategy, max_degree_strategy, level_strategy, bottom_strategy],
+    )
+    def test_negative_budget_rejected(self, paper_tree, strategy):
+        with pytest.raises(InvalidBudgetError):
+            strategy(paper_tree, -1)
+
+    def test_all_red_and_all_blue(self, paper_tree):
+        assert all_red(paper_tree) == frozenset()
+        assert all_blue(paper_tree) == frozenset(paper_tree.switches)
+
+    def test_zero_budget_returns_empty(self, paper_tree):
+        for name, strategy in PAPER_STRATEGIES.items():
+            assert strategy(paper_tree, 0) == frozenset(), name
+
+    def test_strategies_deterministic(self, loaded_bt16):
+        for name in ("Top", "Max", "Level", "MaxDegree", "Bottom"):
+            strategy = ALL_STRATEGIES[name]
+            assert strategy(loaded_bt16, 3) == strategy(loaded_bt16, 3)
+
+
+class TestIndividualStrategies:
+    def test_top_prefers_shallow_then_heavy(self, paper_tree):
+        # Depth first; within the same depth the heavier subtree wins.
+        assert top_strategy(paper_tree, 2) == frozenset({"s0_0", "s1_1"})
+
+    def test_bottom_prefers_deepest(self, paper_tree):
+        blue = bottom_strategy(paper_tree, 4)
+        assert blue == frozenset({"s2_0", "s2_1", "s2_2", "s2_3"})
+
+    def test_max_degree_on_scale_free(self):
+        tree = scale_free_tree(60, rng=3, node_load=1)
+        blue = max_degree_strategy(tree, 3)
+        degrees = {s: tree.num_children(s) + 1 for s in tree.switches}
+        threshold = sorted(degrees.values(), reverse=True)[2]
+        assert all(degrees[s] >= threshold for s in blue)
+
+    def test_level_on_incomplete_budget(self, loaded_bt16):
+        # Budget of one can only afford the root level.
+        assert level_strategy(loaded_bt16, 1) == frozenset({loaded_bt16.root})
+
+    def test_level_skips_unavailable_levels(self, paper_tree):
+        restricted = paper_tree.with_available({"s2_0", "s2_1", "s2_2", "s2_3"})
+        assert level_strategy(restricted, 2) == frozenset()
+        assert level_strategy(restricted, 4) == frozenset({"s2_0", "s2_1", "s2_2", "s2_3"})
+
+    def test_random_strategy_reproducible_with_seed(self, loaded_bt16):
+        first = random_strategy(loaded_bt16, 4, rng=9)
+        second = random_strategy(loaded_bt16, 4, rng=9)
+        assert first == second
+        assert len(first) == 4
+
+    def test_random_strategy_with_generator(self, loaded_bt16, rng):
+        blue = random_strategy(loaded_bt16, 3, rng=rng)
+        assert len(blue) == 3
+
+    def test_soar_strategy_is_optimal(self, paper_tree):
+        blue = soar_strategy(paper_tree, 2)
+        assert utilization_cost(paper_tree, blue) == pytest.approx(20.0)
+
+
+class TestRegistry:
+    def test_get_strategy_case_insensitive(self):
+        assert get_strategy("soar") is soar_strategy
+        assert get_strategy("TOP") is top_strategy
+
+    def test_get_strategy_unknown(self):
+        with pytest.raises(KeyError):
+            get_strategy("does-not-exist")
+
+    def test_paper_strategies_subset_of_all(self):
+        assert set(PAPER_STRATEGIES) <= set(ALL_STRATEGIES)
+        assert set(PAPER_STRATEGIES) == {"Top", "Max", "Level", "SOAR"}
+
+
+class TestStrategiesOnLargerTree:
+    def test_relative_order_on_powerlaw_load(self):
+        # A strongly skewed load should favour Max over Top (as in Fig. 6,
+        # power-law row), and SOAR must beat both.
+        rng = np.random.default_rng(5)
+        loads = [int(v) for v in rng.pareto(1.2, size=32) * 3 + 1]
+        tree = complete_binary_tree(32, leaf_loads=loads)
+        budget = 8
+        costs = {
+            name: utilization_cost(tree, strategy(tree, budget))
+            for name, strategy in PAPER_STRATEGIES.items()
+        }
+        assert costs["SOAR"] <= min(costs.values()) + 1e-9
+        assert costs["Max"] <= costs["Top"]

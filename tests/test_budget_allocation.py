@@ -1,0 +1,113 @@
+"""Tests for the multi-workload budget-splitting extension (Section 8 open problem)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.soar import solve
+from repro.exceptions import InvalidBudgetError
+from repro.online.budget_allocation import (
+    allocate_budgets,
+    workload_cost_curve,
+)
+from repro.online.scheduler import generate_workload_sequence
+from repro.topology.binary_tree import bt_network, complete_binary_tree
+
+
+@pytest.fixture
+def tree():
+    return bt_network(16)
+
+
+def _exhaustive_best(tree, workloads, total_budget):
+    """Reference: enumerate every split of the total budget across workloads."""
+    best = float("inf")
+    num = len(workloads)
+    for split in itertools.product(range(total_budget + 1), repeat=num):
+        if sum(split) > total_budget:
+            continue
+        cost = sum(
+            solve(tree.with_loads(loads), budget).cost
+            for loads, budget in zip(workloads, split)
+        )
+        best = min(best, cost)
+    return best
+
+
+class TestWorkloadCostCurve:
+    def test_curve_matches_individual_solves(self, tree):
+        loads = {leaf: 3 for leaf in tree.leaves()}
+        curve = workload_cost_curve(tree, loads, 4)
+        for budget, value in enumerate(curve):
+            assert value == pytest.approx(solve(tree.with_loads(loads), budget).cost)
+
+    def test_curve_is_non_increasing(self, tree):
+        loads = {leaf: int(i) + 1 for i, leaf in enumerate(tree.leaves())}
+        curve = workload_cost_curve(tree, loads, 6)
+        assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_curve_padded_beyond_clamp(self):
+        tiny = complete_binary_tree(2, leaf_loads=[3, 4])
+        curve = workload_cost_curve(tiny, tiny.loads, 10)
+        assert len(curve) == 11
+        assert curve[3] == curve[10]
+
+    def test_negative_budget_rejected(self, tree):
+        with pytest.raises(InvalidBudgetError):
+            workload_cost_curve(tree, {}, -1)
+
+
+class TestAllocateBudgets:
+    def test_matches_exhaustive_split(self, tree):
+        workloads = generate_workload_sequence(tree, 3, rng=7)
+        allocation = allocate_budgets(tree, workloads, total_budget=4)
+        assert sum(allocation.budgets) <= 4
+        assert allocation.total_cost == pytest.approx(
+            _exhaustive_best(tree, workloads, 4)
+        )
+
+    def test_never_worse_than_uniform_split(self, tree):
+        workloads = generate_workload_sequence(tree, 4, rng=11)
+        allocation = allocate_budgets(tree, workloads, total_budget=8)
+        assert allocation.total_cost <= allocation.uniform_cost + 1e-9
+        assert 0.0 <= allocation.improvement_over_uniform <= 1.0
+
+    def test_skewed_workloads_get_more_budget(self, tree):
+        # One heavy power-law-like workload versus one tiny uniform workload:
+        # the optimal split should favour the heavy one.
+        heavy = {leaf: 20 for leaf in tree.leaves()}
+        light = {leaf: 1 for leaf in tree.leaves()}
+        allocation = allocate_budgets(tree, [heavy, light], total_budget=6)
+        assert allocation.budgets[0] >= allocation.budgets[1]
+
+    def test_zero_budget(self, tree):
+        workloads = generate_workload_sequence(tree, 2, rng=1)
+        allocation = allocate_budgets(tree, workloads, total_budget=0)
+        assert allocation.budgets == (0, 0)
+        assert allocation.total_cost == pytest.approx(allocation.uniform_cost)
+
+    def test_empty_workload_list(self, tree):
+        allocation = allocate_budgets(tree, [], total_budget=5)
+        assert allocation.budgets == ()
+        assert allocation.total_cost == 0.0
+
+    def test_negative_budget_rejected(self, tree):
+        with pytest.raises(InvalidBudgetError):
+            allocate_budgets(tree, [{}], total_budget=-1)
+
+    def test_cost_curves_exposed(self, tree):
+        workloads = generate_workload_sequence(tree, 2, rng=3)
+        allocation = allocate_budgets(tree, workloads, total_budget=3)
+        assert len(allocation.cost_curves) == 2
+        assert all(len(curve) >= 4 for curve in allocation.cost_curves)
+
+    def test_large_budget_saturates(self, tree):
+        workloads = generate_workload_sequence(tree, 2, rng=5)
+        generous = allocate_budgets(tree, workloads, total_budget=2 * tree.num_switches)
+        # With unbounded budget every workload reaches its all-blue optimum.
+        expected = sum(
+            solve(tree.with_loads(loads), tree.num_switches).cost for loads in workloads
+        )
+        assert generous.total_cost == pytest.approx(expected)

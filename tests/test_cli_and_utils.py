@@ -1,0 +1,123 @@
+"""Tests for the command-line interface and the shared utilities."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.utils.stats import mean_and_stderr, summarize
+from repro.utils.tables import format_value, render_table, rows_to_csv, write_csv
+
+
+class TestTables:
+    ROWS = [
+        {"name": "SOAR", "k": 2, "cost": 20.0},
+        {"name": "Top", "k": 2, "cost": 27.123456},
+    ]
+
+    def test_render_table_alignment(self):
+        text = render_table(self.ROWS, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "SOAR" in text
+        assert "27.1235" in text  # default 4-digit precision
+
+    def test_render_table_subset_of_columns(self):
+        text = render_table(self.ROWS, columns=["name"])
+        assert "cost" not in text
+
+    def test_render_empty(self):
+        assert "(no data)" in render_table([], title="empty")
+        assert render_table([]) == "(no data)"
+
+    def test_format_value(self):
+        assert format_value(1.23456, precision=2) == "1.23"
+        assert format_value(True) == "True"
+        assert format_value("x") == "x"
+
+    def test_rows_to_csv(self):
+        text = rows_to_csv(self.ROWS)
+        parsed = list(csv.DictReader(text.splitlines()))
+        assert parsed[0]["name"] == "SOAR"
+        assert parsed[1]["cost"].startswith("27.12")
+        assert rows_to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(self.ROWS, tmp_path / "sub" / "out.csv")
+        assert path.exists()
+        assert "SOAR" in path.read_text()
+
+
+class TestStats:
+    def test_mean_and_stderr(self):
+        mean, stderr = mean_and_stderr([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert stderr == pytest.approx((4.0 / 3) ** 0.5, rel=1e-6)
+
+    def test_single_sample_has_zero_stderr(self):
+        assert mean_and_stderr([5.0]) == (5.0, 0.0)
+
+    def test_empty_sample(self):
+        assert mean_and_stderr([]) == (0.0, 0.0)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 3.0])
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["count"] == 2.0
+
+
+class TestCli:
+    def test_parser_lists_all_figures(self):
+        parser = build_parser()
+        for command in ("fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "all"):
+            args = parser.parse_args([command, "--quick"])
+            assert args.command == command
+            assert args.quick
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_output(self, capsys):
+        assert main(["fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "SOAR" in output
+        assert "20.0000" in output
+
+    def test_fig3_output(self, capsys):
+        assert main(["fig3"]) == 0
+        output = capsys.readouterr().out
+        assert "35.0000" in output and "11.0000" in output
+
+    def test_fig6_quick_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig6.csv"
+        code = main(
+            [
+                "fig6",
+                "--quick",
+                "--network-size",
+                "16",
+                "--repetitions",
+                "1",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        output = capsys.readouterr().out
+        assert "normalized_utilization" in output
+
+    def test_fig9_quick(self, capsys):
+        assert main(["fig9", "--quick", "--repetitions", "1"]) == 0
+        assert "gather_seconds" in capsys.readouterr().out
+
+    def test_fig11_quick(self, capsys):
+        assert (
+            main(["fig11", "--quick", "--network-size", "32", "--repetitions", "1"]) == 0
+        )
+        assert "Max(degree)" in capsys.readouterr().out

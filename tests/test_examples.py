@@ -1,0 +1,64 @@
+"""Smoke tests for the runnable example scripts.
+
+The examples are real scripts with their own ``main()``; the tests import
+each one (verifying it is importable and documented) and execute the fast
+ones end to end, asserting they print the headline numbers they promise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_FILES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+    assert "quickstart.py" in EXAMPLE_FILES
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_examples_are_importable_and_documented(name):
+    module = _load_example(name)
+    assert module.__doc__ and "Run with" in module.__doc__
+    assert callable(module.main)
+
+
+def test_quickstart_output(capsys):
+    module = _load_example("quickstart.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "all-red utilization (no aggregation): 51" in output
+    assert "20.0" in output  # SOAR's optimal cost at k = 2
+    assert "Optimal utilization per budget" in output
+
+
+def test_online_multitenant_output(capsys):
+    module = _load_example("online_multitenant.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "SOAR" in output and "Top" in output
+    assert "End-of-sequence summary" in output
+
+
+def test_scalefree_upgrade_planning_output(capsys):
+    module = _load_example("scalefree_upgrade_planning.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Max degree" in output
+    assert "Incremental upgrade" in output

@@ -1,0 +1,122 @@
+"""End-to-end integration tests combining several subsystems.
+
+Each test walks a realistic pipeline exactly the way a downstream user
+would: generate a topology, apply a rate scheme, sample a workload, place
+aggregation switches with SOAR, and then cross-check the outcome through an
+independent path (brute force, the barrier formulation, the event-driven
+dataplane, or the byte model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.bytes_model import expected_byte_complexity
+from repro.apps.paramserver import ParameterServerApplication
+from repro.apps.wordcount import WordCountApplication
+from repro.baselines.strategies import PAPER_STRATEGIES
+from repro.core.bruteforce import solve_bruteforce
+from repro.core.cost import all_red_cost, utilization_cost, utilization_cost_barrier
+from repro.core.soar import solve, solve_budget_sweep
+from repro.online.scheduler import compare_strategies_online, generate_workload_sequence
+from repro.simulation.dataplane import simulate_reduce
+from repro.topology.binary_tree import bt_network
+from repro.topology.generic import fat_tree_aggregation_tree
+from repro.topology.scale_free import sf_network
+from repro.workload.distributions import (
+    PowerLawLoadDistribution,
+    UniformLoadDistribution,
+    sample_leaf_loads,
+)
+from repro.workload.rates import apply_rate_scheme
+
+
+class TestDatacenterPipeline:
+    """BT(n) + rate scheme + sampled loads, end to end."""
+
+    @pytest.mark.parametrize("rate_scheme", ["constant", "linear", "exponential"])
+    @pytest.mark.parametrize("distribution", [UniformLoadDistribution(), PowerLawLoadDistribution()])
+    def test_soar_pipeline_consistency(self, rate_scheme, distribution):
+        rng = np.random.default_rng(99)
+        tree = apply_rate_scheme(bt_network(64), rate_scheme)
+        tree = tree.with_loads(sample_leaf_loads(tree, distribution, rng=rng))
+
+        solution = solve(tree, 8)
+        # DP prediction, message-count evaluation and barrier evaluation agree.
+        assert solution.cost == pytest.approx(solution.predicted_cost)
+        assert solution.cost == pytest.approx(
+            utilization_cost_barrier(tree, solution.blue_nodes)
+        )
+        # The dataplane's total busy time reproduces the same value.
+        sim = simulate_reduce(tree, solution.blue_nodes)
+        assert sim.total_busy_time == pytest.approx(solution.cost)
+        # SOAR dominates every heuristic on this instance.
+        for name, strategy in PAPER_STRATEGIES.items():
+            assert solution.cost <= utilization_cost(tree, strategy(tree, 8)) + 1e-9, name
+
+    def test_budget_sweep_crosschecked_with_bruteforce(self):
+        rng = np.random.default_rng(5)
+        tree = bt_network(16)
+        tree = tree.with_loads(sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=rng))
+        sweep = solve_budget_sweep(tree, range(0, 4))
+        for budget, solution in sweep.items():
+            assert solution.cost == pytest.approx(solve_bruteforce(tree, budget).cost)
+
+
+class TestFatTreeScenario:
+    def test_fat_tree_reduce_with_limited_aggregation(self):
+        tree = fat_tree_aggregation_tree(8, hosts_per_edge=4)
+        baseline = all_red_cost(tree)
+        solution = solve(tree, 4)
+        assert solution.cost < baseline
+        # With a budget matching the pod count, aggregating at (or below)
+        # every pod is possible and the utilization collapses dramatically.
+        full = solve(tree, 8)
+        assert full.cost <= solution.cost
+        assert full.cost <= 0.5 * baseline
+
+    def test_fat_tree_byte_model(self):
+        tree = fat_tree_aggregation_tree(4, hosts_per_edge=8)
+        app = ParameterServerApplication(feature_dimension=2_000, dropout=0.5, rng=1)
+        blue = solve(tree, 2).blue_nodes
+        placed = expected_byte_complexity(tree, blue, app)
+        all_red = expected_byte_complexity(tree, frozenset(), app)
+        assert placed < all_red
+
+
+class TestScaleFreeScenario:
+    def test_scale_free_end_to_end(self):
+        tree = sf_network(256, rng=13)
+        solution = solve(tree, 16)
+        assert solution.cost < all_red_cost(tree)
+        sim = simulate_reduce(tree, solution.blue_nodes)
+        assert sim.total_busy_time == pytest.approx(solution.cost)
+        assert sim.servers_delivered == tree.total_load
+
+
+class TestOnlineScenarioWithByteAccounting:
+    def test_online_run_then_byte_accounting(self):
+        tree = bt_network(32)
+        workloads = generate_workload_sequence(tree, 8, rng=3)
+        outcomes = compare_strategies_online(
+            tree, workloads, PAPER_STRATEGIES, budget=4, capacity=2
+        )
+        app = WordCountApplication(vocabulary_size=2_000, shard_size=200, rng=4)
+        # For every workload of the SOAR run, bytes under the chosen placement
+        # are no worse than all-red bytes for the same workload.
+        for item, loads in zip(outcomes["SOAR"].workloads, workloads):
+            placed = expected_byte_complexity(tree, item.blue_nodes, app, loads=loads)
+            baseline = expected_byte_complexity(tree, frozenset(), app, loads=loads)
+            assert placed <= baseline + 1e-9
+
+    def test_workload_isolation(self):
+        """Different workloads on the same tree never interfere via state."""
+        tree = bt_network(32)
+        first_loads = {leaf: 3 for leaf in tree.leaves()}
+        second_loads = {leaf: 7 for leaf in tree.leaves()}
+        first = solve(tree.with_loads(first_loads), 4)
+        second = solve(tree.with_loads(second_loads), 4)
+        again = solve(tree.with_loads(first_loads), 4)
+        assert first.cost == pytest.approx(again.cost)
+        assert second.cost > first.cost

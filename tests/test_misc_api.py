@@ -1,0 +1,57 @@
+"""Tests for small public helpers not covered by the module-focused suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import byte_cost
+from repro.core.reduce_op import ReduceTrace
+from repro.experiments.fig11_scalefree import isqrt_budget
+from repro.online.capacity import CapacityTracker
+from repro.topology.binary_tree import complete_binary_tree
+
+
+class TestByteCost:
+    def test_sums_per_link_bytes(self, paper_tree):
+        link_bytes = {switch: 10.0 for switch in paper_tree.switches}
+        assert byte_cost(link_bytes, paper_tree) == 10.0 * paper_tree.num_switches
+
+    def test_rejects_unknown_switch(self, paper_tree):
+        with pytest.raises(KeyError):
+            byte_cost({"ghost": 1.0}, paper_tree)
+
+
+class TestReduceTraceDefaults:
+    def test_empty_trace_totals(self):
+        trace = ReduceTrace()
+        assert trace.total_bytes == 0.0
+        assert trace.total_messages == 0
+        assert trace.result is None
+
+
+class TestCapacityResidualSnapshot:
+    def test_residual_capacities_is_a_copy(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 2)
+        snapshot = tracker.residual_capacities()
+        snapshot["s1_0"] = 0
+        assert tracker.residual("s1_0") == 2
+
+    def test_snapshot_reflects_consumption(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 2)
+        tracker.consume({"s1_0"})
+        assert tracker.residual_capacities()["s1_0"] == 1
+
+
+class TestBudgetRules:
+    def test_isqrt_budget(self):
+        assert isqrt_budget(256) == 16
+        assert isqrt_budget(2) == 1
+        assert isqrt_budget(4096) == 64
+
+
+class TestTreeReprAndLevels:
+    def test_levels_cover_all_switches(self):
+        tree = complete_binary_tree(8)
+        levels = tree.levels()
+        flattened = [switch for level in levels for switch in level]
+        assert sorted(map(str, flattened)) == sorted(map(str, tree.switches))

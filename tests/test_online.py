@@ -1,0 +1,171 @@
+"""Tests for the online multi-workload extension (capacity tracking + scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.strategies import PAPER_STRATEGIES, soar_strategy, top_strategy
+from repro.exceptions import CapacityError
+from repro.online.capacity import CapacityTracker
+from repro.online.scheduler import (
+    compare_strategies_online,
+    generate_workload_sequence,
+    run_online_sequence,
+)
+from repro.topology.binary_tree import bt_network, complete_binary_tree
+
+
+class TestCapacityTracker:
+    def test_scalar_capacity(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 2)
+        assert tracker.residual("s1_0") == 2
+        assert tracker.available() == frozenset(paper_tree.switches)
+
+    def test_mapping_capacity(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, {"s1_0": 1})
+        assert tracker.residual("s1_0") == 1
+        assert tracker.residual("s1_1") == 0
+        assert tracker.available() == frozenset({"s1_0"})
+
+    def test_consume_decrements(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 1)
+        tracker.consume({"s1_0", "s2_0"})
+        assert tracker.residual("s1_0") == 0
+        assert tracker.residual("s1_1") == 1
+        assert "s1_0" not in tracker.available()
+        assert tracker.num_assigned_workloads == 1
+        assert tracker.assignments == (frozenset({"s1_0", "s2_0"}),)
+
+    def test_consume_exhausted_raises(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 1)
+        tracker.consume({"s1_0"})
+        with pytest.raises(CapacityError):
+            tracker.consume({"s1_0"})
+
+    def test_consume_unknown_switch_raises(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 1)
+        with pytest.raises(CapacityError):
+            tracker.consume({"ghost"})
+
+    def test_invalid_capacities(self, paper_tree):
+        with pytest.raises(CapacityError):
+            CapacityTracker(paper_tree, -1)
+        with pytest.raises(CapacityError):
+            CapacityTracker(paper_tree, {"s1_0": -2})
+        with pytest.raises(CapacityError):
+            CapacityTracker(paper_tree, {"ghost": 1})
+
+    def test_available_tree_restricts_lambda(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, {"s1_0": 1, "s1_1": 1})
+        tracker.consume({"s1_0"})
+        available_tree = tracker.available_tree()
+        assert available_tree.available == frozenset({"s1_1"})
+
+    def test_reset(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 1)
+        tracker.consume({"s1_0"})
+        tracker.reset()
+        assert tracker.residual("s1_0") == 1
+        assert tracker.num_assigned_workloads == 0
+
+    def test_utilization_of_capacity(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 2)
+        assert tracker.utilization_of_capacity() == 0.0
+        tracker.consume({"s1_0", "s1_1"})
+        assert tracker.utilization_of_capacity() == pytest.approx(2 / 14)
+
+    def test_zero_capacity_network(self, paper_tree):
+        tracker = CapacityTracker(paper_tree, 0)
+        assert tracker.available() == frozenset()
+        assert tracker.utilization_of_capacity() == 0.0
+
+
+class TestWorkloadSequence:
+    def test_sequence_length_and_leaf_keys(self):
+        tree = bt_network(32)
+        sequence = generate_workload_sequence(tree, 5, rng=1)
+        assert len(sequence) == 5
+        for workload in sequence:
+            assert set(workload) == set(tree.leaves())
+            assert all(value >= 1 for value in workload.values())
+
+    def test_sequence_reproducible(self):
+        tree = bt_network(32)
+        assert generate_workload_sequence(tree, 4, rng=9) == generate_workload_sequence(
+            tree, 4, rng=9
+        )
+
+    def test_mix_probability_extremes(self):
+        tree = bt_network(32)
+        uniform_only = generate_workload_sequence(tree, 6, rng=3, mix_probability=1.0)
+        assert all(4 <= value <= 6 for workload in uniform_only for value in workload.values())
+
+
+class TestOnlineRun:
+    def test_budget_and_capacity_respected(self, rng):
+        tree = bt_network(32)
+        workloads = generate_workload_sequence(tree, 10, rng=rng)
+        result = run_online_sequence(
+            tree, workloads, soar_strategy, budget=3, capacity=2, strategy_name="SOAR"
+        )
+        assert len(result.workloads) == 10
+        usage: dict = {}
+        for item in result.workloads:
+            assert len(item.blue_nodes) <= 3
+            for switch in item.blue_nodes:
+                usage[switch] = usage.get(switch, 0) + 1
+        assert all(count <= 2 for count in usage.values())
+
+    def test_costs_are_positive_and_normalized(self, rng):
+        tree = bt_network(32)
+        workloads = generate_workload_sequence(tree, 6, rng=rng)
+        result = run_online_sequence(
+            tree, workloads, top_strategy, budget=4, capacity=2, strategy_name="Top"
+        )
+        assert result.total_cost > 0
+        assert 0.0 < result.normalized_cost <= 1.0
+        for item in result.workloads:
+            assert 0.0 < item.normalized_cost <= 1.0
+
+    def test_zero_capacity_degenerates_to_all_red(self, rng):
+        tree = bt_network(32)
+        workloads = generate_workload_sequence(tree, 4, rng=rng)
+        result = run_online_sequence(
+            tree, workloads, soar_strategy, budget=4, capacity=0, strategy_name="SOAR"
+        )
+        assert result.normalized_cost == pytest.approx(1.0)
+        assert all(not item.blue_nodes for item in result.workloads)
+
+    def test_soar_beats_heuristics_online(self):
+        tree = bt_network(64)
+        workloads = generate_workload_sequence(tree, 12, rng=17)
+        outcomes = compare_strategies_online(
+            tree, workloads, PAPER_STRATEGIES, budget=8, capacity=3
+        )
+        soar = outcomes["SOAR"].normalized_cost
+        for name, outcome in outcomes.items():
+            assert soar <= outcome.normalized_cost + 1e-9, name
+
+    def test_normalized_cost_increases_with_more_workloads(self):
+        # With bounded capacity, later workloads find fewer available
+        # switches, so the cumulative normalized cost trends upward.
+        tree = complete_binary_tree(16)
+        workloads = generate_workload_sequence(tree, 20, rng=3)
+        result = run_online_sequence(
+            tree, workloads, soar_strategy, budget=8, capacity=1, strategy_name="SOAR"
+        )
+        early = sum(i.cost for i in result.workloads[:5]) / sum(
+            i.all_red_cost for i in result.workloads[:5]
+        )
+        late = result.normalized_cost
+        assert late >= early - 1e-9
+
+    def test_compare_strategies_use_same_arrivals(self):
+        tree = bt_network(32)
+        workloads = generate_workload_sequence(tree, 5, rng=2)
+        outcomes = compare_strategies_online(
+            tree, workloads, {"Top": top_strategy, "SOAR": soar_strategy}, budget=4, capacity=2
+        )
+        top_baseline = [item.all_red_cost for item in outcomes["Top"].workloads]
+        soar_baseline = [item.all_red_cost for item in outcomes["SOAR"].workloads]
+        assert top_baseline == soar_baseline

@@ -1,0 +1,213 @@
+"""Golden tests against every worked example in the paper.
+
+* Figure 1 — all-red vs all-blue message counts on the 6-server example,
+* Figure 2 — Top / Max / Level / SOAR costs (27 / 24 / 21 / 20) at k = 2,
+* Figure 3 — optimal costs 35 / 20 / 15 / 11 for k = 1..4 and the
+  non-monotonicity of the optimal blue sets,
+* Figure 4 — the barrier (tree-decomposition) view of a solution,
+* Figure 5 — the SOAR-Gather dynamic-programming tables of the running
+  example, re-derived by hand from Eq. (4) and compared entry by entry,
+* Section 5.1 takeaway — the ordering of the second-best strategies under
+  power-law vs uniform loads (exercised at reduced scale in
+  ``benchmarks/bench_fig6_strategies.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import utilization_cost, utilization_cost_barrier
+from repro.core.gather import soar_gather
+from repro.core.reduce_op import total_messages
+from repro.core.soar import solve
+from repro.core.tree import TreeNetwork
+from repro.experiments.motivating import motivating_tree
+
+
+class TestFigure1:
+    """All-red sends 14 messages, all-blue sends 5 (one per edge)."""
+
+    @pytest.fixture
+    def tree(self) -> TreeNetwork:
+        return TreeNetwork(
+            parents={"r": "d", "left": "r", "mid": "r", "mid_l": "mid", "mid_r": "mid"},
+            loads={"r": 1, "left": 2, "mid_l": 1, "mid_r": 2},
+        )
+
+    def test_all_red_message_count(self, tree):
+        assert total_messages(tree, frozenset()) == 14
+
+    def test_all_blue_message_count(self, tree):
+        assert total_messages(tree, frozenset(tree.switches)) == 5
+
+    def test_all_blue_needs_five_switches(self, tree):
+        assert tree.num_switches == 5
+
+
+class TestFigure2And3:
+    def test_strategy_costs(self, paper_tree):
+        # Figure 2: Top picks {r, right mid}, Max the two heaviest leaves,
+        # Level the middle level, SOAR the optimal mixed placement.
+        assert utilization_cost(paper_tree, {"s0_0", "s1_1"}) == 27.0
+        assert utilization_cost(paper_tree, {"s2_1", "s2_2"}) == 24.0
+        assert utilization_cost(paper_tree, {"s1_0", "s1_1"}) == 21.0
+        assert utilization_cost(paper_tree, {"s1_1", "s2_1"}) == 20.0
+
+    def test_optimal_costs_per_budget(self, paper_tree):
+        for budget, expected in {1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}.items():
+            assert solve(paper_tree, budget).cost == expected
+
+    def test_uniqueness_of_optima(self, paper_tree):
+        # The paper notes the optima for k = 2 and k = 3 are unique, while
+        # k = 1 and k = 4 admit several optimal sets.  Count them by brute
+        # force over all subsets of exactly k switches.
+        from itertools import combinations
+
+        def count_optima(budget: int) -> int:
+            best = min(
+                utilization_cost(paper_tree, set(subset))
+                for subset in combinations(paper_tree.switches, budget)
+            )
+            return sum(
+                1
+                for subset in combinations(paper_tree.switches, budget)
+                if utilization_cost(paper_tree, set(subset)) == best
+            )
+
+        assert count_optima(2) == 1
+        assert count_optima(3) == 1
+        assert count_optima(1) > 1
+        assert count_optima(4) > 1
+
+    def test_optimal_sets_not_monotone(self, paper_tree):
+        # Figure 3: the unique optimum for k = 2 is {s1_1, s2_1} but the
+        # unique optimum for k = 3 drops s1_1 entirely.
+        assert solve(paper_tree, 2).blue_nodes == frozenset({"s1_1", "s2_1"})
+        assert solve(paper_tree, 3).blue_nodes == frozenset({"s2_1", "s2_2", "s2_3"})
+        assert "s1_1" not in solve(paper_tree, 3).blue_nodes
+
+
+class TestFigure4BarrierDecomposition:
+    """Eq. (3): the cost decomposes over closest-blue-ancestor distances."""
+
+    def test_equation3_worked_example(self, paper_tree):
+        blue = {"s1_1", "s2_1"}
+        # The paper evaluates Eq. (3) on Figure 3b as (3 + 2) + (2*3 + 5 + 4) = 20.
+        assert utilization_cost_barrier(paper_tree, blue) == 20.0
+        assert utilization_cost(paper_tree, blue) == 20.0
+
+    def test_decomposition_into_subtrees(self, paper_tree):
+        # Detach the subtree rooted at each blue node (the blue node acts as
+        # that piece's destination), and replace the blue node by a load-1
+        # leaf in the remaining tree.  The piece costs sum to the total cost.
+        blue = {"s1_1", "s2_1"}
+        # Piece rooted at the blue leaf s2_1: no tree edges below it -> cost 0.
+        piece_leaf_cost = 0.0
+        # Piece rooted at the blue switch s1_1: its two leaves (loads 5, 4)
+        # each cross one unit-rate edge towards s1_1.
+        piece_s1_1_cost = 5.0 + 4.0
+        # Remaining tree: s2_1 and s1_1 become leaves of load 1.
+        upper_tree = TreeNetwork(
+            parents={"s0_0": "d", "s1_0": "s0_0", "s2_0": "s1_0", "s2_1": "s1_0", "s1_1": "s0_0"},
+            loads={"s2_0": 2, "s2_1": 1, "s1_1": 1},
+        )
+        total = piece_leaf_cost + piece_s1_1_cost + utilization_cost(upper_tree, frozenset())
+        assert total == utilization_cost(paper_tree, blue)
+
+
+class TestFigure5GatherTables:
+    """The DP tables of the running example, derived by hand from Eq. (4).
+
+    Node naming: ``a = s1_0`` is the internal switch above the leaves with
+    loads (2, 6); ``b = s1_1`` is above the leaves with loads (5, 4);
+    ``r = s0_0`` is the root.  All rates are 1 and k = 2.
+    """
+
+    @pytest.fixture
+    def gathered(self, paper_tree):
+        return soar_gather(paper_tree, 2)
+
+    def test_leaf_tables(self, gathered):
+        # A leaf with load L at depth 3: red row l*L, blue row l (for i >= 1).
+        for leaf, load in (("s2_0", 2), ("s2_1", 6), ("s2_2", 5), ("s2_3", 4)):
+            table = gathered.tables[leaf]
+            expected_red = np.array([0.0, 1.0, 2.0, 3.0]) * load
+            expected_blue = np.array([0.0, 1.0, 2.0, 3.0])
+            assert table.x[:, 0] == pytest.approx(expected_red)
+            assert table.x[:, 1] == pytest.approx(np.minimum(expected_red, expected_blue))
+
+    def test_left_internal_node_table(self, gathered):
+        # Node a (children loads 2 and 6), hand-derived from Eq. (4):
+        #   X_a(l, 0) = 8 + 8l, X_a(l, 1) = min(8 + l, 3 + 3l, 7 + 7l),
+        #   X_a(l, 2) = min(3 + l, 2 + 2l).
+        expected = np.array(
+            [
+                [8.0, 3.0, 2.0],
+                [16.0, 6.0, 4.0],
+                [24.0, 9.0, 5.0],
+            ]
+        )
+        assert gathered.tables["s1_0"].x == pytest.approx(expected)
+
+    def test_right_internal_node_table(self, gathered):
+        # Node b (children loads 5 and 4): X_b(l, 0) = 9 + 9l,
+        # X_b(l, 1) = min(9 + l, 5 + 5l, 6 + 6l), X_b(l, 2) = min(5 + l, 2 + 2l).
+        expected = np.array(
+            [
+                [9.0, 5.0, 2.0],
+                [18.0, 10.0, 4.0],
+                [27.0, 11.0, 6.0],
+            ]
+        )
+        assert gathered.tables["s1_1"].x == pytest.approx(expected)
+
+    def test_root_table(self, gathered):
+        # Root r: X_r(0, .) = [34, 24, 16], X_r(1, .) = [51, 35, 20].
+        expected = np.array(
+            [
+                [34.0, 24.0, 16.0],
+                [51.0, 35.0, 20.0],
+            ]
+        )
+        assert gathered.tables["s0_0"].x == pytest.approx(expected)
+
+    def test_root_row_one_equals_figure3_costs(self, gathered):
+        # X_r(1, k) is the minimum utilization with budget k (Eq. 6).
+        assert gathered.cost_for_budget(0) == 51.0
+        assert gathered.cost_for_budget(1) == 35.0
+        assert gathered.cost_for_budget(2) == 20.0
+
+    def test_blue_red_breakdown_at_root(self, gathered):
+        # For (l = 1, i = 2) the red root achieves 20 while colouring the
+        # root blue costs 25 (Section 4.3's worked derivation).
+        table = gathered.tables["s0_0"]
+        assert table.y_red[1, 2] == pytest.approx(20.0)
+        assert table.y_blue[1, 2] == pytest.approx(25.0)
+        # And for (l = 1, i = 1): red root relays 35, blue root also 35.
+        assert table.y_red[1, 1] == pytest.approx(35.0)
+        assert table.y_blue[1, 1] == pytest.approx(35.0)
+
+
+class TestSection51Takeaways:
+    """Qualitative claims of the strategy comparison at a reduced scale."""
+
+    def test_soar_outperforms_other_strategies(self):
+        from repro.baselines.strategies import PAPER_STRATEGIES
+
+        rng = np.random.default_rng(2)
+        from repro.topology.binary_tree import bt_network
+        from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
+
+        tree = bt_network(64)
+        tree = tree.with_loads(sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=rng))
+        costs = {
+            name: utilization_cost(tree, strategy(tree, 8))
+            for name, strategy in PAPER_STRATEGIES.items()
+        }
+        assert costs["SOAR"] == min(costs.values())
+
+    def test_example_tree_is_bt8(self):
+        tree = motivating_tree()
+        assert tree.num_switches == 7
+        assert tree.total_load == 17

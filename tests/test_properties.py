@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bruteforce import solve_bruteforce
+from repro.core.cost import (
+    all_blue_cost,
+    all_red_cost,
+    utilization_cost,
+    utilization_cost_barrier,
+)
+from repro.core.reduce_op import link_message_counts, total_messages
+from repro.core.soar import solve, solve_budget_sweep
+from repro.core.tree import TreeNetwork
+from repro.simulation.dataplane import simulate_reduce
+
+# --------------------------------------------------------------------------- #
+# strategies generating random φ-BIC instances
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def tree_instances(draw, max_switches: int = 12, max_load: int = 5):
+    """Generate a random tree network with random rates and loads.
+
+    Switch ``i`` (for ``i >= 1``) attaches to a uniformly random earlier
+    switch, which generates every labelled rooted tree shape with positive
+    probability while keeping construction linear.
+    """
+    num_switches = draw(st.integers(min_value=1, max_value=max_switches))
+    parents = {0: "d"}
+    for node in range(1, num_switches):
+        parents[node] = draw(st.integers(min_value=0, max_value=node - 1))
+    rates = {
+        node: draw(st.sampled_from([0.25, 0.5, 1.0, 2.0, 8.0])) for node in range(num_switches)
+    }
+    loads = {
+        node: draw(st.integers(min_value=0, max_value=max_load)) for node in range(num_switches)
+    }
+    return TreeNetwork(parents, rates=rates, loads=loads)
+
+
+@st.composite
+def instances_with_placement(draw):
+    """A random instance together with a random valid placement."""
+    tree = draw(tree_instances())
+    switches = list(tree.switches)
+    blue = draw(st.sets(st.sampled_from(switches), max_size=len(switches)))
+    return tree, frozenset(blue)
+
+
+common_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------- #
+# cost-model invariants
+# --------------------------------------------------------------------------- #
+
+
+@common_settings
+@given(instances_with_placement())
+def test_barrier_formulation_equals_edge_formulation(data):
+    tree, blue = data
+    assert abs(utilization_cost(tree, blue) - utilization_cost_barrier(tree, blue)) < 1e-9
+
+
+@common_settings
+@given(instances_with_placement())
+def test_utilization_bounded_by_extremes(data):
+    tree, blue = data
+    cost = utilization_cost(tree, blue)
+    assert cost >= 0.0
+    # A blue switch always emits one message (the paper's Algorithm 1
+    # convention), so a blue node above an *empty* subtree can add cost that
+    # the all-red solution would not pay.  Whenever every blue subtree
+    # actually carries load, aggregation can only help.
+    if all(tree.subtree_load(node) > 0 for node in blue):
+        assert cost <= all_red_cost(tree) + 1e-9
+    # The optimal bounded placement, by contrast, is always at least as good
+    # as all-red regardless of where the load sits.
+    assert solve(tree, len(blue)).cost <= all_red_cost(tree) + 1e-9
+
+
+@common_settings
+@given(instances_with_placement())
+def test_message_counts_are_consistent(data):
+    tree, blue = data
+    counts = link_message_counts(tree, blue)
+    assert set(counts) == set(tree.switches)
+    for switch, count in counts.items():
+        children_out = sum(counts[child] for child in tree.children(switch))
+        arrived = children_out + tree.load(switch)
+        if switch in blue:
+            assert count == 1
+        else:
+            assert count == arrived
+    assert total_messages(tree, blue) == sum(counts.values())
+
+
+@common_settings
+@given(instances_with_placement())
+def test_dataplane_busy_time_matches_phi(data):
+    tree, blue = data
+    # The dataplane skips messages from empty blue subtrees, so compare
+    # against the analytic cost only when every blue subtree carries load;
+    # otherwise busy time is a lower bound.
+    result = simulate_reduce(tree, blue)
+    analytic = utilization_cost(tree, blue)
+    empty_blue = any(tree.subtree_load(node) == 0 for node in blue)
+    if empty_blue:
+        assert result.total_busy_time <= analytic + 1e-9
+    else:
+        assert abs(result.total_busy_time - analytic) < 1e-9
+    assert result.servers_delivered == tree.total_load
+
+
+# --------------------------------------------------------------------------- #
+# SOAR invariants
+# --------------------------------------------------------------------------- #
+
+
+@common_settings
+@given(tree_instances(max_switches=8), st.integers(min_value=0, max_value=8))
+def test_soar_is_optimal(tree, budget):
+    solution = solve(tree, budget)
+    expected = solve_bruteforce(tree, budget)
+    assert abs(solution.cost - expected.cost) < 1e-9
+    assert abs(solution.cost - solution.predicted_cost) < 1e-9
+    assert len(solution.blue_nodes) <= budget
+
+
+@common_settings
+@given(tree_instances(max_switches=14))
+def test_soar_costs_monotone_in_budget(tree):
+    budgets = range(0, min(tree.num_switches, 6) + 1)
+    sweep = solve_budget_sweep(tree, budgets)
+    costs = [sweep[k].cost for k in sorted(sweep)]
+    for earlier, later in zip(costs, costs[1:]):
+        assert later <= earlier + 1e-9
+    # Budget 0 equals all-red; full budget equals the all-blue optimum bound.
+    assert abs(costs[0] - all_red_cost(tree)) < 1e-9
+    assert costs[-1] <= all_red_cost(tree) + 1e-9
+
+
+@common_settings
+@given(tree_instances(max_switches=14), st.integers(min_value=0, max_value=6))
+def test_soar_placement_respects_availability(tree, budget):
+    rng = np.random.default_rng(0)
+    switches = list(tree.switches)
+    keep = [s for s in switches if rng.random() < 0.6] or [switches[0]]
+    restricted = tree.with_available(keep)
+    solution = solve(restricted, budget)
+    assert solution.blue_nodes <= frozenset(keep)
+    assert solution.cost <= all_red_cost(restricted) + 1e-9
+
+
+@common_settings
+@given(tree_instances(max_switches=12))
+def test_full_budget_reaches_all_blue_optimum(tree):
+    # With budget n, SOAR is at least as good as colouring everything blue.
+    solution = solve(tree, tree.num_switches)
+    assert solution.cost <= all_blue_cost(tree) + 1e-9
+
+
+@common_settings
+@given(tree_instances(max_switches=12), st.integers(min_value=0, max_value=5))
+def test_soar_beats_every_singleton_heuristic(tree, budget):
+    """The optimal cost lower-bounds any specific placement of size <= budget."""
+    solution = solve(tree, budget)
+    switches = sorted(tree.switches, key=repr)[: max(budget, 0)]
+    assert solution.cost <= utilization_cost(tree, frozenset(switches)) + 1e-9

@@ -1,0 +1,101 @@
+"""Property-based tests for the online extension and the byte model."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.bytes_model import analytic_link_bytes, message_group_sizes
+from repro.core.reduce_op import link_message_counts
+from repro.core.soar import solve
+from repro.online.budget_allocation import allocate_budgets
+from repro.online.capacity import CapacityTracker
+from repro.topology.binary_tree import complete_binary_tree
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def loaded_binary_trees(draw):
+    """A small complete binary tree with random leaf loads."""
+    num_leaves = draw(st.sampled_from([2, 4, 8]))
+    loads = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=num_leaves,
+            max_size=num_leaves,
+        )
+    )
+    return complete_binary_tree(num_leaves, leaf_loads=loads)
+
+
+@common_settings
+@given(loaded_binary_trees(), st.integers(min_value=0, max_value=10))
+def test_group_sizes_conserve_servers(tree, budget):
+    blue = solve(tree, budget).blue_nodes
+    groups = message_group_sizes(tree, blue)
+    counts = link_message_counts(tree, blue)
+    for switch, counter in groups.items():
+        servers = sum(size * count for size, count in counter.items())
+        # Every server below a link is represented exactly once in the
+        # messages crossing that link.
+        assert servers == tree.subtree_load(switch)
+        # The content-carrying message count never exceeds the analytic one.
+        assert sum(counter.values()) <= counts[switch]
+
+
+@common_settings
+@given(loaded_binary_trees(), st.integers(min_value=0, max_value=10))
+def test_linear_size_model_bytes_proportional_to_messages(tree, budget):
+    """With a constant per-message size the byte model reduces to message counts."""
+    blue = solve(tree, budget).blue_nodes
+    link_bytes = analytic_link_bytes(tree, blue, lambda servers: 100.0)
+    groups = message_group_sizes(tree, blue)
+    for switch, value in link_bytes.items():
+        assert value == 100.0 * sum(groups[switch].values())
+
+
+@common_settings
+@given(
+    loaded_binary_trees(),
+    st.lists(st.sets(st.integers(min_value=0, max_value=6), max_size=4), min_size=1, max_size=5),
+)
+def test_capacity_tracker_never_overcommits(tree, index_sets):
+    tracker = CapacityTracker(tree, 2)
+    switches = list(tree.switches)
+    for index_set in index_sets:
+        requested = frozenset(switches[i % len(switches)] for i in index_set)
+        allowed = requested & tracker.available()
+        tracker.consume(allowed)
+    for switch in switches:
+        assert tracker.residual(switch) >= 0
+    used = sum(2 - tracker.residual(s) for s in switches)
+    assert used == sum(len(assignment) for assignment in tracker.assignments)
+
+
+@common_settings
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=4, max_size=4),
+        min_size=1,
+        max_size=3,
+    ),
+    st.integers(min_value=0, max_value=6),
+)
+def test_budget_allocation_dominates_every_uniform_split(leaf_load_lists, total_budget):
+    tree = complete_binary_tree(4)
+    leaves = list(tree.leaves())
+    workloads = [dict(zip(leaves, loads)) for loads in leaf_load_lists]
+    allocation = allocate_budgets(tree, workloads, total_budget)
+    assert sum(allocation.budgets) <= total_budget
+    assert allocation.total_cost <= allocation.uniform_cost + 1e-9
+    # The reported total cost matches re-solving each workload at its budget.
+    recomputed = sum(
+        solve(tree.with_loads(loads), budget).cost
+        for loads, budget in zip(workloads, allocation.budgets)
+    )
+    assert abs(recomputed - allocation.total_cost) < 1e-9

@@ -1,0 +1,231 @@
+"""Tests for the Reduce message accounting and the utilization cost metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import (
+    all_blue_cost,
+    all_red_cost,
+    closest_blue_ancestor_distance,
+    cost_reduction,
+    normalized_utilization,
+    per_link_utilization,
+    utilization_cost,
+    utilization_cost_barrier,
+)
+from repro.core.reduce_op import (
+    link_message_counts,
+    messages_received_at_destination,
+    run_reduce,
+    total_messages,
+    validate_placement,
+)
+from repro.core.tree import TreeNetwork
+from repro.exceptions import PlacementError
+from repro.topology.binary_tree import complete_binary_tree
+
+
+@pytest.fixture
+def figure1_tree() -> TreeNetwork:
+    """The 6-server example of Figure 1.
+
+    Destination ``d`` above root ``r``.  Server x4 attaches directly to the
+    root; a leaf switch holds x1, x2; an internal switch has two leaf
+    children holding x3 and x5, x6.  With unit rates, the all-red solution
+    sends 14 messages over the 5 edges (2 + 1 + 2 + 3 + 6, as annotated in
+    Figure 1a) and the all-blue solution sends 5 (Figure 1b).
+    """
+    return TreeNetwork(
+        parents={"r": "d", "left": "r", "mid": "r", "mid_l": "mid", "mid_r": "mid"},
+        loads={"r": 1, "left": 2, "mid_l": 1, "mid_r": 2},
+    )
+
+
+class TestLinkMessageCounts:
+    def test_all_red_figure1(self, figure1_tree):
+        counts = link_message_counts(figure1_tree, frozenset())
+        assert counts["left"] == 2
+        assert counts["mid_l"] == 1
+        assert counts["mid_r"] == 2
+        assert counts["mid"] == 3
+        assert counts["r"] == 6
+        assert total_messages(figure1_tree, frozenset()) == 14
+
+    def test_all_blue_figure1(self, figure1_tree):
+        blue = frozenset(figure1_tree.switches)
+        counts = link_message_counts(figure1_tree, blue)
+        assert all(count == 1 for count in counts.values())
+        assert total_messages(figure1_tree, blue) == 5
+
+    def test_red_forwards_children_plus_local(self):
+        tree = TreeNetwork(
+            parents={"r": "d", "a": "r"},
+            loads={"r": 2, "a": 3},
+        )
+        counts = link_message_counts(tree, frozenset())
+        assert counts["a"] == 3
+        assert counts["r"] == 5
+
+    def test_blue_aggregates_to_single_message(self):
+        tree = TreeNetwork(
+            parents={"r": "d", "a": "r"},
+            loads={"r": 2, "a": 3},
+        )
+        counts = link_message_counts(tree, {"r"})
+        assert counts["a"] == 3
+        assert counts["r"] == 1
+
+    def test_loads_override(self, paper_tree):
+        counts = link_message_counts(paper_tree, frozenset(), loads={"s2_0": 10})
+        assert counts["s2_0"] == 10
+        assert counts["s2_1"] == 0
+        assert counts[paper_tree.root] == 10
+
+    def test_messages_at_destination(self, paper_tree):
+        assert messages_received_at_destination(paper_tree, frozenset()) == 17
+        assert messages_received_at_destination(paper_tree, {paper_tree.root}) == 1
+
+
+class TestValidatePlacement:
+    def test_accepts_valid(self, paper_tree):
+        assert validate_placement(paper_tree, {"s1_0"}, budget=2) == frozenset({"s1_0"})
+
+    def test_rejects_non_switch(self, paper_tree):
+        with pytest.raises(PlacementError):
+            validate_placement(paper_tree, {"ghost"})
+        with pytest.raises(PlacementError):
+            validate_placement(paper_tree, {paper_tree.destination})
+
+    def test_rejects_over_budget(self, paper_tree):
+        with pytest.raises(PlacementError):
+            validate_placement(paper_tree, {"s1_0", "s1_1"}, budget=1)
+
+    def test_rejects_outside_availability(self, paper_tree):
+        restricted = paper_tree.with_available({"s1_0"})
+        with pytest.raises(PlacementError):
+            validate_placement(restricted, {"s1_1"})
+        assert validate_placement(restricted, {"s1_1"}, enforce_available=False)
+
+
+class TestUtilizationCost:
+    def test_motivating_example_all_red(self, paper_tree):
+        # 17 servers, each message travels 3 unit-rate hops.
+        assert all_red_cost(paper_tree) == pytest.approx(51.0)
+
+    def test_motivating_example_all_blue(self, paper_tree):
+        # One message per edge: 7 edges.
+        assert all_blue_cost(paper_tree) == pytest.approx(7.0)
+
+    def test_figure2_strategy_costs(self, paper_tree):
+        assert utilization_cost(paper_tree, {"s0_0", "s1_1"}) == pytest.approx(27.0)  # Top
+        assert utilization_cost(paper_tree, {"s2_1", "s2_2"}) == pytest.approx(24.0)  # Max
+        assert utilization_cost(paper_tree, {"s1_0", "s1_1"}) == pytest.approx(21.0)  # Level
+        assert utilization_cost(paper_tree, {"s1_1", "s2_1"}) == pytest.approx(20.0)  # SOAR
+
+    def test_rates_weight_messages(self, small_tree):
+        # all red: a sends 3 msgs over rho=1 then 3 over rho(r)=0.5;
+        #          b sends 1 msg over rho=0.25 then 1 over rho(r)=0.5.
+        expected = 3 * 1.0 + 1 * 0.25 + 4 * 0.5
+        assert all_red_cost(small_tree) == pytest.approx(expected)
+
+    def test_per_link_utilization(self, small_tree):
+        per_link = per_link_utilization(small_tree, frozenset())
+        assert per_link["a"] == pytest.approx(3.0)
+        assert per_link["b"] == pytest.approx(0.25)
+        assert per_link["r"] == pytest.approx(2.0)
+
+    def test_barrier_formulation_matches(self, paper_tree, small_tree):
+        for tree in (paper_tree, small_tree):
+            for blue in (frozenset(), {tree.root}, frozenset(tree.leaves())):
+                assert utilization_cost_barrier(tree, blue) == pytest.approx(
+                    utilization_cost(tree, blue)
+                )
+
+    def test_closest_blue_ancestor_distance(self, paper_tree):
+        blue = frozenset({"s1_0"})
+        assert closest_blue_ancestor_distance(paper_tree, "s2_0", blue) == 1
+        assert closest_blue_ancestor_distance(paper_tree, "s2_2", blue) == 3
+        assert closest_blue_ancestor_distance(paper_tree, "s1_0", blue) == 2
+        assert closest_blue_ancestor_distance(paper_tree, paper_tree.root, blue) == 1
+
+    def test_normalized_utilization_and_reduction(self, paper_tree):
+        normalized = normalized_utilization(paper_tree, {"s1_1", "s2_1"})
+        assert normalized == pytest.approx(20.0 / 51.0)
+        assert cost_reduction(paper_tree, {"s1_1", "s2_1"}) == pytest.approx(1 - 20.0 / 51.0)
+
+    def test_zero_load_network(self):
+        tree = TreeNetwork({"r": "d", "a": "r"})
+        assert all_red_cost(tree) == 0.0
+        assert normalized_utilization(tree, frozenset()) == 0.0
+
+    def test_all_blue_respects_availability_flag(self, paper_tree):
+        restricted = paper_tree.with_available({"s1_0"})
+        unrestricted = all_blue_cost(restricted)
+        respected = all_blue_cost(restricted, respect_availability=True)
+        assert respected >= unrestricted
+
+
+class TestContentCarryingReduce:
+    @staticmethod
+    def _produce(switch, count):
+        return [{switch: 1} for _ in range(count)]
+
+    @staticmethod
+    def _combine(payloads):
+        merged: dict = {}
+        for payload in payloads:
+            for key, value in payload.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    @staticmethod
+    def _sizeof(payload):
+        return 10.0 * len(payload)
+
+    def test_message_counts_match_analytic_model(self, paper_tree):
+        blue = {"s1_1", "s2_1"}
+        trace = run_reduce(paper_tree, blue, self._produce, self._combine, self._sizeof)
+        analytic = link_message_counts(paper_tree, blue)
+        assert trace.link_messages == analytic
+
+    def test_result_aggregates_all_servers(self, paper_tree):
+        trace = run_reduce(
+            paper_tree, {"s1_0"}, self._produce, self._combine, self._sizeof
+        )
+        assert trace.result is not None
+        assert sum(trace.result.values()) == paper_tree.total_load
+
+    def test_bytes_decrease_with_aggregation(self, paper_tree):
+        red = run_reduce(paper_tree, frozenset(), self._produce, self._combine, self._sizeof)
+        blue = run_reduce(
+            paper_tree,
+            frozenset(paper_tree.switches),
+            self._produce,
+            self._combine,
+            self._sizeof,
+        )
+        assert blue.total_bytes < red.total_bytes
+
+    def test_empty_blue_subtree_sends_nothing(self):
+        tree = TreeNetwork(
+            parents={"r": "d", "a": "r", "b": "r"},
+            loads={"a": 2},  # b's subtree is empty
+        )
+        trace = run_reduce(tree, {"b"}, self._produce, self._combine, self._sizeof)
+        assert trace.link_messages["b"] == 0
+        assert trace.link_bytes["b"] == 0.0
+
+    def test_produce_count_mismatch_raises(self, paper_tree):
+        def bad_produce(switch, count):
+            return [{switch: 1}]  # always one payload regardless of count
+
+        with pytest.raises(PlacementError):
+            run_reduce(paper_tree, frozenset(), bad_produce, self._combine, self._sizeof)
+
+    def test_trace_totals(self):
+        tree = complete_binary_tree(2, leaf_loads=[1, 1])
+        trace = run_reduce(tree, frozenset(), self._produce, self._combine, self._sizeof)
+        assert trace.total_messages == sum(trace.link_messages.values())
+        assert trace.total_bytes == sum(trace.link_bytes.values())
+        assert trace.messages_at_destination == 2

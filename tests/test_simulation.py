@@ -1,0 +1,139 @@
+"""Tests for the event-driven software dataplane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import utilization_cost
+from repro.core.soar import solve
+from repro.exceptions import SimulationError
+from repro.simulation.dataplane import simulate_reduce
+from repro.simulation.events import EventQueue
+from repro.topology.binary_tree import complete_binary_tree
+from repro.workload.rates import apply_rate_scheme
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(3.0, "c")
+        queue.schedule(1.0, "a")
+        queue.schedule(2.0, "b")
+        assert [queue.pop().kind for _ in range(3)] == ["a", "b", "c"]
+        assert queue.now == 3.0
+        assert queue.processed == 3
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        assert queue.pop().kind == "first"
+        assert queue.pop().kind == "second"
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "later")
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.schedule(1.0, "too-late")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0, "x")
+        assert queue and len(queue) == 1
+
+
+class TestDataplane:
+    def test_busy_time_equals_utilization_all_red(self, paper_tree):
+        result = simulate_reduce(paper_tree, frozenset())
+        assert result.total_busy_time == pytest.approx(utilization_cost(paper_tree, frozenset()))
+
+    def test_busy_time_equals_utilization_for_soar_placement(self, paper_tree):
+        for budget in (1, 2, 3, 4):
+            blue = solve(paper_tree, budget).blue_nodes
+            result = simulate_reduce(paper_tree, blue)
+            assert result.total_busy_time == pytest.approx(utilization_cost(paper_tree, blue))
+
+    def test_busy_time_with_heterogeneous_rates(self, small_tree):
+        for blue in (frozenset(), frozenset({"r"}), frozenset({"a", "r"})):
+            result = simulate_reduce(small_tree, blue)
+            assert result.total_busy_time == pytest.approx(utilization_cost(small_tree, blue))
+
+    def test_all_servers_accounted_for(self, paper_tree):
+        result = simulate_reduce(paper_tree, {"s1_0"})
+        assert result.servers_delivered == paper_tree.total_load
+        assert result.messages_delivered >= 1
+
+    def test_all_blue_delivers_single_message(self, paper_tree):
+        result = simulate_reduce(paper_tree, frozenset(paper_tree.switches))
+        assert result.messages_delivered == 1
+
+    def test_completion_time_positive_and_bounded(self, paper_tree):
+        result = simulate_reduce(paper_tree, frozenset())
+        # Completion cannot beat the depth of the farthest message and cannot
+        # exceed the total busy time (links work in parallel).
+        assert result.completion_time >= 3.0
+        assert result.completion_time <= result.total_busy_time
+
+    def test_aggregation_reduces_completion_time_under_congestion(self):
+        tree = complete_binary_tree(8, leaf_loads=[8] * 8)
+        red = simulate_reduce(tree, frozenset())
+        blue = simulate_reduce(tree, frozenset(tree.switches))
+        assert blue.completion_time < red.completion_time
+
+    def test_bottleneck_is_root_link_when_red(self, paper_tree):
+        result = simulate_reduce(paper_tree, frozenset())
+        assert result.link_busy[paper_tree.root] == result.bottleneck_busy_time
+
+    def test_faster_links_shrink_completion(self, paper_tree):
+        fast = apply_rate_scheme(paper_tree, "exponential")
+        slow_result = simulate_reduce(paper_tree, frozenset())
+        fast_result = simulate_reduce(fast, frozenset())
+        assert fast_result.completion_time < slow_result.completion_time
+
+    def test_message_size_scales_times(self, paper_tree):
+        small = simulate_reduce(paper_tree, frozenset(), message_size=1.0)
+        large = simulate_reduce(paper_tree, frozenset(), message_size=2.0)
+        assert large.total_busy_time == pytest.approx(2.0 * small.total_busy_time)
+
+    def test_aggregate_size_override(self, paper_tree):
+        bigger_aggregates = simulate_reduce(
+            paper_tree, {paper_tree.root}, aggregate_size=3.0
+        )
+        default = simulate_reduce(paper_tree, {paper_tree.root})
+        assert bigger_aggregates.link_busy[paper_tree.root] > default.link_busy[paper_tree.root]
+
+    def test_injection_jitter_reproducible(self, paper_tree):
+        first = simulate_reduce(paper_tree, frozenset(), injection_jitter=1.0, rng=5)
+        second = simulate_reduce(paper_tree, frozenset(), injection_jitter=1.0, rng=5)
+        assert first.completion_time == pytest.approx(second.completion_time)
+
+    def test_jitter_does_not_change_busy_time(self, paper_tree):
+        jittered = simulate_reduce(paper_tree, frozenset(), injection_jitter=2.0, rng=6)
+        assert jittered.total_busy_time == pytest.approx(
+            utilization_cost(paper_tree, frozenset())
+        )
+
+    def test_invalid_message_size(self, paper_tree):
+        with pytest.raises(SimulationError):
+            simulate_reduce(paper_tree, frozenset(), message_size=0.0)
+
+    def test_blue_switch_with_empty_subtree_is_silent(self):
+        tree = complete_binary_tree(4, leaf_loads=[3, 0, 0, 2])
+        # Make the zero-load leaf blue; the run must terminate and deliver
+        # every server exactly once.
+        result = simulate_reduce(tree, {"s2_1"})
+        assert result.servers_delivered == 5
+        assert result.link_messages["s2_1"] == 0
+
+    def test_message_counts_match_analytic_model(self, loaded_bt16):
+        from repro.core.reduce_op import link_message_counts
+
+        blue = solve(loaded_bt16, 4).blue_nodes
+        result = simulate_reduce(loaded_bt16, blue)
+        assert result.link_messages == link_message_counts(loaded_bt16, blue)

@@ -1,0 +1,255 @@
+"""Tests for the SOAR algorithm: gather tables, colouring, and the solver facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import solve_bruteforce
+from repro.core.color import soar_color
+from repro.core.cost import utilization_cost
+from repro.core.gather import BLUE, RED, normalize_budget, soar_gather
+from repro.core.soar import optimal_cost, solve, solve_budget_sweep
+from repro.core.tree import TreeNetwork
+from repro.exceptions import InvalidBudgetError, PlacementError
+from repro.topology.binary_tree import complete_binary_tree
+
+
+class TestGatherTables:
+    def test_table_shapes(self, paper_tree):
+        gathered = soar_gather(paper_tree, 3)
+        for switch in paper_tree.switches:
+            table = gathered.tables[switch]
+            assert table.x.shape == (paper_tree.depth(switch) + 1, 4)
+            assert table.y_blue.shape == table.x.shape
+            assert table.y_red.shape == table.x.shape
+            assert table.choice.shape == table.x.shape
+
+    def test_leaf_base_case(self, paper_tree):
+        gathered = soar_gather(paper_tree, 2)
+        table = gathered.tables["s2_1"]  # leaf with load 6, depth 3, unit rates
+        # i = 0: red leaf contributes L(v) * l for every distance l.
+        assert table.x[:, 0] == pytest.approx([0.0, 6.0, 12.0, 18.0])
+        # i >= 1: a blue leaf contributes l.
+        assert table.x[:, 1] == pytest.approx([0.0, 1.0, 2.0, 3.0])
+        assert table.x[:, 2] == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_leaf_base_case_with_rates(self, small_tree):
+        gathered = soar_gather(small_tree, 1)
+        table = gathered.tables["b"]  # load 1, rho(b) = 0.25, rho(r) = 0.5
+        assert table.x[:, 0] == pytest.approx([0.0, 0.25, 0.75])
+        assert table.x[:, 1] == pytest.approx([0.0, 0.25, 0.75])
+
+    def test_unavailable_leaf_cannot_be_blue(self, paper_tree):
+        restricted = paper_tree.with_available(set(paper_tree.switches) - {"s2_1"})
+        gathered = soar_gather(restricted, 2)
+        table = gathered.tables["s2_1"]
+        assert np.all(np.isinf(table.y_blue))
+        assert table.x[:, 1] == pytest.approx(table.x[:, 0])
+
+    def test_root_table_matches_bruteforce_for_every_budget(self, paper_tree):
+        gathered = soar_gather(paper_tree, 4)
+        for budget in range(5):
+            expected = solve_bruteforce(paper_tree, budget).cost
+            assert gathered.cost_for_budget(budget) == pytest.approx(expected)
+
+    def test_optimal_cost_property(self, paper_tree):
+        gathered = soar_gather(paper_tree, 2)
+        assert gathered.optimal_cost == pytest.approx(20.0)
+
+    def test_x_is_monotone_in_budget(self, loaded_bt16):
+        gathered = soar_gather(loaded_bt16, 6)
+        for table in gathered.tables.values():
+            diffs = np.diff(table.x, axis=1)
+            assert np.all(diffs <= 1e-9)
+
+    def test_x_is_monotone_in_distance(self, loaded_bt16):
+        # Farther blue ancestors can only cost more (rho is non-negative).
+        gathered = soar_gather(loaded_bt16, 4)
+        for table in gathered.tables.values():
+            diffs = np.diff(table.x, axis=0)
+            assert np.all(diffs >= -1e-9)
+
+    def test_choice_consistent_with_y_tables(self, loaded_bt16):
+        gathered = soar_gather(loaded_bt16, 4)
+        for table in gathered.tables.values():
+            blue_better = table.y_blue < table.y_red
+            assert np.array_equal(table.choice == BLUE, blue_better)
+            assert np.array_equal(table.choice == RED, ~blue_better)
+
+    def test_budget_clamped_to_available(self, paper_tree):
+        restricted = paper_tree.with_available({"s1_0", "s1_1"})
+        gathered = soar_gather(restricted, 10)
+        assert gathered.budget == 2
+        assert gathered.requested_budget == 10
+
+    def test_normalize_budget_validation(self, paper_tree):
+        with pytest.raises(InvalidBudgetError):
+            normalize_budget(paper_tree, -1)
+        with pytest.raises(InvalidBudgetError):
+            normalize_budget(paper_tree, 1.5)  # type: ignore[arg-type]
+        with pytest.raises(InvalidBudgetError):
+            normalize_budget(paper_tree, True)  # type: ignore[arg-type]
+        assert normalize_budget(paper_tree, 100) == paper_tree.num_switches
+
+
+class TestColor:
+    def test_budget_zero_yields_empty_set(self, paper_tree):
+        gathered = soar_gather(paper_tree, 0)
+        assert soar_color(paper_tree, gathered) == frozenset()
+
+    def test_traceback_cost_matches_table(self, loaded_bt16):
+        gathered = soar_gather(loaded_bt16, 5)
+        for budget in range(6):
+            blue = soar_color(loaded_bt16, gathered, budget=budget)
+            assert len(blue) <= budget
+            assert utilization_cost(loaded_bt16, blue) == pytest.approx(
+                gathered.cost_for_budget(budget)
+            )
+
+    def test_rejects_budget_above_gathered(self, paper_tree):
+        gathered = soar_gather(paper_tree, 2)
+        with pytest.raises(PlacementError):
+            soar_color(paper_tree, gathered, budget=5)
+        with pytest.raises(PlacementError):
+            soar_color(paper_tree, gathered, budget=-1)
+
+    def test_rejects_foreign_tables(self, paper_tree, small_tree):
+        gathered = soar_gather(small_tree, 1)
+        with pytest.raises(PlacementError):
+            soar_color(paper_tree, gathered)
+
+    def test_respects_availability(self, paper_tree):
+        restricted = paper_tree.with_available({"s2_0", "s2_3"})
+        gathered = soar_gather(restricted, 2)
+        blue = soar_color(restricted, gathered)
+        assert blue <= restricted.available
+
+
+class TestSolve:
+    def test_figure3_budget_sweep(self, paper_tree):
+        expected = {0: 51.0, 1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}
+        for budget, cost in expected.items():
+            solution = solve(paper_tree, budget)
+            assert solution.cost == pytest.approx(cost)
+            assert solution.predicted_cost == pytest.approx(cost)
+            assert solution.num_blue <= budget
+
+    def test_figure3_unique_solutions(self, paper_tree):
+        # The paper notes the optimal sets for k = 2 and k = 3 are unique.
+        assert solve(paper_tree, 2).blue_nodes == frozenset({"s1_1", "s2_1"})
+        assert solve(paper_tree, 3).blue_nodes == frozenset({"s2_1", "s2_2", "s2_3"})
+
+    def test_non_monotone_blue_sets(self, paper_tree):
+        # Figure 3: the optimal set for k = 3 is not a superset of k = 2.
+        k2 = solve(paper_tree, 2).blue_nodes
+        k3 = solve(paper_tree, 3).blue_nodes
+        assert not k2 <= k3
+
+    def test_solution_within_availability(self, paper_tree):
+        restricted = paper_tree.with_available({"s1_0", "s2_3"})
+        solution = solve(restricted, 2)
+        assert solution.blue_nodes <= restricted.available
+        assert solution.cost == pytest.approx(solve_bruteforce(restricted, 2).cost)
+
+    def test_budget_larger_than_network(self, paper_tree):
+        solution = solve(paper_tree, 100)
+        assert solution.cost == pytest.approx(7.0)  # all-blue cost
+
+    def test_optimal_cost_helper(self, paper_tree):
+        assert optimal_cost(paper_tree, 2) == pytest.approx(20.0)
+
+    def test_budget_sweep_shares_gather(self, paper_tree):
+        sweep = solve_budget_sweep(paper_tree, [0, 1, 2, 3, 4])
+        assert {k: s.cost for k, s in sweep.items()} == pytest.approx(
+            {0: 51.0, 1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}
+        )
+        gathers = {id(s.gather) for s in sweep.values()}
+        assert len(gathers) == 1
+
+    def test_budget_sweep_rejects_negative(self, paper_tree):
+        with pytest.raises(ValueError):
+            solve_budget_sweep(paper_tree, [-1, 2])
+
+    def test_budget_sweep_empty(self, paper_tree):
+        assert solve_budget_sweep(paper_tree, []) == {}
+
+    def test_reuse_gather_across_solves(self, paper_tree):
+        gathered = soar_gather(paper_tree, 4)
+        for budget in range(5):
+            solution = solve(paper_tree, budget, gathered=gathered)
+            assert solution.cost == pytest.approx(solve_bruteforce(paper_tree, budget).cost)
+
+    def test_costs_monotone_in_budget(self, loaded_bt16):
+        sweep = solve_budget_sweep(loaded_bt16, range(0, 10))
+        costs = [sweep[k].cost for k in sorted(sweep)]
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_internal_switch_loads_supported(self):
+        tree = TreeNetwork(
+            parents={"r": "d", "a": "r", "b": "r", "c": "a"},
+            loads={"r": 2, "a": 1, "b": 4, "c": 3},
+        )
+        for budget in range(4):
+            assert solve(tree, budget).cost == pytest.approx(
+                solve_bruteforce(tree, budget).cost
+            )
+
+    def test_zero_load_tree(self):
+        tree = complete_binary_tree(4)
+        solution = solve(tree, 2)
+        assert solution.cost == 0.0
+        assert solution.blue_nodes == frozenset()
+
+
+class TestExactKMode:
+    def test_exact_matches_bruteforce_exact(self, paper_tree):
+        for budget in range(1, 5):
+            solution = solve(paper_tree, budget, exact_k=True)
+            expected = solve_bruteforce(paper_tree, budget, exact_k=True)
+            assert solution.cost == pytest.approx(expected.cost)
+
+    def test_exact_uses_full_budget_on_positive_loads(self, paper_tree):
+        solution = solve(paper_tree, 3, exact_k=True)
+        assert solution.num_blue == 3
+
+    def test_at_most_never_worse_than_exact(self, loaded_bt16):
+        for budget in range(0, 8):
+            at_most = solve(loaded_bt16, budget).cost
+            exact = solve(loaded_bt16, budget, exact_k=True).cost
+            assert at_most <= exact + 1e-9
+
+    def test_exact_mode_zero_load_leaf(self):
+        # With a zero-load leaf, forcing exactly k blue nodes can cost more
+        # than the at-most-k optimum; both must still match their brute force.
+        tree = TreeNetwork(
+            parents={"r": "d", "a": "r", "b": "r"},
+            loads={"a": 5, "b": 0},
+        )
+        for budget in range(0, 3):
+            assert solve(tree, budget).cost == pytest.approx(
+                solve_bruteforce(tree, budget).cost
+            )
+            assert solve(tree, budget, exact_k=True).cost == pytest.approx(
+                solve_bruteforce(tree, budget, exact_k=True).cost
+            )
+
+
+class TestBruteForce:
+    def test_rejects_negative_budget(self, paper_tree):
+        with pytest.raises(InvalidBudgetError):
+            solve_bruteforce(paper_tree, -1)
+
+    def test_subset_guard(self, loaded_bt16):
+        with pytest.raises(InvalidBudgetError):
+            solve_bruteforce(loaded_bt16, 7, max_subsets=10)
+
+    def test_respects_availability(self, paper_tree):
+        restricted = paper_tree.with_available({"s2_0"})
+        result = solve_bruteforce(restricted, 3)
+        assert result.blue_nodes <= restricted.available
+
+    def test_examined_count(self, small_tree):
+        result = solve_bruteforce(small_tree, 1)
+        # 1 empty subset + 3 singletons.
+        assert result.subsets_examined == 4

@@ -1,0 +1,103 @@
+"""Randomized optimality certification: SOAR against brute force.
+
+These tests sweep many randomly generated small instances — random tree
+shapes, random integer loads (including zero loads at internal switches),
+random heterogeneous link rates, random availability sets and random budgets
+— and assert that SOAR's cost equals the exhaustive optimum in both budget
+semantics.  They are the library's strongest correctness evidence beyond the
+paper's worked examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import solve_bruteforce
+from repro.core.cost import utilization_cost
+from repro.core.soar import solve
+from repro.core.tree import TreeNetwork
+from repro.topology.generic import kary_tree, path_network, star_network
+
+from tests.conftest import make_random_instance
+
+
+def _random_available(tree: TreeNetwork, rng: np.random.Generator) -> TreeNetwork:
+    """Restrict availability to a random non-empty subset of the switches."""
+    switches = list(tree.switches)
+    keep_mask = rng.random(len(switches)) < 0.7
+    available = [s for s, keep in zip(switches, keep_mask) if keep]
+    if not available:
+        available = [switches[0]]
+    return tree.with_available(available)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_soar_matches_bruteforce_at_most_k(seed):
+    rng = np.random.default_rng(seed)
+    tree = make_random_instance(rng, max_switches=9)
+    budget = int(rng.integers(0, tree.num_switches + 1))
+    solution = solve(tree, budget)
+    expected = solve_bruteforce(tree, budget)
+    assert solution.cost == pytest.approx(expected.cost)
+    assert solution.predicted_cost == pytest.approx(expected.cost)
+    assert utilization_cost(tree, solution.blue_nodes) == pytest.approx(expected.cost)
+    assert len(solution.blue_nodes) <= budget
+
+
+@pytest.mark.parametrize("seed", range(40, 70))
+def test_soar_matches_bruteforce_with_restricted_availability(seed):
+    rng = np.random.default_rng(seed)
+    tree = _random_available(make_random_instance(rng, max_switches=9), rng)
+    budget = int(rng.integers(0, len(tree.available) + 1))
+    solution = solve(tree, budget)
+    expected = solve_bruteforce(tree, budget)
+    assert solution.blue_nodes <= tree.available
+    assert solution.cost == pytest.approx(expected.cost)
+
+
+@pytest.mark.parametrize("seed", range(70, 95))
+def test_soar_matches_bruteforce_exact_k(seed):
+    rng = np.random.default_rng(seed)
+    tree = make_random_instance(rng, max_switches=8)
+    budget = int(rng.integers(0, tree.num_switches + 1))
+    solution = solve(tree, budget, exact_k=True)
+    expected = solve_bruteforce(tree, budget, exact_k=True)
+    assert solution.cost == pytest.approx(expected.cost)
+
+
+@pytest.mark.parametrize(
+    "tree_builder",
+    [
+        lambda: path_network(6, leaf_load=4),
+        lambda: star_network(6, leaf_loads=[1, 2, 3, 4, 5, 6]),
+        lambda: kary_tree(3, 2, leaf_loads=list(range(1, 10))),
+    ],
+    ids=["path", "star", "ternary"],
+)
+@pytest.mark.parametrize("budget", [0, 1, 2, 3])
+def test_soar_optimal_on_canonical_shapes(tree_builder, budget):
+    tree = tree_builder()
+    assert solve(tree, budget).cost == pytest.approx(solve_bruteforce(tree, budget).cost)
+
+
+@pytest.mark.parametrize("seed", range(95, 110))
+def test_soar_never_worse_than_heuristics(seed):
+    """On mid-sized random instances SOAR must lower-bound every heuristic."""
+    from repro.baselines.strategies import ALL_STRATEGIES
+
+    rng = np.random.default_rng(seed)
+    tree = make_random_instance(rng, max_switches=30)
+    budget = int(rng.integers(0, 6))
+    optimal = solve(tree, budget).cost
+    for name, strategy in ALL_STRATEGIES.items():
+        if name in ("AllBlue",):
+            continue  # ignores the budget by design
+        if name == "Random":
+            blue = strategy(tree, budget, rng=rng)
+        else:
+            blue = strategy(tree, budget)
+        blue = frozenset(blue) & tree.available
+        if len(blue) > budget:
+            continue
+        assert optimal <= utilization_cost(tree, blue) + 1e-9, name

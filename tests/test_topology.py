@@ -1,0 +1,185 @@
+"""Tests for the topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import TreeNetwork
+from repro.exceptions import TreeStructureError
+from repro.topology.binary_tree import bt_network, complete_binary_tree, leaf_switches
+from repro.topology.generic import (
+    fat_tree_aggregation_tree,
+    kary_tree,
+    path_network,
+    random_recursive_tree,
+    random_tree,
+    star_network,
+)
+from repro.topology.scale_free import (
+    degree_sequence,
+    preferential_attachment_parents,
+    scale_free_tree,
+    sf_network,
+)
+
+
+class TestCompleteBinaryTree:
+    def test_structure(self):
+        tree = complete_binary_tree(8)
+        assert tree.num_switches == 15
+        assert tree.height == 4  # destination at depth 0, leaves at depth 4
+        assert len(tree.leaves()) == 8
+        assert all(tree.num_children(s) in (0, 2) for s in tree.switches)
+
+    def test_leaf_loads_sequence(self):
+        tree = complete_binary_tree(4, leaf_loads=[1, 2, 3, 4])
+        assert [tree.load(leaf) for leaf in leaf_switches(tree)] == [1, 2, 3, 4]
+        assert tree.load("s0_0") == 0
+
+    def test_leaf_loads_mapping(self):
+        tree = complete_binary_tree(4, leaf_loads={"s2_0": 9, "s1_1": 2})
+        assert tree.load("s2_0") == 9
+        assert tree.load("s1_1") == 2
+
+    def test_wrong_number_of_loads(self):
+        with pytest.raises(TreeStructureError):
+            complete_binary_tree(4, leaf_loads=[1, 2])
+
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, 3, 6, 12):
+            with pytest.raises(TreeStructureError):
+                complete_binary_tree(bad)
+
+    def test_single_leaf(self):
+        tree = complete_binary_tree(1, leaf_loads=[5])
+        assert tree.num_switches == 1
+        assert tree.load(tree.root) == 5
+
+    def test_bt_network_counts_destination(self):
+        tree = bt_network(256)
+        assert tree.num_switches == 255
+        assert len(tree.leaves()) == 128
+
+    def test_bt_network_rejects_bad_sizes(self):
+        for bad in (1, 3, 100):
+            with pytest.raises(TreeStructureError):
+                bt_network(bad)
+
+    def test_leaf_switches_order(self):
+        tree = complete_binary_tree(8)
+        names = list(leaf_switches(tree))
+        assert names == [f"s3_{i}" for i in range(8)]
+
+
+class TestKaryAndFatTree:
+    def test_kary_tree(self):
+        tree = kary_tree(3, 2, leaf_loads=list(range(9)))
+        assert tree.num_switches == 1 + 3 + 9
+        assert all(tree.num_children(s) in (0, 3) for s in tree.switches)
+        assert tree.load("s2_4") == 4
+
+    def test_kary_validation(self):
+        with pytest.raises(TreeStructureError):
+            kary_tree(0, 2)
+        with pytest.raises(TreeStructureError):
+            kary_tree(2, -1)
+        with pytest.raises(TreeStructureError):
+            kary_tree(2, 2, leaf_loads=[1])
+
+    def test_kary_height_zero(self):
+        tree = kary_tree(4, 0)
+        assert tree.num_switches == 1
+
+    def test_fat_tree(self):
+        tree = fat_tree_aggregation_tree(4, hosts_per_edge=3)
+        # 1 core + 4 aggregation + 4 * 2 edge switches.
+        assert tree.num_switches == 1 + 4 + 8
+        assert tree.total_load == 8 * 3
+        assert tree.height == 3
+
+    def test_fat_tree_validation(self):
+        with pytest.raises(TreeStructureError):
+            fat_tree_aggregation_tree(3)
+        with pytest.raises(TreeStructureError):
+            fat_tree_aggregation_tree(4, hosts_per_edge=-1)
+
+
+class TestScaleFree:
+    def test_parent_map_is_valid_tree(self, rng):
+        parents = preferential_attachment_parents(50, rng)
+        assert set(parents) == set(range(1, 50))
+        assert all(parent < node for node, parent in parents.items())
+
+    def test_scale_free_tree_properties(self):
+        tree = scale_free_tree(128, rng=11, node_load=1)
+        assert tree.num_switches == 128
+        assert tree.total_load == 128
+        assert isinstance(tree, TreeNetwork)
+
+    def test_sf_network_counts_destination(self):
+        tree = sf_network(128, rng=11)
+        assert tree.num_switches == 127
+
+    def test_reproducible_with_seed(self):
+        first = scale_free_tree(60, rng=21)
+        second = scale_free_tree(60, rng=21)
+        assert first.switches == second.switches
+        assert all(first.parent(s) == second.parent(s) for s in first.switches)
+
+    def test_degree_sequence_is_skewed(self):
+        tree = scale_free_tree(200, rng=5)
+        degrees = degree_sequence(tree)
+        assert degrees[0] >= 8  # a hub emerges
+        assert degrees == sorted(degrees, reverse=True)
+        # Degree sum of the switch-only tree plus uplink to d:
+        assert sum(degrees) == 2 * (tree.num_switches - 1) + 1
+
+    def test_validation(self):
+        with pytest.raises(TreeStructureError):
+            scale_free_tree(0)
+        with pytest.raises(TreeStructureError):
+            sf_network(1)
+
+    def test_explicit_loads_override(self):
+        tree = scale_free_tree(10, rng=1, loads={0: 7})
+        assert tree.load(0) == 7
+        assert tree.total_load == 7
+
+
+class TestGenericGenerators:
+    def test_path_network(self):
+        tree = path_network(5, leaf_load=2)
+        assert tree.height == 5
+        assert tree.total_load == 2
+        assert tree.load(4) == 2
+
+    def test_star_network(self):
+        tree = star_network(6, leaf_loads=[1, 2, 3, 4, 5, 6])
+        assert tree.num_switches == 7
+        assert tree.height == 2
+        assert tree.total_load == 21
+
+    def test_random_recursive_tree(self):
+        tree = random_recursive_tree(40, rng=4, node_load=1)
+        assert tree.num_switches == 40
+        assert tree.total_load == 40
+
+    def test_random_tree_sizes(self):
+        for size in (1, 2, 3, 10, 25):
+            tree = random_tree(size, rng=size)
+            assert tree.num_switches == size
+
+    def test_generators_validate_sizes(self):
+        with pytest.raises(TreeStructureError):
+            path_network(0)
+        with pytest.raises(TreeStructureError):
+            star_network(0)
+        with pytest.raises(TreeStructureError):
+            random_recursive_tree(0)
+        with pytest.raises(TreeStructureError):
+            random_tree(0)
+
+    def test_random_tree_reproducible(self):
+        first = random_tree(20, rng=77)
+        second = random_tree(20, rng=77)
+        assert all(first.parent(s) == second.parent(s) for s in first.switches)

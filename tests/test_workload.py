@@ -1,0 +1,156 @@
+"""Tests for the workload generators: load distributions and rate schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.topology.binary_tree import bt_network, complete_binary_tree
+from repro.workload.distributions import (
+    LOAD_DISTRIBUTIONS,
+    PowerLawLoadDistribution,
+    UniformLoadDistribution,
+    make_distribution,
+    sample_leaf_loads,
+    uniform_node_loads,
+    with_sampled_leaf_loads,
+)
+from repro.workload.rates import (
+    RATE_SCHEMES,
+    apply_rate_scheme,
+    constant_rate,
+    exponential_rate,
+    linear_rate,
+)
+
+
+class TestUniformDistribution:
+    def test_default_matches_paper(self):
+        distribution = UniformLoadDistribution()
+        assert distribution.low == 4
+        assert distribution.high == 6
+        assert distribution.mean == pytest.approx(5.0)
+        # Discrete uniform on {4, 5, 6}: variance (3^2 - 1) / 12 = 2/3.
+        assert distribution.variance == pytest.approx(2.0 / 3.0)
+
+    def test_samples_within_range(self, rng):
+        samples = UniformLoadDistribution().sample(10_000, rng=rng)
+        assert samples.min() >= 4
+        assert samples.max() <= 6
+        assert samples.mean() == pytest.approx(5.0, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            UniformLoadDistribution(low=-1, high=3)
+        with pytest.raises(WorkloadError):
+            UniformLoadDistribution(low=5, high=2)
+
+
+class TestPowerLawDistribution:
+    def test_default_matches_paper_statistics(self):
+        distribution = PowerLawLoadDistribution()
+        assert distribution.minimum == 1
+        assert distribution.maximum == 63
+        # Paper: mean 5, variance 97.1, support (1, 63).
+        assert distribution.mean == pytest.approx(5.0, abs=0.6)
+        assert 60.0 <= distribution.variance <= 160.0
+
+    def test_samples_within_support(self, rng):
+        distribution = PowerLawLoadDistribution()
+        samples = distribution.sample(20_000, rng=rng)
+        assert samples.min() >= 1
+        assert samples.max() <= 63
+        assert samples.mean() == pytest.approx(distribution.mean, rel=0.15)
+
+    def test_skewness(self, rng):
+        # A power law should produce many small values and a heavy tail.
+        samples = PowerLawLoadDistribution().sample(20_000, rng=rng)
+        assert np.median(samples) < samples.mean()
+        assert (samples == 1).mean() > 0.3
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PowerLawLoadDistribution(minimum=0)
+        with pytest.raises(WorkloadError):
+            PowerLawLoadDistribution(minimum=10, maximum=5)
+        with pytest.raises(WorkloadError):
+            PowerLawLoadDistribution(alpha=0)
+
+
+class TestDistributionHelpers:
+    def test_registry(self):
+        assert set(LOAD_DISTRIBUTIONS) == {"uniform", "power-law"}
+        assert isinstance(make_distribution("uniform"), UniformLoadDistribution)
+        assert isinstance(make_distribution("power-law"), PowerLawLoadDistribution)
+        with pytest.raises(WorkloadError):
+            make_distribution("gaussian")
+
+    def test_sample_leaf_loads_only_touches_leaves(self, rng):
+        tree = bt_network(32)
+        loads = sample_leaf_loads(tree, UniformLoadDistribution(), rng=rng)
+        assert set(loads) == set(tree.leaves())
+        assert all(4 <= value <= 6 for value in loads.values())
+
+    def test_with_sampled_leaf_loads(self, rng):
+        tree = with_sampled_leaf_loads(bt_network(32), UniformLoadDistribution(), rng=rng)
+        assert tree.total_load >= 4 * 16
+        assert all(tree.load(s) == 0 for s in tree.switches if not tree.is_leaf(s))
+
+    def test_sampling_deterministic_for_same_seed(self):
+        tree = bt_network(32)
+        first = sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=123)
+        second = sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=123)
+        assert first == second
+
+    def test_uniform_node_loads(self):
+        tree = bt_network(16)
+        loads = uniform_node_loads(tree, load=2)
+        assert set(loads) == set(tree.switches)
+        assert all(value == 2 for value in loads.values())
+        with pytest.raises(WorkloadError):
+            uniform_node_loads(tree, load=-1)
+
+
+class TestRateSchemes:
+    def test_constant(self):
+        tree = complete_binary_tree(4)
+        assert all(constant_rate(tree, s) == 1.0 for s in tree.switches)
+
+    def test_linear_rates_grow_towards_root(self):
+        tree = complete_binary_tree(8)  # leaves at depth 4
+        assert linear_rate(tree, "s3_0") == 1.0
+        assert linear_rate(tree, "s2_0") == 2.0
+        assert linear_rate(tree, "s1_0") == 3.0
+        assert linear_rate(tree, "s0_0") == 4.0
+
+    def test_exponential_rates_double_per_level(self):
+        tree = complete_binary_tree(8)
+        assert exponential_rate(tree, "s3_0") == 1.0
+        assert exponential_rate(tree, "s2_0") == 2.0
+        assert exponential_rate(tree, "s1_0") == 4.0
+        assert exponential_rate(tree, "s0_0") == 8.0
+
+    def test_apply_rate_scheme_by_name(self):
+        tree = apply_rate_scheme(complete_binary_tree(8), "exponential")
+        assert tree.rate("s0_0") == 8.0
+        assert tree.rho("s0_0") == pytest.approx(1.0 / 8.0)
+
+    def test_apply_rate_scheme_by_callable(self):
+        tree = apply_rate_scheme(complete_binary_tree(4), lambda t, s: 5.0)
+        assert all(tree.rate(s) == 5.0 for s in tree.switches)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            apply_rate_scheme(complete_binary_tree(4), "quadratic")
+
+    def test_registry_names(self):
+        assert set(RATE_SCHEMES) == {"constant", "linear", "exponential"}
+
+    def test_rate_scheme_reduces_core_cost(self):
+        """Faster core links shrink the relative cost of the upper tree."""
+        from repro.core.cost import all_red_cost
+
+        flat = complete_binary_tree(8, leaf_loads=[2] * 8)
+        fast_core = apply_rate_scheme(flat, "exponential")
+        assert all_red_cost(fast_core) < all_red_cost(flat)
