@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.fig9_runtime import run_engine_comparison
 from repro.experiments.fig10_scaling import (
     run_fig10_required_fraction,
     run_fig10_utilization,
@@ -72,3 +73,27 @@ def test_fig10_required_fraction(benchmark, emit_rows):
     # sample, so allow a small margin on the 70% target (measured ≈ 3.2%).
     assert series[0.7][4096] < 4.0
     assert series[0.5][4096] < 1.0
+
+
+@pytest.mark.benchmark(group="fig10 scaling")
+def test_fig10_engine_speedup(benchmark, emit_rows):
+    """Flat vs reference gather at the largest Figure 10 size.
+
+    BT(4096) with the figure's ``k = 1%`` budget rule (k = 40) is the
+    gather run the whole scaling figure is bound by; the flat engine must
+    beat the per-node reference implementation by at least 3x there.
+    """
+    largest = SIZES[-1]
+    config = ExperimentConfig(network_size=largest, repetitions=3, seed=2021)
+    rows = benchmark.pedantic(
+        run_engine_comparison,
+        kwargs={"sizes": (largest,), "budget": max(1, largest // 100), "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    emit_rows(rows, "fig10_engines", "Figure 10 scale: flat vs reference gather (best-of-3)")
+    (row,) = rows
+    assert row["flat_speedup"] >= 3.0, (
+        f"flat engine speedup {row['flat_speedup']:.2f}x on BT({largest}) "
+        "is below the 3x bar"
+    )

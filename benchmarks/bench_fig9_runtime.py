@@ -15,8 +15,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.color import soar_color
-from repro.core.gather import soar_gather
-from repro.experiments.fig9_runtime import run_fig9
+from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather
+from repro.experiments.fig9_runtime import run_engine_comparison, run_fig9
 from repro.experiments.harness import ExperimentConfig
 from repro.topology.binary_tree import bt_network
 from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
@@ -28,25 +28,44 @@ def _network(size: int, seed: int = 2021):
 
 
 @pytest.mark.benchmark(group="fig9 gather phase")
+@pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("size", [256, 512, 1024, 2048])
-def test_gather_scaling_in_network_size(benchmark, size):
+def test_gather_scaling_in_network_size(benchmark, size, engine):
     tree = _network(size)
-    benchmark(soar_gather, tree, 32)
+    benchmark(gather, tree, 32, engine=engine)
 
 
 @pytest.mark.benchmark(group="fig9 gather phase")
+@pytest.mark.parametrize("engine", sorted(ENGINES))
 @pytest.mark.parametrize("budget", [4, 16, 64, 128])
-def test_gather_scaling_in_budget(benchmark, budget):
+def test_gather_scaling_in_budget(benchmark, budget, engine):
     tree = _network(1024)
-    benchmark(soar_gather, tree, budget)
+    benchmark(gather, tree, budget, engine=engine)
 
 
 @pytest.mark.benchmark(group="fig9 color phase")
 @pytest.mark.parametrize("size", [256, 1024])
 def test_color_phase(benchmark, size):
     tree = _network(size)
-    gathered = soar_gather(tree, 32)
+    gathered = gather(tree, 32, engine=DEFAULT_ENGINE)
     benchmark(soar_color, tree, gathered)
+
+
+@pytest.mark.benchmark(group="fig9 engine comparison")
+def test_engine_comparison(benchmark, emit_rows):
+    """Flat vs reference gather on the Figure 9 sizes (comparison mode)."""
+    config = ExperimentConfig(network_size=256, repetitions=3, seed=2021)
+    rows = benchmark.pedantic(
+        run_engine_comparison,
+        kwargs={"sizes": (256, 512, 1024, 2048), "budget": 32, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    emit_rows(rows, "fig9_engines", "Gather engines: flat vs reference (best-of-3)")
+    for row in rows:
+        # run_engine_comparison already asserts identical costs; the flat
+        # engine must never be slower than the reference it replaces.
+        assert row["flat_speedup"] > 1.0
 
 
 @pytest.mark.benchmark(group="fig9 full grid")

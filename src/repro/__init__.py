@@ -14,16 +14,51 @@ Quickstart
 >>> solution = repro.solve(tree, budget=2)
 >>> solution.cost
 20.0
+
+Gather engines
+--------------
+Every solver entry point (:func:`repro.solve`,
+:func:`repro.solve_budget_sweep`, :func:`repro.optimal_cost`, and the raw
+:func:`repro.gather`) accepts an ``engine=`` keyword selecting the
+SOAR-Gather implementation:
+
+* ``engine="flat"`` (default) — the vectorized flat-array kernel of
+  :mod:`repro.core.engine`: one contiguous ``(node, l, i)`` tensor, leaves
+  initialized in a single broadcast, and the per-level child merges batched
+  across all nodes of a level at once,
+* ``engine="reference"`` — the per-node Algorithm 3 implementation of
+  :mod:`repro.core.gather`, kept as ground truth for differential testing.
+
+The two produce bit-identical tables, costs, and placements;
+``tests/test_engine_differential.py`` enforces this on hundreds of seeded
+random instances.
+
+Randomized testing
+------------------
+:mod:`repro.testing` ships the seeded random φ-BIC instance generators
+(:func:`repro.testing.random_instance`,
+:func:`repro.testing.instance_stream` — uniform / k-ary / scale-free /
+path / star shapes, zero / positive / skewed loads, optional random Λ) and
+invariant checkers (:func:`repro.testing.check_instance` and friends) used
+by the test-suite.  They are part of the public API so downstream users can
+fuzz their own extensions the same way.
 """
 
 from repro.core import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    FLAT_ENGINE,
+    REFERENCE_ENGINE,
     SoarSolution,
     TreeNetwork,
     all_blue_cost,
     all_red_cost,
+    flat_gather,
+    gather,
     link_message_counts,
     normalized_utilization,
     optimal_cost,
+    soar_gather,
     solve,
     solve_budget_sweep,
     solve_bruteforce,
@@ -49,8 +84,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_STRATEGIES",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "FLAT_ENGINE",
     "PAPER_STRATEGIES",
     "PowerLawLoadDistribution",
+    "REFERENCE_ENGINE",
     "SoarSolution",
     "TreeNetwork",
     "UniformLoadDistribution",
@@ -60,6 +99,8 @@ __all__ = [
     "bt_network",
     "complete_binary_tree",
     "fat_tree_aggregation_tree",
+    "flat_gather",
+    "gather",
     "get_strategy",
     "kary_tree",
     "link_message_counts",
@@ -67,6 +108,7 @@ __all__ = [
     "optimal_cost",
     "scale_free_tree",
     "sf_network",
+    "soar_gather",
     "solve",
     "solve_budget_sweep",
     "solve_bruteforce",

@@ -22,10 +22,12 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.core.engine import DEFAULT_ENGINE, ENGINES, REFERENCE_ENGINE
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
     run_budget_sweep,
+    run_engine_comparison,
     run_fig10_required_fraction,
     run_fig10_utilization,
     run_fig11_example,
@@ -48,6 +50,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         network_size=args.network_size or base.network_size,
         repetitions=args.repetitions or base.repetitions,
         seed=args.seed,
+        engine=args.engine,
     )
 
 
@@ -110,6 +113,18 @@ def _cmd_fig11(args: argparse.Namespace) -> list[dict]:
     return rows
 
 
+def _cmd_engines(args: argparse.Namespace) -> list[dict]:
+    config = _config(args)
+    sizes = (256, 512) if args.quick else (256, 512, 1024, 2048, 4096)
+    # The reference engine is always the timing baseline; --engine picks
+    # what gets compared against it.
+    if args.engine == REFERENCE_ENGINE:
+        engines = (REFERENCE_ENGINE,)
+    else:
+        engines = (REFERENCE_ENGINE, args.engine)
+    return run_engine_comparison(sizes=sizes, config=config, engines=engines)
+
+
 _COMMANDS = {
     "fig2": (_cmd_fig2, "Motivating example: strategy comparison (Figure 2)"),
     "fig3": (_cmd_fig3, "Motivating example: budget sweep (Figure 3)"),
@@ -119,6 +134,7 @@ _COMMANDS = {
     "fig9": (_cmd_fig9, "SOAR running time (Figure 9)"),
     "fig10": (_cmd_fig10, "Scaling on binary trees (Figure 10, Appendix A)"),
     "fig11": (_cmd_fig11, "Scale-free networks (Figure 11, Appendix B)"),
+    "engines": (_cmd_engines, "Gather engine comparison: flat vs reference speedup"),
 }
 
 
@@ -140,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--repetitions", type=int, default=None, help="override the number of repetitions"
+        )
+        sub.add_argument(
+            "--engine",
+            choices=sorted(ENGINES),
+            default=DEFAULT_ENGINE,
+            help="SOAR-Gather engine to use (default: %(default)s)",
         )
 
     for name, (_, help_text) in _COMMANDS.items():

@@ -9,6 +9,8 @@ The sub-modules map directly onto the paper's sections:
   barrier re-formulation (Lemma 4.2),
 * :mod:`repro.core.gather` / :mod:`repro.core.color` — the two phases of
   SOAR (Algorithms 3 and 4),
+* :mod:`repro.core.engine` — interchangeable gather engines: the vectorized
+  flat-array kernel (default) and the per-node reference implementation,
 * :mod:`repro.core.soar` — the user-facing solver,
 * :mod:`repro.core.bruteforce` — the exhaustive reference used for
   optimality certification in the tests.
@@ -25,6 +27,14 @@ from repro.core.cost import (
     utilization_cost,
     utilization_cost_barrier,
 )
+from repro.core.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    FLAT_ENGINE,
+    REFERENCE_ENGINE,
+    flat_gather,
+    gather,
+)
 from repro.core.gather import GatherResult, NodeTables, soar_gather
 from repro.core.reduce_op import (
     ReduceTrace,
@@ -39,15 +49,21 @@ from repro.core.tree import DEFAULT_DESTINATION, NodeId, TreeNetwork
 __all__ = [
     "BruteForceSolution",
     "DEFAULT_DESTINATION",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "FLAT_ENGINE",
     "GatherResult",
     "NodeId",
     "NodeTables",
+    "REFERENCE_ENGINE",
     "ReduceTrace",
     "SoarSolution",
     "TreeNetwork",
     "all_blue_cost",
     "all_red_cost",
     "cost_reduction",
+    "flat_gather",
+    "gather",
     "link_message_counts",
     "normalized_utilization",
     "optimal_cost",

@@ -27,7 +27,8 @@ from typing import Iterable
 
 from repro.core.color import soar_color
 from repro.core.cost import utilization_cost
-from repro.core.gather import GatherResult, soar_gather
+from repro.core.engine import DEFAULT_ENGINE, gather
+from repro.core.gather import GatherResult
 from repro.core.tree import NodeId, TreeNetwork
 
 
@@ -70,6 +71,7 @@ def solve(
     budget: int,
     exact_k: bool = False,
     gathered: GatherResult | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> SoarSolution:
     """Solve the φ-BIC problem optimally with SOAR.
 
@@ -86,6 +88,11 @@ def solve(
         Optional pre-computed gather tables.  When sweeping budgets
         ``1 .. k`` it is much cheaper to gather once at the largest budget
         and trace each smaller budget from the same tables.
+    engine:
+        Gather engine to use: ``"flat"`` (vectorized, the default) or
+        ``"reference"`` (per-node Algorithm 3); see
+        :mod:`repro.core.engine`.  Both produce identical tables; the
+        reference engine is retained for differential testing.
 
     Returns
     -------
@@ -93,7 +100,7 @@ def solve(
         The optimal placement and its cost.
     """
     if gathered is None or gathered.budget < min(budget, len(tree.available)):
-        gathered = soar_gather(tree, budget, exact_k=exact_k)
+        gathered = gather(tree, budget, exact_k=exact_k, engine=engine)
     effective_budget = min(int(budget), gathered.budget)
     blue = soar_color(tree, gathered, budget=effective_budget)
     achieved = utilization_cost(tree, blue)
@@ -111,6 +118,7 @@ def solve_budget_sweep(
     tree: TreeNetwork,
     budgets: Iterable[int],
     exact_k: bool = False,
+    engine: str = DEFAULT_ENGINE,
 ) -> dict[int, SoarSolution]:
     """Solve the φ-BIC problem for several budgets using a single gather.
 
@@ -123,13 +131,18 @@ def solve_budget_sweep(
         return {}
     if min(budget_list) < 0:
         raise ValueError("budgets must be non-negative")
-    gathered = soar_gather(tree, max(budget_list), exact_k=exact_k)
+    gathered = gather(tree, max(budget_list), exact_k=exact_k, engine=engine)
     return {
         budget: solve(tree, budget, exact_k=exact_k, gathered=gathered)
         for budget in budget_list
     }
 
 
-def optimal_cost(tree: TreeNetwork, budget: int, exact_k: bool = False) -> float:
+def optimal_cost(
+    tree: TreeNetwork,
+    budget: int,
+    exact_k: bool = False,
+    engine: str = DEFAULT_ENGINE,
+) -> float:
     """Convenience wrapper returning only the optimal utilization value."""
-    return solve(tree, budget, exact_k=exact_k).cost
+    return solve(tree, budget, exact_k=exact_k, engine=engine).cost

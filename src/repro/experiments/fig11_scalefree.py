@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.baselines.strategies import max_degree_strategy
 from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
-from repro.core.gather import soar_gather
+from repro.core.engine import gather
 from repro.core.soar import solve
 from repro.experiments.fig10_scaling import BUDGET_RULES
 from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
@@ -102,7 +102,7 @@ def run_fig11_scaling(
             rng = np.random.default_rng(seed)
             tree = sf_network(size, rng=rng)
             baseline = all_red_cost(tree)
-            gathered = soar_gather(tree, max_budget)
+            gathered = gather(tree, max_budget, engine=config.engine)
             for name, budget in budgets.items():
                 cost = gathered.cost_for_budget(budget)
                 per_rule[name].append(cost / baseline if baseline else 0.0)

@@ -13,13 +13,14 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.core.color import soar_color
-from repro.core.gather import soar_gather
+from repro.core.engine import ENGINES, FLAT_ENGINE, REFERENCE_ENGINE, gather
 from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
 from repro.topology.binary_tree import bt_network
 from repro.utils.stats import mean_and_stderr
 from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
-import numpy as np
 
 #: Network sizes of Figure 9 (``BT(n)``, n counting the destination).
 FIG9_SIZES: tuple[int, ...] = (256, 512, 1024, 2048)
@@ -37,6 +38,7 @@ def run_fig9(
     Returns one row per pair with the mean wall-clock seconds of each phase
     over ``config.repetitions`` runs (each on a freshly sampled power-law
     workload), plus the color/gather runtime ratio the paper highlights.
+    The gather engine is taken from ``config.engine``.
     """
     distribution = PowerLawLoadDistribution()
     rows: list[dict] = []
@@ -52,7 +54,7 @@ def run_fig9(
                 tree = tree.with_loads(sample_leaf_loads(tree, distribution, rng=rng))
 
                 start = time.perf_counter()
-                gathered = soar_gather(tree, budget)
+                gathered = gather(tree, budget, engine=config.engine)
                 gather_times.append(time.perf_counter() - start)
 
                 start = time.perf_counter()
@@ -66,6 +68,7 @@ def run_fig9(
                     "figure": "fig9",
                     "network_size": size,
                     "k": budget,
+                    "engine": config.engine,
                     "gather_seconds": gather_mean,
                     "gather_stderr": gather_err,
                     "color_seconds": color_mean,
@@ -74,4 +77,63 @@ def run_fig9(
                     "repetitions": config.repetitions,
                 }
             )
+    return rows
+
+
+def run_engine_comparison(
+    sizes: Sequence[int] = FIG9_SIZES,
+    budget: int = 32,
+    config: ExperimentConfig = PAPER_CONFIG,
+    engines: Sequence[str] = (REFERENCE_ENGINE, FLAT_ENGINE),
+) -> list[dict]:
+    """Time every gather engine on the same instances and report speedups.
+
+    One row per network size with, for each engine, the *best* wall-clock
+    gather time over ``config.repetitions`` runs (best-of is the standard
+    way to compare implementations because it suppresses scheduler noise),
+    plus the speedup of each engine relative to the first one listed
+    (the reference engine by default).  Every engine is verified to report
+    the same optimal cost before its time is trusted.
+    """
+    distribution = PowerLawLoadDistribution()
+    rows: list[dict] = []
+
+    for size in sizes:
+        rng = np.random.default_rng(np.random.SeedSequence(config.seed))
+        tree = bt_network(size)
+        tree = tree.with_loads(sample_leaf_loads(tree, distribution, rng=rng))
+        effective = min(budget, len(tree.available))
+
+        best: dict[str, float] = {}
+        costs: dict[str, float] = {}
+        for engine in engines:
+            implementation = ENGINES[engine]
+            times = []
+            for _ in range(max(1, config.repetitions)):
+                start = time.perf_counter()
+                gathered = implementation(tree, effective)
+                times.append(time.perf_counter() - start)
+            best[engine] = min(times)
+            costs[engine] = gathered.optimal_cost
+
+        baseline_engine = engines[0]
+        for engine in engines:
+            if costs[engine] != costs[baseline_engine]:
+                raise AssertionError(
+                    f"engine {engine!r} cost {costs[engine]} differs from "
+                    f"{baseline_engine!r} cost {costs[baseline_engine]} on BT({size})"
+                )
+        row = {
+            "figure": "fig9-engines",
+            "network_size": size,
+            "k": effective,
+            "optimal_cost": costs[baseline_engine],
+            "repetitions": config.repetitions,
+        }
+        for engine in engines:
+            row[f"{engine}_seconds"] = best[engine]
+            row[f"{engine}_speedup"] = (
+                best[baseline_engine] / best[engine] if best[engine] else float("inf")
+            )
+        rows.append(row)
     return rows

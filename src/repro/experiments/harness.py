@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.engine import DEFAULT_ENGINE
 from repro.core.tree import TreeNetwork
 from repro.exceptions import ExperimentError
 from repro.topology.binary_tree import bt_network
@@ -48,11 +49,15 @@ class ExperimentConfig:
         uses 10).
     seed:
         Base seed; repetition ``i`` uses an independent child seed.
+    engine:
+        SOAR-Gather engine used by the experiments (``"flat"`` or
+        ``"reference"``; see :mod:`repro.core.engine`).
     """
 
     network_size: int = 256
     repetitions: int = 10
     seed: int = 2021
+    engine: str = DEFAULT_ENGINE
     extra: dict = field(default_factory=dict)
 
     def scaled(self, network_size: int | None = None, repetitions: int | None = None):

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.gather import soar_gather
+from repro.core.engine import DEFAULT_ENGINE, gather
 from repro.core.tree import NodeId, TreeNetwork
 from repro.exceptions import InvalidBudgetError
 
@@ -69,12 +69,13 @@ def workload_cost_curve(
     tree: TreeNetwork,
     loads: Mapping[NodeId, int],
     max_budget: int,
+    engine: str = DEFAULT_ENGINE,
 ) -> list[float]:
     """Optimal utilization of one workload for every budget ``0..max_budget``."""
     if max_budget < 0:
         raise InvalidBudgetError(f"budget must be non-negative, got {max_budget}")
     workload_tree = tree.with_loads(loads)
-    gathered = soar_gather(workload_tree, max_budget)
+    gathered = gather(workload_tree, max_budget, engine=engine)
     curve = [gathered.cost_for_budget(budget) for budget in range(gathered.budget + 1)]
     # If the budget was clamped (more budget than available switches), the
     # curve is flat beyond the clamp point.

@@ -1,0 +1,182 @@
+"""Seeded random φ-BIC instance generators.
+
+The differential and invariant test-suites (and downstream users fuzzing
+their own extensions) need a steady stream of adversarial problem
+instances: odd tree shapes, zero and heavily skewed loads, restricted
+availability sets, degenerate budgets.  This module generates them from an
+explicit :class:`numpy.random.Generator` so every instance is reproducible
+from a seed.
+
+Shapes
+------
+``uniform``
+    Random recursive tree: switch ``i`` attaches to a uniformly random
+    earlier switch.  Generates every labelled rooted tree shape with
+    positive probability.
+``kary``
+    Complete k-ary tree (random arity 2-4) filled level by level.
+``scale_free``
+    Preferential attachment: parents are chosen with probability
+    proportional to ``degree + 1`` (the RPA trees of Appendix B).
+``path`` / ``star``
+    Degenerate extremes: maximum depth, maximum fan-out.
+``binary``
+    Complete binary tree, the paper's ``BT(n)`` shape.
+
+Load profiles
+-------------
+``zero`` (all loads 0), ``positive`` (uniform ``1 .. max_load``),
+``skewed`` (bounded Zipf, mimicking the paper's power-law servers), and
+``mixed`` (uniform ``0 .. max_load``, zeros included).
+
+Rates are drawn from ``rate_choices``; the default choices are powers of
+two, so every path cost is an exact dyadic float and differential tests can
+assert bit-identical costs across engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.tree import NodeId, TreeNetwork
+
+#: Tree shapes :func:`random_instance` can draw from.
+SHAPES: tuple[str, ...] = ("uniform", "kary", "scale_free", "path", "star", "binary")
+#: Load profiles :func:`random_instance` can draw from.
+LOAD_PROFILES: tuple[str, ...] = ("zero", "positive", "skewed", "mixed")
+#: Power-of-two rates: exact in binary floating point, so engine
+#: comparisons are free of rounding noise.
+DYADIC_RATES: tuple[float, ...] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def random_parents(
+    rng: np.random.Generator,
+    num_switches: int,
+    shape: str = "uniform",
+) -> dict[NodeId, NodeId]:
+    """Generate a parent map over switches ``0 .. n-1`` with the given shape.
+
+    Switch 0 is always the root (child of the destination ``"d"``).
+    """
+    if num_switches < 1:
+        raise ValueError(f"need at least one switch, got {num_switches}")
+    parents: dict[NodeId, NodeId] = {0: "d"}
+    if shape == "uniform":
+        for node in range(1, num_switches):
+            parents[node] = int(rng.integers(0, node))
+    elif shape == "kary":
+        arity = int(rng.integers(2, 5))
+        for node in range(1, num_switches):
+            parents[node] = (node - 1) // arity
+    elif shape == "scale_free":
+        # degree + 1 weights, as in repro.topology.scale_free.
+        weights = np.ones(num_switches, dtype=np.float64)
+        for node in range(1, num_switches):
+            probabilities = weights[:node] / weights[:node].sum()
+            parent = int(rng.choice(node, p=probabilities))
+            parents[node] = parent
+            weights[parent] += 1.0
+            weights[node] += 1.0
+    elif shape == "path":
+        for node in range(1, num_switches):
+            parents[node] = node - 1
+    elif shape == "star":
+        for node in range(1, num_switches):
+            parents[node] = 0
+    elif shape == "binary":
+        for node in range(1, num_switches):
+            parents[node] = (node - 1) // 2
+    else:
+        raise ValueError(f"unknown shape {shape!r}; expected one of {SHAPES}")
+    return parents
+
+
+def random_loads(
+    rng: np.random.Generator,
+    switches: Sequence[NodeId],
+    profile: str = "mixed",
+    max_load: int = 6,
+) -> dict[NodeId, int]:
+    """Draw a load for every switch according to the named profile."""
+    if profile == "zero":
+        return {node: 0 for node in switches}
+    if profile == "positive":
+        return {node: int(rng.integers(1, max_load + 1)) for node in switches}
+    if profile == "skewed":
+        # Bounded Zipf: most switches light, a few very heavy (the paper's
+        # power-law server placement at small scale).
+        return {node: int(min(rng.zipf(1.8), 8 * max_load)) for node in switches}
+    if profile == "mixed":
+        return {node: int(rng.integers(0, max_load + 1)) for node in switches}
+    raise ValueError(f"unknown load profile {profile!r}; expected one of {LOAD_PROFILES}")
+
+
+def random_availability(
+    rng: np.random.Generator,
+    switches: Sequence[NodeId],
+    probability: float = 0.6,
+) -> list[NodeId]:
+    """A random Λ: every switch independently available with ``probability``.
+
+    The result may be empty — a legal (if extreme) φ-BIC instance where the
+    only feasible placement is all-red.
+    """
+    return [node for node in switches if rng.random() < probability]
+
+
+def random_instance(
+    rng: np.random.Generator,
+    shape: str | None = None,
+    num_switches: int | None = None,
+    max_switches: int = 12,
+    load_profile: str | None = None,
+    max_load: int = 6,
+    rate_choices: Sequence[float] = DYADIC_RATES,
+    restrict_availability: bool | None = None,
+) -> TreeNetwork:
+    """Draw one random φ-BIC instance.
+
+    ``None`` parameters are themselves randomized: the shape and load
+    profile are drawn uniformly, the size uniformly from
+    ``1 .. max_switches``, and Λ is restricted to a random subset with
+    probability 0.4 (full availability otherwise).
+    """
+    if shape is None:
+        shape = str(rng.choice(SHAPES))
+    if num_switches is None:
+        num_switches = int(rng.integers(1, max_switches + 1))
+    if load_profile is None:
+        load_profile = str(rng.choice(LOAD_PROFILES))
+    if restrict_availability is None:
+        restrict_availability = bool(rng.random() < 0.4)
+
+    parents = random_parents(rng, num_switches, shape=shape)
+    switches = list(parents)
+    rates = {node: float(rng.choice(rate_choices)) for node in switches}
+    loads = random_loads(rng, switches, profile=load_profile, max_load=max_load)
+    available = random_availability(rng, switches) if restrict_availability else None
+    return TreeNetwork(parents, rates=rates, loads=loads, available=available)
+
+
+def random_budget(rng: np.random.Generator, tree: TreeNetwork) -> int:
+    """A budget between 0 and slightly above ``|Λ|`` (exercising clamping)."""
+    return int(rng.integers(0, len(tree.available) + 2))
+
+
+def instance_stream(
+    seed: int,
+    count: int,
+    **kwargs,
+) -> Iterator[tuple[TreeNetwork, int]]:
+    """Yield ``count`` seeded ``(instance, budget)`` pairs.
+
+    All keyword arguments are forwarded to :func:`random_instance`.  The
+    stream is fully determined by ``seed``, so a failing instance can be
+    reproduced from its position alone.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        tree = random_instance(rng, **kwargs)
+        yield tree, random_budget(rng, tree)

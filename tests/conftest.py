@@ -1,6 +1,19 @@
-"""Shared fixtures for the SOAR reproduction test-suite."""
+"""Shared fixtures for the SOAR reproduction test-suite.
+
+Test tiers
+----------
+The suite has two tiers:
+
+* **quick** — everything not marked ``slow``; runs in a few seconds and is
+  the tier CI gates merges on.  Select it with ``pytest -m "not slow"``.
+* **slow** — the heavyweight randomized differential sweeps (hundreds of
+  instances per test, trees up to a few hundred nodes).  Run them alone
+  with ``pytest -m slow``; a plain ``pytest`` run executes both tiers.
+"""
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 import pytest
@@ -10,10 +23,41 @@ from repro.experiments.motivating import motivating_tree
 from repro.topology.binary_tree import complete_binary_tree
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: heavyweight randomized differential sweeps; deselect with -m 'not slow'",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
-    """A deterministic random generator for tests that need randomness."""
+    """A deterministic random generator, freshly seeded for every test."""
     return np.random.default_rng(1234)
+
+
+#: Session-wide base seed every randomized test derives from (the paper's
+#: CoNEXT session date).
+SESSION_SEED: int = 20211207
+
+
+@pytest.fixture(scope="session")
+def session_seed() -> np.random.SeedSequence:
+    """The session-wide seed sequence all randomized tests derive from."""
+    return np.random.SeedSequence(SESSION_SEED)
+
+
+@pytest.fixture
+def session_rng(session_seed, request) -> np.random.Generator:
+    """A generator derived from the session seed and the test's own id.
+
+    Different tests explore different instance streams, but each test's
+    stream depends only on the session seed and its nodeid — so a failure
+    reproduces when the test is rerun in isolation or the suite is
+    reordered.
+    """
+    node_key = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng([session_seed.entropy, node_key])
 
 
 @pytest.fixture
@@ -51,7 +95,11 @@ def make_random_instance(
     max_load: int = 6,
     rate_choices=(0.5, 1.0, 2.0, 4.0),
 ) -> TreeNetwork:
-    """Build a small random tree instance for randomized comparison tests."""
+    """Build a small random tree instance for randomized comparison tests.
+
+    Retained for the older tests; new randomized tests should prefer the
+    richer generators in :mod:`repro.testing`.
+    """
     num_switches = int(rng.integers(1, max_switches + 1))
     parents = {0: "d"}
     for node in range(1, num_switches):

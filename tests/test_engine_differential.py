@@ -1,0 +1,166 @@
+"""Differential verification of the flat gather engine against the reference.
+
+The flat engine (:mod:`repro.core.engine`) re-implements SOAR-Gather on
+contiguous ``(l, i, node)`` tensors but evaluates the identical
+floating-point operations in the identical order, so everything it produces
+— tables, argmin breadcrumbs, traced placements, costs — must be
+*bit-identical* to the per-node reference implementation, and both must be
+certified optimal by brute force on small instances.
+
+Quick tier: a few dozen instances per tree shape.  Slow tier (``-m slow``):
+500+ seeded instances across the whole generator space in both budget
+semantics, plus instances of a few hundred nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.color import soar_color
+from repro.core.engine import ENGINES, flat_gather, gather
+from repro.core.gather import soar_gather
+from repro.core.soar import solve, solve_budget_sweep
+from repro.experiments.motivating import motivating_tree
+from repro.testing import (
+    SHAPES,
+    assert_tables_equal,
+    check_instance,
+    instance_stream,
+    random_budget,
+    random_instance,
+)
+
+
+def _assert_engines_identical(tree, budget, exact_k):
+    """Tables, placements, and costs must match bit for bit."""
+    reference = soar_gather(tree, budget, exact_k=exact_k)
+    flat = flat_gather(tree, budget, exact_k=exact_k)
+    assert_tables_equal(reference, flat)
+    assert soar_color(tree, reference) == soar_color(tree, flat)
+
+
+class TestEngineDispatch:
+    def test_unknown_engine_rejected(self, paper_tree):
+        with pytest.raises(ValueError, match="unknown gather engine"):
+            gather(paper_tree, 2, engine="warp")
+        with pytest.raises(ValueError, match="unknown gather engine"):
+            solve(paper_tree, 2, engine="warp")
+
+    def test_registry_contains_both_engines(self):
+        assert set(ENGINES) == {"flat", "reference"}
+
+    def test_solve_accepts_engine_keyword(self, paper_tree):
+        for engine in ENGINES:
+            assert solve(paper_tree, 2, engine=engine).cost == 20.0
+
+    def test_budget_sweep_accepts_engine_keyword(self, paper_tree):
+        for engine in ENGINES:
+            sweep = solve_budget_sweep(paper_tree, range(1, 5), engine=engine)
+            assert [sweep[k].cost for k in (1, 2, 3, 4)] == [35.0, 20.0, 15.0, 11.0]
+
+
+class TestPaperExample:
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_motivating_tree_all_budgets(self, exact_k):
+        tree = motivating_tree()
+        for budget in range(tree.num_switches + 2):
+            _assert_engines_identical(tree, budget, exact_k)
+
+
+class TestRandomizedQuick:
+    """A focused sweep per tree shape; runs in the quick tier."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_shape_against_reference_and_bruteforce(self, shape, exact_k):
+        # str hashes are salted per process; derive the seed stably instead.
+        rng = np.random.default_rng([SHAPES.index(shape), int(exact_k)])
+        for _ in range(12):
+            tree = random_instance(rng, shape=shape, max_switches=10)
+            budget = random_budget(rng, tree)
+            _assert_engines_identical(tree, budget, exact_k)
+            check_instance(tree, budget, exact_k=exact_k)
+
+    def test_zero_load_instances(self, session_rng):
+        for _ in range(10):
+            tree = random_instance(session_rng, load_profile="zero", max_switches=9)
+            budget = random_budget(session_rng, tree)
+            for exact_k in (False, True):
+                _assert_engines_identical(tree, budget, exact_k)
+
+    def test_skewed_load_instances(self, session_rng):
+        for _ in range(10):
+            tree = random_instance(session_rng, load_profile="skewed", max_switches=9)
+            budget = random_budget(session_rng, tree)
+            for exact_k in (False, True):
+                _assert_engines_identical(tree, budget, exact_k)
+                check_instance(tree, budget, exact_k=exact_k)
+
+    def test_restricted_availability_instances(self, session_rng):
+        for _ in range(15):
+            tree = random_instance(
+                session_rng, restrict_availability=True, max_switches=9
+            )
+            budget = random_budget(session_rng, tree)
+            for exact_k in (False, True):
+                _assert_engines_identical(tree, budget, exact_k)
+                check_instance(tree, budget, exact_k=exact_k)
+
+    def test_skewed_rates_instances(self, session_rng):
+        rates = (0.0625, 0.125, 8.0, 16.0)  # four-orders-of-magnitude spread
+        for _ in range(10):
+            tree = random_instance(session_rng, rate_choices=rates, max_switches=9)
+            budget = random_budget(session_rng, tree)
+            for exact_k in (False, True):
+                _assert_engines_identical(tree, budget, exact_k)
+
+
+@pytest.mark.slow
+class TestRandomizedSlow:
+    """The acceptance sweep: 500+ seeded instances, both budget semantics."""
+
+    def test_five_hundred_instances_cost_and_placement(self):
+        count = 0
+        for tree, budget in instance_stream(seed=20211207, count=500, max_switches=12):
+            for exact_k in (False, True):
+                # check_instance asserts flat cost == reference cost, equal
+                # placements, feasibility, and brute-force optimality on
+                # instances small enough to enumerate.
+                check_instance(tree, budget, exact_k=exact_k)
+            count += 1
+        assert count == 500
+
+    def test_table_equality_sample(self):
+        # Bitwise table equality is costlier than cost equality, so the
+        # full-table comparison runs on a 100-instance subsample.
+        for tree, budget in instance_stream(seed=77, count=100, max_switches=12):
+            for exact_k in (False, True):
+                _assert_engines_identical(tree, budget, exact_k)
+
+    @pytest.mark.parametrize("shape", ["uniform", "kary", "scale_free", "binary"])
+    def test_medium_instances_match_reference(self, shape):
+        rng = np.random.default_rng([SHAPES.index(shape), 99])
+        for num_switches in (120, 250, 400):
+            tree = random_instance(
+                rng, shape=shape, num_switches=num_switches, load_profile="mixed"
+            )
+            budget = int(rng.integers(1, 16))
+            for exact_k in (False, True):
+                _assert_engines_identical(tree, budget, exact_k)
+
+    def test_deep_path_instances(self):
+        # Path networks stress the parameter axis (depth = n) and must not
+        # recurse; both engines are iterative.
+        rng = np.random.default_rng(5)
+        tree = random_instance(rng, shape="path", num_switches=300)
+        for exact_k in (False, True):
+            _assert_engines_identical(tree, 8, exact_k)
+
+    def test_wide_star_instances(self):
+        # Star networks stress the stage loop (one node, hundreds of
+        # children -> hundreds of convolution stages).
+        rng = np.random.default_rng(6)
+        tree = random_instance(rng, shape="star", num_switches=300)
+        for exact_k in (False, True):
+            _assert_engines_identical(tree, 8, exact_k)

@@ -1,0 +1,156 @@
+"""Invariant checks on every solve, driven by the ``repro.testing`` checkers.
+
+These tests pin the *semantic* contract of the solver regardless of which
+engine produced the tables:
+
+* ``predicted_cost == cost`` on every solve (the DP optimum matches the
+  cost recomputed from the Reduce message counts),
+* ``|blue| <= budget`` and ``blue ⊆ Λ``,
+* the optimal cost is monotonically non-increasing in the budget
+  (at-most-k semantics),
+* the ``all_red >= optimal >= all_blue`` sandwich on positive-load
+  instances,
+* structural gather-table invariants (``X = min(Y_blue, Y_red)``,
+  monotonicity in ``l`` and in the budget).
+
+The checkers themselves are also tested: a checker that cannot fail would
+pin nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ENGINES, gather
+from repro.core.soar import solve
+from repro.experiments.motivating import motivating_tree
+from repro.testing import (
+    assert_budget_monotone,
+    assert_cost_sandwich,
+    assert_gather_consistent,
+    assert_placement_feasible,
+    assert_solution_consistent,
+    bruteforce_subset_count,
+    check_budget_sweep,
+    check_instance,
+    random_budget,
+    random_instance,
+)
+
+
+class TestSolutionInvariants:
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_paper_tree_every_budget(self, engine, exact_k):
+        tree = motivating_tree()
+        for budget in range(tree.num_switches + 1):
+            solution = solve(tree, budget, exact_k=exact_k, engine=engine)
+            assert_solution_consistent(tree, solution)
+
+    def test_random_instances_predicted_equals_cost(self, session_rng):
+        for _ in range(25):
+            tree = random_instance(session_rng, max_switches=11)
+            budget = random_budget(session_rng, tree)
+            for exact_k in (False, True):
+                solution = solve(tree, budget, exact_k=exact_k)
+                assert_solution_consistent(tree, solution)
+
+    def test_restricted_availability_respected(self, session_rng):
+        for _ in range(20):
+            tree = random_instance(session_rng, restrict_availability=True, max_switches=11)
+            budget = random_budget(session_rng, tree)
+            solution = solve(tree, budget)
+            assert_placement_feasible(tree, solution.blue_nodes, budget)
+
+
+class TestBudgetMonotonicity:
+    def test_paper_tree_curve(self, paper_tree):
+        costs = check_budget_sweep(paper_tree, paper_tree.num_switches)
+        # Figure 3's specific values double-check the sweep itself.
+        assert costs[1] == 35.0 and costs[2] == 20.0 and costs[3] == 15.0 and costs[4] == 11.0
+
+    def test_random_instances_monotone(self, session_rng):
+        for _ in range(15):
+            tree = random_instance(session_rng, max_switches=10)
+            check_budget_sweep(tree, min(len(tree.available), 6))
+
+
+class TestCostSandwich:
+    def test_positive_load_instances(self, session_rng):
+        for _ in range(20):
+            tree = random_instance(session_rng, load_profile="positive", max_switches=10)
+            budget = random_budget(session_rng, tree)
+            solution = solve(tree, budget)
+            assert_cost_sandwich(tree, solution.cost)
+
+    def test_zero_load_instances_skip_lower_bound(self, session_rng):
+        # With zero loads the all-blue "lower bound" does not apply; the
+        # checker must still validate the all-red upper bound.
+        tree = random_instance(session_rng, load_profile="zero", max_switches=8)
+        solution = solve(tree, 2)
+        assert_cost_sandwich(tree, solution.cost)
+        assert solution.cost == 0.0
+
+
+class TestGatherTableInvariants:
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_paper_tree_tables(self, engine, exact_k):
+        tree = motivating_tree()
+        gathered = gather(tree, 3, exact_k=exact_k, engine=engine)
+        assert_gather_consistent(tree, gathered)
+
+    def test_random_instances_tables(self, session_rng):
+        for _ in range(10):
+            tree = random_instance(session_rng, max_switches=10)
+            budget = random_budget(session_rng, tree)
+            for engine in ENGINES:
+                assert_gather_consistent(tree, gather(tree, budget, engine=engine))
+
+
+class TestCheckersCanFail:
+    """Negative tests: every checker must reject a violated invariant."""
+
+    def test_budget_monotone_rejects_increase(self):
+        with pytest.raises(AssertionError, match="cost increased"):
+            assert_budget_monotone({0: 10.0, 1: 12.0})
+
+    def test_placement_feasible_rejects_stray_blue(self, paper_tree):
+        restricted = paper_tree.with_available(["s1_0"])
+        with pytest.raises(AssertionError, match="outside the availability"):
+            assert_placement_feasible(restricted, {"s1_1"}, 2)
+
+    def test_placement_feasible_rejects_overbudget(self, paper_tree):
+        with pytest.raises(AssertionError, match="budget"):
+            assert_placement_feasible(paper_tree, {"s1_0", "s1_1"}, 1)
+
+    def test_sandwich_rejects_impossible_cost(self, paper_tree):
+        with pytest.raises(AssertionError, match="exceeds the all-red"):
+            assert_cost_sandwich(paper_tree, 1e9)
+        with pytest.raises(AssertionError, match="all-blue lower bound"):
+            assert_cost_sandwich(paper_tree, 0.5)
+
+    def test_bruteforce_subset_count(self, paper_tree):
+        # 7 switches: C(7,0) + C(7,1) + C(7,2) = 29 subsets for k = 2.
+        assert bruteforce_subset_count(paper_tree, 2) == 29
+        assert bruteforce_subset_count(paper_tree, 2, exact_k=True) == 21
+
+    def test_check_instance_runs_bruteforce_when_small(self, paper_tree):
+        solutions = check_instance(paper_tree, 2)
+        assert solutions["flat"].cost == 20.0
+        assert solutions["reference"].cost == 20.0
+
+
+@pytest.mark.slow
+class TestInvariantSweep:
+    """Broad randomized invariant sweep (slow tier)."""
+
+    def test_two_hundred_instances_all_invariants(self):
+        rng = np.random.default_rng(424242)
+        for _ in range(200):
+            tree = random_instance(rng, max_switches=12)
+            budget = random_budget(rng, tree)
+            check_instance(tree, budget, bruteforce=False)
+            for engine in ENGINES:
+                assert_gather_consistent(tree, gather(tree, budget, engine=engine))
