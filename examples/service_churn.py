@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""The placement service under tenant churn: cache reuse in action.
+
+This example runs the long-lived multi-tenant placement service of
+:mod:`repro.service` through a day in the life of an aggregation provider:
+
+1. a wave of tenants is admitted (each gets an optimal SOAR placement and
+   consumes switch capacity),
+2. recurring tenants keep re-querying the same workloads — these hit the
+   gather-table cache and are answered without recomputing anything,
+3. some tenants depart (capacity returns, previously-seen availability
+   states make old cache entries live again),
+4. a switch is drained for maintenance — the tenants using it are
+   displaced, automatically re-placed on the remaining fleet, and the cache
+   entries that mention the drained switch (and only those) are dropped.
+
+Along the way the script prints the service's own statistics: cache hit
+rate, warm/cold latency, and the fleet's capacity utilization.  Every
+answer the service gives is bit-identical to a cold ``repro.solve()`` on
+the equivalent instance — the test-suite's differential replays enforce
+this invariant continuously.
+
+Run with::
+
+    python examples/service_churn.py
+"""
+
+from __future__ import annotations
+
+from repro import bt_network
+from repro.service import (
+    AdmitRequest,
+    DrainRequest,
+    PlacementService,
+    ReleaseRequest,
+    SolveRequest,
+    StatsRequest,
+    generate_churn_trace,
+    replay_trace,
+)
+from repro.utils import render_table
+from repro.workload import PowerLawLoadDistribution, apply_rate_scheme
+from repro.workload.distributions import sample_leaf_loads
+
+
+def main() -> None:
+    tree = apply_rate_scheme(bt_network(256), "constant")
+    # Capacity 8: six 8-switch tenants cannot saturate any switch, so the
+    # availability set Λ — part of every cache key — stays stable through
+    # the arrival wave and the re-queries below all hit.  (Drop this to 3
+    # and watch some re-queries go cold: every saturation changes Λ, and
+    # the service correctly refuses to reuse tables from a different Λ.)
+    capacity = 8
+    service = PlacementService(tree, capacity=capacity)
+    budget = 8
+
+    # --- 1. a wave of arrivals ------------------------------------------ #
+    workloads = {
+        f"tenant-{index}": sample_leaf_loads(
+            tree, PowerLawLoadDistribution(), rng=index
+        )
+        for index in range(6)
+    }
+    print(f"Admitting 6 tenants (budget k={budget}, capacity a(s)={capacity}):")
+    for tenant_id, loads in workloads.items():
+        response = service.submit(
+            AdmitRequest(tenant_id=tenant_id, loads=loads, budget=budget)
+        )
+        print(
+            f"  {tenant_id}: cost {response.cost:8.1f}  "
+            f"blue switches {len(response.blue_nodes):2d}  "
+            f"{'cache hit' if response.cache_hit else 'cold solve'}"
+        )
+
+    # --- 2. recurring queries hit the cache ----------------------------- #
+    print("\nRe-querying every tenant's workload (should be all cache hits):")
+    for tenant_id, loads in workloads.items():
+        response = service.submit(SolveRequest(loads=loads, budget=budget))
+        print(
+            f"  {tenant_id}: {'cache hit' if response.cache_hit else 'cold solve'} "
+            f"in {1e3 * response.elapsed_s:.2f} ms"
+        )
+
+    # --- 3. departures free capacity ------------------------------------ #
+    for tenant_id in ("tenant-1", "tenant-4"):
+        released = service.submit(ReleaseRequest(tenant_id=tenant_id))
+        print(f"\n{tenant_id} departed; {len(released.restored)} switch slots restored")
+
+    # --- 4. drain a switch used by someone ------------------------------ #
+    victim = next(
+        switch
+        for record in service.state.tenants().values()
+        for switch in sorted(record.blue_nodes, key=repr)
+    )
+    drained = service.submit(DrainRequest(switch=victim))
+    print(f"\nDrained switch {victim!r}:")
+    for move in drained.displaced:
+        print(
+            f"  {move.tenant_id} displaced: cost {move.old_cost:.1f} -> "
+            f"{move.new_cost:.1f} on {len(move.new_blue_nodes)} switches"
+        )
+    print(f"  {drained.invalidated_entries} cache entries invalidated (only those whose Λ held {victim!r})")
+
+    # --- service statistics --------------------------------------------- #
+    stats = service.submit(StatsRequest())
+    print()
+    print(render_table([dict(stats.fleet)], title="Fleet state"))
+    print()
+    print(render_table([dict(stats.cache)], title="Gather-table cache"))
+
+    # --- and at scale: a replayed churn trace --------------------------- #
+    trace = generate_churn_trace(tree, 120, seed=42, budget=budget, workload_pool=6)
+    report = replay_trace(tree, trace, capacity=capacity)
+    print()
+    print(
+        render_table(
+            [report.summary_row()],
+            title="120-request churn-trace replay (fresh service)",
+        )
+    )
+    print(
+        "\nWarm requests ride the gather-table cache (budget upcasting included),\n"
+        "so repeated placement queries cost a table lookup plus at most a colour\n"
+        "trace — the cold/warm ratio above is the speedup the service layer adds\n"
+        "on top of the flat gather engine."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,19 @@ The two produce bit-identical tables, costs, and placements;
 ``tests/test_engine_differential.py`` enforces this on hundreds of seeded
 random instances.
 
+Placement service
+-----------------
+:mod:`repro.service` wraps the solver in a long-lived multi-tenant daemon:
+:class:`repro.PlacementService` owns fleet state (residual switch capacity,
+active tenants), serves typed ``Solve`` / ``Sweep`` / ``Admit`` /
+``Release`` / ``Drain`` / ``Stats`` requests through a batched loop, and
+reuses gather tables across requests via an LRU cache with budget
+upcasting — warm queries skip the gather entirely while staying
+bit-identical to cold :func:`repro.solve` calls.  Churn traces
+(:func:`repro.generate_churn_trace`, JSON-lines round-trip) and the replay
+driver (:func:`repro.replay_trace`) measure throughput, latency, and cache
+hit rate; ``soar-repro serve-replay`` drives it from the command line.
+
 Randomized testing
 ------------------
 :mod:`repro.testing` ships the seeded random φ-BIC instance generators
@@ -73,6 +86,17 @@ from repro.topology import (
     scale_free_tree,
     sf_network,
 )
+from repro.service import (
+    AdmitRequest,
+    DrainRequest,
+    PlacementService,
+    ReleaseRequest,
+    SolveRequest,
+    StatsRequest,
+    SweepRequest,
+    generate_churn_trace,
+    replay_trace,
+)
 from repro.workload import (
     PowerLawLoadDistribution,
     UniformLoadDistribution,
@@ -84,13 +108,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_STRATEGIES",
+    "AdmitRequest",
     "DEFAULT_ENGINE",
+    "DrainRequest",
     "ENGINES",
     "FLAT_ENGINE",
     "PAPER_STRATEGIES",
+    "PlacementService",
     "PowerLawLoadDistribution",
     "REFERENCE_ENGINE",
+    "ReleaseRequest",
     "SoarSolution",
+    "SolveRequest",
+    "StatsRequest",
+    "SweepRequest",
     "TreeNetwork",
     "UniformLoadDistribution",
     "all_blue_cost",
@@ -101,11 +132,13 @@ __all__ = [
     "fat_tree_aggregation_tree",
     "flat_gather",
     "gather",
+    "generate_churn_trace",
     "get_strategy",
     "kary_tree",
     "link_message_counts",
     "normalized_utilization",
     "optimal_cost",
+    "replay_trace",
     "scale_free_tree",
     "sf_network",
     "soar_gather",

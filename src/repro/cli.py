@@ -14,6 +14,14 @@ Regenerate Figure 6 at a reduced scale and write the series as CSV::
 Run everything the paper reports (this takes a while at full scale)::
 
     soar-repro all --quick
+
+Drive the multi-tenant placement service with a churn trace (generated on
+the fly, or recorded/replayed as JSON-lines), reporting throughput, latency
+and cache hit-rate::
+
+    soar-repro serve-replay --requests 200 --network-size 1024
+    soar-repro serve-replay --record /tmp/churn.jsonl
+    soar-repro serve-replay --trace /tmp/churn.jsonl --verify
 """
 
 from __future__ import annotations
@@ -125,6 +133,27 @@ def _cmd_engines(args: argparse.Namespace) -> list[dict]:
     return run_engine_comparison(sizes=sizes, config=config, engines=engines)
 
 
+def _cmd_serve_replay(args: argparse.Namespace) -> list[dict]:
+    """Replay a churn trace through the placement service and report."""
+    from repro.experiments.service_replay import run_service_replay
+
+    report, rows = run_service_replay(
+        num_requests=args.requests,
+        budget=args.budget,
+        capacity=args.capacity,
+        workload_pool=args.workload_pool,
+        verify=args.verify,
+        config=_config(args),
+        trace_path=args.trace,
+        record_path=args.record,
+    )
+    if args.trace:
+        print(f"replayed {report.num_requests} recorded requests from {args.trace}")
+    if args.record:
+        print(f"recorded {report.num_requests} requests to {args.record}")
+    return rows
+
+
 _COMMANDS = {
     "fig2": (_cmd_fig2, "Motivating example: strategy comparison (Figure 2)"),
     "fig3": (_cmd_fig3, "Motivating example: budget sweep (Figure 3)"),
@@ -168,6 +197,38 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         add_common(sub)
 
+    sub_serve = subparsers.add_parser(
+        "serve-replay",
+        help="drive the multi-tenant placement service with a churn trace",
+    )
+    add_common(sub_serve)
+    sub_serve.add_argument(
+        "--requests", type=int, default=200, help="number of generated requests"
+    )
+    sub_serve.add_argument(
+        "--budget", type=int, default=16, help="per-tenant aggregation budget k"
+    )
+    sub_serve.add_argument(
+        "--capacity", type=int, default=4, help="per-switch aggregation capacity a(s)"
+    )
+    sub_serve.add_argument(
+        "--workload-pool",
+        type=int,
+        default=8,
+        help="number of distinct recurring workloads in the generated trace",
+    )
+    sub_serve.add_argument(
+        "--trace", type=str, default=None, help="replay a recorded JSON-lines trace"
+    )
+    sub_serve.add_argument(
+        "--record", type=str, default=None, help="write the trace as JSON-lines"
+    )
+    sub_serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially verify every response against a cold solve",
+    )
+
     sub_all = subparsers.add_parser("all", help="run every figure in sequence")
     add_common(sub_all)
     return parser
@@ -183,6 +244,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             rows = runner(args)
             _emit(rows, args, title)
             print()
+        return 0
+
+    if args.command == "serve-replay":
+        rows = _cmd_serve_replay(args)
+        _emit(rows, args, "Multi-tenant placement service: churn-trace replay")
         return 0
 
     runner, title = _COMMANDS[args.command]

@@ -44,7 +44,13 @@ from repro.core.reduce_op import (
     validate_placement,
 )
 from repro.core.soar import SoarSolution, optimal_cost, solve, solve_budget_sweep
-from repro.core.tree import DEFAULT_DESTINATION, NodeId, TreeNetwork
+from repro.core.tree import (
+    DEFAULT_DESTINATION,
+    NodeId,
+    TreeNetwork,
+    fingerprint_loads,
+    fingerprint_nodes,
+)
 
 __all__ = [
     "BruteForceSolution",
@@ -62,6 +68,8 @@ __all__ = [
     "all_blue_cost",
     "all_red_cost",
     "cost_reduction",
+    "fingerprint_loads",
+    "fingerprint_nodes",
     "flat_gather",
     "gather",
     "link_message_counts",

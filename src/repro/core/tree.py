@@ -24,6 +24,7 @@ Instances are conceptually immutable: the "modify" helpers
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from typing import Any
@@ -41,6 +42,39 @@ NodeId = Hashable
 
 #: Default identifier of the destination server.
 DEFAULT_DESTINATION: str = "d"
+
+
+def _digest(parts: Iterable[str]) -> str:
+    """Short hex digest of an iterable of canonical strings."""
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def fingerprint_loads(loads: Mapping[NodeId, int]) -> str:
+    """Order-independent digest of a load function.
+
+    Zero entries are skipped, so a mapping covering only the loaded switches
+    (e.g. the per-leaf workloads of the online setting) digests identically
+    to the full load function of a tree built from it — which is what lets
+    the placement service key its cache on a request's loads without
+    constructing the :class:`TreeNetwork` first.
+    """
+    return _digest(
+        sorted(f"{node!r}={int(value)}" for node, value in loads.items() if int(value) != 0)
+    )
+
+
+def fingerprint_nodes(nodes: Iterable[NodeId]) -> str:
+    """Order-independent digest of a set of node identifiers (e.g. Λ)."""
+    return _digest(sorted(repr(node) for node in nodes))
+
+
+#: Sentinel distinguishing "keep the current Λ" from an explicit ``None``
+#: (which, as in the constructor, means "all switches available").
+_KEEP_AVAILABLE: Any = object()
 
 
 def _validate_rate(node: NodeId, rate: float) -> float:
@@ -113,6 +147,7 @@ class TreeNetwork:
         "_postorder",
         "_cum_rho",
         "_height",
+        "_fingerprints",
     )
 
     def __init__(
@@ -181,6 +216,7 @@ class TreeNetwork:
         self._cum_rho: dict[NodeId, float] = {destination: 0.0}
         self._postorder: tuple[NodeId, ...] = self._compute_order()
         self._height: int = max(self._depth.values(), default=0)
+        self._fingerprints: dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -421,6 +457,64 @@ class TreeNetwork:
             raise TreeStructureError(f"{node!r} is not a node of this network") from exc
 
     # ------------------------------------------------------------------ #
+    # fingerprints
+    # ------------------------------------------------------------------ #
+
+    def structure_fingerprint(self) -> str:
+        """Digest of the topology and rates (parents, destination, ``w``).
+
+        Two networks with the same structure fingerprint describe the same
+        weighted tree; they may still differ in loads and availability.
+        Fingerprints are memoized per instance (the network is immutable).
+        """
+        cached = self._fingerprints.get("structure")
+        if cached is None:
+            cached = _digest(
+                [repr(self._destination)]
+                + sorted(
+                    f"{s!r}->{p!r}@{self._rates[s]!r}" for s, p in self._parents.items()
+                )
+            )
+            self._fingerprints["structure"] = cached
+        return cached
+
+    def loads_fingerprint(self) -> str:
+        """Digest of the load function ``L`` (see :func:`fingerprint_loads`)."""
+        cached = self._fingerprints.get("loads")
+        if cached is None:
+            cached = fingerprint_loads(self._loads)
+            self._fingerprints["loads"] = cached
+        return cached
+
+    def availability_fingerprint(self) -> str:
+        """Digest of the availability set Λ (see :func:`fingerprint_nodes`)."""
+        cached = self._fingerprints.get("available")
+        if cached is None:
+            cached = fingerprint_nodes(self._available)
+            self._fingerprints["available"] = cached
+        return cached
+
+    def fingerprint(self) -> str:
+        """Digest of the whole φ-BIC instance: structure, loads, and Λ.
+
+        Equal fingerprints mean equal problem instances, so any solver
+        output (gather tables, placements, costs) computed for one network
+        is valid verbatim for the other — the contract the gather-table
+        cache of :mod:`repro.service` is built on.
+        """
+        cached = self._fingerprints.get("full")
+        if cached is None:
+            cached = _digest(
+                [
+                    self.structure_fingerprint(),
+                    self.loads_fingerprint(),
+                    self.availability_fingerprint(),
+                ]
+            )
+            self._fingerprints["full"] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
     # path and subtree queries
     # ------------------------------------------------------------------ #
 
@@ -510,17 +604,28 @@ class TreeNetwork:
     # derived copies
     # ------------------------------------------------------------------ #
 
-    def with_loads(self, loads: Mapping[NodeId, int]) -> "TreeNetwork":
+    def with_loads(
+        self,
+        loads: Mapping[NodeId, int],
+        available: Iterable[NodeId] | None = _KEEP_AVAILABLE,
+    ) -> "TreeNetwork":
         """Return a copy of the network with a different load function.
 
         Switches absent from ``loads`` get load 0 (the mapping fully replaces
         the previous loads; use ``{**tree.loads, ...}`` to patch instead).
+        ``available`` optionally replaces Λ in the same single construction
+        (``None`` means all switches, as in the constructor); omitting it
+        keeps the current Λ.  One combined call is how hot paths avoid
+        paying the structural validation twice for
+        ``with_loads(...).with_available(...)``.
         """
+        if available is _KEEP_AVAILABLE:
+            available = self._available
         return TreeNetwork(
             self._parents,
             rates=self._rates,
             loads=loads,
-            available=self._available,
+            available=available,
             destination=self._destination,
         )
 

@@ -29,6 +29,7 @@ from repro.experiments.fig10_scaling import (
     run_fig10_utilization,
 )
 from repro.experiments.fig11_scalefree import run_fig11_example, run_fig11_scaling
+from repro.experiments.service_replay import run_service_replay, run_service_throughput
 
 __all__ = [
     "BUDGET_RULES",
@@ -56,5 +57,7 @@ __all__ = [
     "run_fig7_workload_sweep",
     "run_fig8",
     "run_fig9",
+    "run_service_replay",
+    "run_service_throughput",
     "run_strategy_comparison",
 ]

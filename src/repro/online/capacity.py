@@ -9,6 +9,13 @@ switches available to the next workload is ``Λ_t = {s : a_t(s) > 0}``.
 
 :class:`CapacityTracker` encapsulates the residual capacities and produces
 the availability set for each arrival.
+
+Beyond the paper's arrival-only stream, the tracker also supports the churn
+operations of the long-lived placement service (:mod:`repro.service`):
+:meth:`CapacityTracker.release` returns a departing workload's switch slots
+to the pool, and :meth:`CapacityTracker.drain` takes a switch out of
+service permanently (e.g. for maintenance) so that neither new assignments
+nor releases can ever make it available again.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ class CapacityTracker:
         self._initial = dict(initial)
         self._residual = dict(initial)
         self._assignments: list[frozenset[NodeId]] = []
+        self._drained: set[NodeId] = set()
 
     @property
     def tree(self) -> TreeNetwork:
@@ -111,15 +119,83 @@ class CapacityTracker:
         self._assignments.append(blue)
         return blue
 
+    @property
+    def drained(self) -> frozenset[NodeId]:
+        """Switches permanently removed from service via :meth:`drain`."""
+        return frozenset(self._drained)
+
+    def release(self, blue_nodes: Iterable[NodeId]) -> frozenset[NodeId]:
+        """Return a departed workload's switch slots to the capacity pool.
+
+        Drained switches keep residual capacity 0 — the tenant leaves, but
+        the switch stays out of service.  Returns the switches whose
+        capacity was actually restored.
+
+        Raises
+        ------
+        CapacityError
+            If a switch is unknown, or restoring a slot would exceed the
+            switch's initial capacity (releasing something that was never
+            consumed).
+        """
+        blue = frozenset(blue_nodes)
+        unknown = [s for s in blue if s not in self._residual]
+        if unknown:
+            raise CapacityError(f"unknown switches in release: {unknown!r}")
+        overfull = [
+            s
+            for s in blue
+            if s not in self._drained and self._residual[s] + 1 > self._initial[s]
+        ]
+        if overfull:
+            raise CapacityError(
+                "release would exceed initial capacity for switches: "
+                f"{sorted(map(repr, overfull))}"
+            )
+        restored = blue - self._drained
+        for switch in restored:
+            self._residual[switch] += 1
+        return restored
+
+    def drain(self, switch: NodeId) -> int:
+        """Take a switch out of service permanently.
+
+        Sets the residual capacity to 0 and remembers the switch as drained,
+        so later :meth:`release` calls cannot resurrect it.  Idempotent.
+        Returns the number of capacity slots forfeited (residual capacity at
+        drain time; already-consumed slots are accounted by the caller when
+        the displaced workloads are released).
+
+        Raises
+        ------
+        CapacityError
+            If ``switch`` is not a switch of this network.
+        """
+        if switch not in self._residual:
+            raise CapacityError(f"{switch!r} is not a switch of this network")
+        forfeited = self._residual[switch]
+        self._residual[switch] = 0
+        self._drained.add(switch)
+        return forfeited
+
     def reset(self) -> None:
-        """Restore the initial capacities and forget all assignments."""
+        """Restore the initial capacities and forget assignments and drains."""
         self._residual = dict(self._initial)
         self._assignments = []
+        self._drained = set()
 
     def utilization_of_capacity(self) -> float:
-        """Fraction of the total aggregation capacity consumed so far."""
-        total = sum(self._initial.values())
+        """Fraction of the in-service aggregation capacity consumed so far.
+
+        Drained switches are excluded from both numerator and denominator:
+        their forfeited slots are not "consumed", they no longer exist.
+        """
+        total = sum(
+            value for s, value in self._initial.items() if s not in self._drained
+        )
         if total == 0:
             return 0.0
-        used = total - sum(self._residual.values())
+        used = total - sum(
+            value for s, value in self._residual.items() if s not in self._drained
+        )
         return used / total

@@ -1,0 +1,131 @@
+"""Multi-tenant placement service: a long-lived daemon around SOAR.
+
+The paper's online setting (Section 5.2) assumes workloads arrive once and
+never leave.  A production aggregation service faces the full lifecycle —
+arrivals *and* departures, switch maintenance, and a heavy stream of
+repeated placement queries that must be answered far faster than a cold
+:func:`repro.solve`.  This package is that service layer.
+
+Module tour
+-----------
+:mod:`repro.service.state`
+    The mutable fleet: the shared network, the residual per-switch
+    aggregation capacity (via :class:`~repro.online.capacity.CapacityTracker`,
+    now with ``release`` and ``drain``), and the registry of active tenants
+    with the placements they hold.
+
+:mod:`repro.service.cache`
+    The speed multiplier: an LRU cache of gather tables keyed by
+    (structure fingerprint, Λ fingerprint, loads digest, budget semantics,
+    engine).  A table gathered at budget ``k`` answers every budget
+    ``k' <= k`` through the ``gathered=`` path (*budget upcasting*), and a
+    per-budget solution memo answers exact repeats without even a colour
+    trace.  Keys digest everything a gather depends on, so hits are always
+    bitwise-correct; invalidation (after drains) only reclaims entries that
+    can never be looked up again.
+
+:mod:`repro.service.api`
+    The typed request surface — ``Solve``, ``Sweep``, ``Admit``,
+    ``Release``, ``Drain``, ``Stats`` — and :class:`PlacementService`, the
+    daemon object dispatching them.  ``submit_batch`` is the batched
+    request loop: read-only runs are planned so each (workload, semantics)
+    group gathers once at the widest budget the run needs.
+
+:mod:`repro.service.events`
+    Serializable churn traces: :class:`TraceEvent`, JSON-lines round-trip
+    (:func:`read_trace` / :func:`write_trace`), and a seeded synthetic
+    generator (:func:`generate_churn_trace`) whose arrival/departure/drain
+    mix exercises the cache the way recurring tenants would.
+
+:mod:`repro.service.driver`
+    The traffic-replay driver: feed a trace to a service, time every
+    request, report throughput / per-kind latency / hit rate, and (with
+    ``verify=True``) assert every placement response is bit-identical to a
+    direct cold solve — the differential harness behind
+    ``tests/test_service.py`` and ``soar-repro serve-replay``.
+
+Quickstart
+----------
+>>> from repro import bt_network
+>>> from repro.service import PlacementService, SolveRequest
+>>> service = PlacementService(bt_network(64), capacity=4)
+>>> loads = {leaf: 3 for leaf in service.state.tree.leaves()}
+>>> cold = service.submit(SolveRequest(loads=loads, budget=8))
+>>> warm = service.submit(SolveRequest(loads=loads, budget=8))
+>>> cold.cache_hit, warm.cache_hit, warm.cost == cold.cost
+(False, True, True)
+"""
+
+from repro.service.api import (
+    AdmitRequest,
+    AdmitResponse,
+    DrainRequest,
+    DrainResponse,
+    PlacementService,
+    ReleaseRequest,
+    ReleaseResponse,
+    Replacement,
+    Request,
+    Response,
+    SolveRequest,
+    SolveResponse,
+    StatsRequest,
+    StatsResponse,
+    SweepRequest,
+    SweepResponse,
+)
+from repro.service.cache import CachedSolution, CacheKey, CacheStats, GatherTableCache
+from repro.service.driver import ReplayRecord, ReplayReport, replay_trace
+from repro.service.events import (
+    ChurnProfile,
+    EVENT_KINDS,
+    TRACE_HEADER_KIND,
+    TraceEvent,
+    check_trace_compatible,
+    event_to_request,
+    generate_churn_trace,
+    read_trace,
+    resolve_loads,
+    trace_header,
+    write_trace,
+)
+from repro.service.state import FleetState, TenantRecord
+
+__all__ = [
+    "AdmitRequest",
+    "AdmitResponse",
+    "CachedSolution",
+    "CacheKey",
+    "CacheStats",
+    "ChurnProfile",
+    "DrainRequest",
+    "DrainResponse",
+    "EVENT_KINDS",
+    "FleetState",
+    "GatherTableCache",
+    "PlacementService",
+    "ReleaseRequest",
+    "ReleaseResponse",
+    "Replacement",
+    "ReplayRecord",
+    "ReplayReport",
+    "Request",
+    "Response",
+    "SolveRequest",
+    "SolveResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "SweepRequest",
+    "SweepResponse",
+    "TRACE_HEADER_KIND",
+    "TenantRecord",
+    "TraceEvent",
+    "check_trace_compatible",
+    "event_to_request",
+    "generate_churn_trace",
+    "read_trace",
+    "replay_trace",
+    "resolve_loads",
+    "trace_header",
+    "write_trace",
+]

@@ -1,0 +1,650 @@
+"""The placement service: typed requests, a batched loop, cached solving.
+
+:class:`PlacementService` is the long-lived daemon object: it owns a
+:class:`~repro.service.state.FleetState` (tree, residual capacity, active
+tenants) and a :class:`~repro.service.cache.GatherTableCache`, and serves
+six request types:
+
+``SolveRequest``
+    Read-only placement query: optimal blue set and cost for a workload
+    against the *current* availability Λ_t.  Does not consume capacity.
+``SweepRequest``
+    Budget sweep over one workload; one gather (at the largest budget)
+    answers every budget via the tables' columns.
+``AdmitRequest``
+    Solve + commit: the workload becomes an active tenant and its switches'
+    capacity is charged.
+``ReleaseRequest``
+    A tenant departs; its switch slots return to the pool.
+``DrainRequest``
+    A switch leaves the fleet permanently; tenants using it are displaced,
+    re-placed against the new Λ, and re-admitted.
+``StatsRequest``
+    Fleet and cache counters.
+
+Every response carries ``elapsed_s`` (measured inside the service) and, for
+placement-producing requests, ``cache_hit`` — whether the answer avoided a
+gather.  Responses are bit-identical to cold calls of
+:func:`repro.core.soar.solve` / :func:`~repro.core.soar.solve_budget_sweep`
+on the equivalent instance; ``tests/test_service.py`` enforces this across
+seeded churn traces.
+
+Batching
+--------
+:meth:`PlacementService.submit_batch` is the request loop: it scans each
+maximal run of read-only requests and *plans* gathers before serving it —
+for every (loads, semantics) group it records the largest effective budget
+anyone in the run needs, so the first miss gathers once at the run-wide
+budget and every later request in the group upcasts for free.  Mutating
+requests (admit / release / drain) act as barriers, preserving program
+order of the fleet state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather
+from repro.core.soar import solve
+from repro.core.tree import (
+    NodeId,
+    TreeNetwork,
+    fingerprint_loads,
+    fingerprint_nodes,
+)
+from repro.exceptions import InvalidBudgetError, WorkloadError
+from repro.service.cache import CachedSolution, CacheKey, GatherTableCache
+from repro.service.state import FleetState, TenantRecord
+
+__all__ = [
+    "AdmitRequest",
+    "AdmitResponse",
+    "DrainRequest",
+    "DrainResponse",
+    "PlacementService",
+    "ReleaseRequest",
+    "ReleaseResponse",
+    "Request",
+    "Response",
+    "SolveRequest",
+    "SolveResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "SweepRequest",
+    "SweepResponse",
+]
+
+
+def _freeze_loads(loads: Mapping[NodeId, int]) -> dict[NodeId, int]:
+    """Copy a load mapping, validating values are non-negative integers."""
+    frozen: dict[NodeId, int] = {}
+    for node, value in loads.items():
+        count = int(value)
+        if count != value or count < 0:
+            raise WorkloadError(
+                f"load of switch {node!r} must be a non-negative integer, got {value!r}"
+            )
+        frozen[node] = count
+    return frozen
+
+
+# --------------------------------------------------------------------------- #
+# requests
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """Read-only optimal-placement query for one workload."""
+
+    loads: Mapping[NodeId, int]
+    budget: int
+    exact_k: bool = False
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Budget sweep over one workload (Figure 3 / Figure 6 style)."""
+
+    loads: Mapping[NodeId, int]
+    budgets: tuple[int, ...]
+    exact_k: bool = False
+
+
+@dataclass(frozen=True)
+class AdmitRequest:
+    """Admit a tenant: solve, then commit capacity for the chosen switches."""
+
+    tenant_id: str
+    loads: Mapping[NodeId, int]
+    budget: int
+    exact_k: bool = False
+
+
+@dataclass(frozen=True)
+class ReleaseRequest:
+    """An active tenant departs, returning its switch slots."""
+
+    tenant_id: str
+
+
+@dataclass(frozen=True)
+class DrainRequest:
+    """Remove a switch from service, displacing and re-placing its tenants."""
+
+    switch: NodeId
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Snapshot of fleet and cache counters."""
+
+
+Request = (
+    SolveRequest
+    | SweepRequest
+    | AdmitRequest
+    | ReleaseRequest
+    | DrainRequest
+    | StatsRequest
+)
+
+#: Request types that do not mutate fleet state (batchable together).
+READ_ONLY_REQUESTS = (SolveRequest, SweepRequest, StatsRequest)
+
+
+# --------------------------------------------------------------------------- #
+# responses
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """Answer to a :class:`SolveRequest`."""
+
+    blue_nodes: frozenset[NodeId]
+    cost: float
+    predicted_cost: float
+    budget: int
+    cache_hit: bool
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    """Answer to a :class:`SweepRequest`: one entry per requested budget."""
+
+    costs: dict[int, float]
+    placements: dict[int, frozenset[NodeId]]
+    cache_hit: bool
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class AdmitResponse:
+    """Answer to an :class:`AdmitRequest`."""
+
+    tenant_id: str
+    blue_nodes: frozenset[NodeId]
+    cost: float
+    predicted_cost: float
+    budget: int
+    cache_hit: bool
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class ReleaseResponse:
+    """Answer to a :class:`ReleaseRequest`."""
+
+    tenant_id: str
+    restored: frozenset[NodeId]
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class Replacement:
+    """One displaced tenant's move recorded in a :class:`DrainResponse`."""
+
+    tenant_id: str
+    old_blue_nodes: frozenset[NodeId]
+    new_blue_nodes: frozenset[NodeId]
+    old_cost: float
+    new_cost: float
+
+
+@dataclass(frozen=True)
+class DrainResponse:
+    """Answer to a :class:`DrainRequest`."""
+
+    switch: NodeId
+    displaced: tuple[Replacement, ...]
+    invalidated_entries: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Answer to a :class:`StatsRequest`."""
+
+    fleet: dict[str, int | float]
+    cache: dict[str, int | float]
+    requests: dict[str, int]
+    elapsed_s: float
+
+
+Response = (
+    SolveResponse
+    | SweepResponse
+    | AdmitResponse
+    | ReleaseResponse
+    | DrainResponse
+    | StatsResponse
+)
+
+
+# --------------------------------------------------------------------------- #
+# the service
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _Placement:
+    """Internal result of a cached solve (before response packaging)."""
+
+    blue_nodes: frozenset[NodeId]
+    cost: float
+    predicted_cost: float
+    budget: int
+    cache_hit: bool
+
+
+class PlacementService:
+    """Long-lived multi-tenant placement daemon.
+
+    Parameters
+    ----------
+    tree:
+        The shared network (topology and rates); per-request loads override
+        the tree's own loads.
+    capacity:
+        Per-switch aggregation capacity ``a(s)`` (scalar or mapping).
+    engine:
+        Gather engine used for every solve (see :mod:`repro.core.engine`).
+    cache_entries:
+        LRU capacity of the gather-table cache.
+    """
+
+    def __init__(
+        self,
+        tree: TreeNetwork,
+        capacity: int | Mapping[NodeId, int],
+        engine: str = DEFAULT_ENGINE,
+        cache_entries: int = 64,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
+            )
+        self._state = FleetState(tree, capacity)
+        self._cache = GatherTableCache(max_entries=cache_entries)
+        self._engine = engine
+        self._structure_fp = tree.structure_fingerprint()
+        self._request_counts: dict[str, int] = {}
+        # Batch plan: (loads_fp, exact_k) -> largest effective budget any
+        # request in the current read-only run needs.  A miss consults this
+        # so the first gather of a run is already wide enough for the rest.
+        self._planned_budgets: dict[tuple[str, bool], int] = {}
+        # Digests computed while planning, reused when the same request
+        # object is served (keyed by identity; cleared with the plan).
+        self._planned_loads_fp: dict[int, str] = {}
+        # Λ and its fingerprint change only on admit/release/drain; caching
+        # them keeps the solution-memo fast path free of per-request
+        # O(n log n) digesting.
+        self._cached_available: frozenset[NodeId] | None = None
+        self._cached_availability_fp: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> FleetState:
+        """The fleet state (read-only use; mutate via requests)."""
+        return self._state
+
+    @property
+    def cache(self) -> GatherTableCache:
+        """The gather-table cache (exposed for stats and tests)."""
+        return self._cache
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    def available(self) -> frozenset[NodeId]:
+        """Current availability set Λ_t (cached between fleet mutations)."""
+        if self._cached_available is None:
+            self._cached_available = self._state.available()
+            self._cached_availability_fp = fingerprint_nodes(self._cached_available)
+        return self._cached_available
+
+    def _fleet_mutated(self) -> None:
+        """Drop the Λ caches after any capacity-changing operation."""
+        self._cached_available = None
+        self._cached_availability_fp = None
+
+    # ------------------------------------------------------------------ #
+    # cached solving
+    # ------------------------------------------------------------------ #
+
+    def _availability_fingerprint(self) -> str:
+        self.available()
+        return self._cached_availability_fp
+
+    def _key(self, loads_fp: str, exact_k: bool) -> CacheKey:
+        return CacheKey(
+            structure=self._structure_fp,
+            available=self._availability_fingerprint(),
+            loads=loads_fp,
+            exact_k=exact_k,
+            engine=self._engine,
+        )
+
+    def _workload_tree(self, loads: Mapping[NodeId, int]) -> TreeNetwork:
+        return self._state.tree.with_loads(loads, available=self.available())
+
+    @staticmethod
+    def _validate_budget(budget: int) -> int:
+        try:
+            value = int(budget)
+        except (TypeError, ValueError) as exc:
+            raise InvalidBudgetError(f"budget must be an integer, got {budget!r}") from exc
+        if isinstance(budget, bool) or value != budget:
+            raise InvalidBudgetError(f"budget must be an integer, got {budget!r}")
+        if value < 0:
+            raise InvalidBudgetError(f"budget must be non-negative, got {value}")
+        return value
+
+    def _effective_budget(self, budget: int) -> int:
+        return min(self._validate_budget(budget), len(self.available()))
+
+    def _solve_cached(
+        self,
+        loads: Mapping[NodeId, int],
+        budget: int,
+        exact_k: bool,
+        loads_fp: str | None = None,
+    ) -> _Placement:
+        """Answer one placement query through the cache layers.
+
+        Fast path: solution memo (no tree construction at all).  Middle
+        path: cached tables + colour trace.  Slow path: gather (at the
+        batch-planned budget when one is on file), then memoize.
+        ``loads_fp`` lets callers that already digested the loads (batch
+        planning, per-sweep reuse) skip re-digesting them.
+        """
+        effective = self._effective_budget(budget)
+        if loads_fp is None:
+            loads_fp = fingerprint_loads(loads)
+        key = self._key(loads_fp, exact_k)
+
+        memo = self._cache.solution(key, effective)
+        if memo is not None:
+            return _Placement(
+                blue_nodes=memo.blue_nodes,
+                cost=memo.cost,
+                predicted_cost=memo.predicted_cost,
+                budget=effective,
+                cache_hit=True,
+            )
+
+        gathered = self._cache.lookup(key, effective)
+        cache_hit = gathered is not None
+        workload_tree = self._workload_tree(loads)
+        if gathered is None:
+            planned = self._planned_budgets.get((loads_fp, exact_k), 0)
+            stored = self._cache.stored_budget(key) or 0
+            gather_budget = max(effective, planned, stored)
+            gathered = gather(
+                workload_tree, gather_budget, exact_k=exact_k, engine=self._engine
+            )
+            self._cache.store(key, gathered, workload_tree.available)
+
+        solution = solve(
+            workload_tree, effective, exact_k=exact_k, gathered=gathered
+        )
+        self._cache.store_solution(
+            key,
+            effective,
+            CachedSolution(
+                blue_nodes=solution.blue_nodes,
+                cost=solution.cost,
+                predicted_cost=solution.predicted_cost,
+            ),
+        )
+        return _Placement(
+            blue_nodes=solution.blue_nodes,
+            cost=solution.cost,
+            predicted_cost=solution.predicted_cost,
+            budget=effective,
+            cache_hit=cache_hit,
+        )
+
+    # ------------------------------------------------------------------ #
+    # request handlers
+    # ------------------------------------------------------------------ #
+
+    def _handle_solve(self, request: SolveRequest) -> SolveResponse:
+        start = time.perf_counter()
+        placement = self._solve_cached(
+            _freeze_loads(request.loads),
+            request.budget,
+            request.exact_k,
+            loads_fp=self._planned_loads_fp.get(id(request)),
+        )
+        return SolveResponse(
+            blue_nodes=placement.blue_nodes,
+            cost=placement.cost,
+            predicted_cost=placement.predicted_cost,
+            budget=placement.budget,
+            cache_hit=placement.cache_hit,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def _handle_sweep(self, request: SweepRequest) -> SweepResponse:
+        start = time.perf_counter()
+        if not request.budgets:
+            return SweepResponse(
+                costs={}, placements={}, cache_hit=True,
+                elapsed_s=time.perf_counter() - start,
+            )
+        loads = _freeze_loads(request.loads)
+        budgets = sorted({self._validate_budget(b) for b in request.budgets})
+        loads_fp = self._planned_loads_fp.get(id(request)) or fingerprint_loads(loads)
+        # Solving the largest budget first populates the tables every
+        # smaller budget then hits (mirrors solve_budget_sweep).
+        costs: dict[int, float] = {}
+        placements: dict[int, frozenset[NodeId]] = {}
+        first = self._solve_cached(loads, budgets[-1], request.exact_k, loads_fp=loads_fp)
+        costs[budgets[-1]] = first.cost
+        placements[budgets[-1]] = first.blue_nodes
+        for budget in budgets[:-1]:
+            placement = self._solve_cached(
+                loads, budget, request.exact_k, loads_fp=loads_fp
+            )
+            costs[budget] = placement.cost
+            placements[budget] = placement.blue_nodes
+        return SweepResponse(
+            costs=costs,
+            placements=placements,
+            cache_hit=first.cache_hit,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def _handle_admit(self, request: AdmitRequest) -> AdmitResponse:
+        start = time.perf_counter()
+        loads = _freeze_loads(request.loads)
+        placement = self._solve_cached(loads, request.budget, request.exact_k)
+        record = TenantRecord(
+            tenant_id=request.tenant_id,
+            loads=loads,
+            budget=request.budget,
+            exact_k=request.exact_k,
+            blue_nodes=placement.blue_nodes,
+            cost=placement.cost,
+            predicted_cost=placement.predicted_cost,
+        )
+        self._state.register(record)
+        self._fleet_mutated()
+        return AdmitResponse(
+            tenant_id=request.tenant_id,
+            blue_nodes=placement.blue_nodes,
+            cost=placement.cost,
+            predicted_cost=placement.predicted_cost,
+            budget=placement.budget,
+            cache_hit=placement.cache_hit,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def _handle_release(self, request: ReleaseRequest) -> ReleaseResponse:
+        start = time.perf_counter()
+        _, restored = self._state.withdraw(request.tenant_id)
+        self._fleet_mutated()
+        return ReleaseResponse(
+            tenant_id=request.tenant_id,
+            restored=restored,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def _handle_drain(self, request: DrainRequest) -> DrainResponse:
+        start = time.perf_counter()
+        displaced = self._state.drain(request.switch)
+        self._fleet_mutated()
+        invalidated = self._cache.invalidate_switches({request.switch})
+        replacements: list[Replacement] = []
+        for record in displaced:
+            placement = self._solve_cached(record.loads, record.budget, record.exact_k)
+            self._state.register(
+                TenantRecord(
+                    tenant_id=record.tenant_id,
+                    loads=record.loads,
+                    budget=record.budget,
+                    exact_k=record.exact_k,
+                    blue_nodes=placement.blue_nodes,
+                    cost=placement.cost,
+                    predicted_cost=placement.predicted_cost,
+                ),
+                new_admission=False,
+            )
+            self._fleet_mutated()
+            replacements.append(
+                Replacement(
+                    tenant_id=record.tenant_id,
+                    old_blue_nodes=record.blue_nodes,
+                    new_blue_nodes=placement.blue_nodes,
+                    old_cost=record.cost,
+                    new_cost=placement.cost,
+                )
+            )
+        return DrainResponse(
+            switch=request.switch,
+            displaced=tuple(replacements),
+            invalidated_entries=invalidated,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def _handle_stats(self, request: StatsRequest) -> StatsResponse:
+        start = time.perf_counter()
+        return StatsResponse(
+            fleet=self._state.residual_summary(),
+            cache=self._cache.stats.snapshot(),
+            requests=dict(self._request_counts),
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the request loop
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: Request) -> Response:
+        """Serve one request and return its typed response."""
+        kind = type(request).__name__
+        self._request_counts[kind] = self._request_counts.get(kind, 0) + 1
+        if isinstance(request, SolveRequest):
+            return self._handle_solve(request)
+        if isinstance(request, SweepRequest):
+            return self._handle_sweep(request)
+        if isinstance(request, AdmitRequest):
+            return self._handle_admit(request)
+        if isinstance(request, ReleaseRequest):
+            return self._handle_release(request)
+        if isinstance(request, DrainRequest):
+            return self._handle_drain(request)
+        if isinstance(request, StatsRequest):
+            return self._handle_stats(request)
+        raise WorkloadError(f"unknown request type: {type(request).__name__}")
+
+    def _plan_run(self, run: Sequence[Request]) -> None:
+        """Record the widest budget each (loads, semantics) group needs.
+
+        Planning is best-effort: a malformed request is simply skipped
+        here, so its error surfaces when the request itself is served — at
+        the same position and with the same exception a serial submission
+        would produce, with every earlier response already delivered.
+        """
+        self._planned_budgets.clear()
+        self._planned_loads_fp.clear()
+        for request in run:
+            try:
+                if isinstance(request, SolveRequest):
+                    needed = self._effective_budget(request.budget)
+                    loads_fp = fingerprint_loads(request.loads)
+                elif isinstance(request, SweepRequest) and request.budgets:
+                    needed = self._effective_budget(
+                        max(self._validate_budget(b) for b in request.budgets)
+                    )
+                    loads_fp = fingerprint_loads(request.loads)
+                else:
+                    continue
+            except Exception:
+                continue
+            self._planned_loads_fp[id(request)] = loads_fp
+            group = (loads_fp, request.exact_k)
+            self._planned_budgets[group] = max(
+                self._planned_budgets.get(group, 0), needed
+            )
+
+    def submit_batch(self, requests: Iterable[Request]) -> list[Response]:
+        """Serve a batch, planning gathers across read-only runs.
+
+        Mutating requests act as barriers: the fleet state observed by each
+        request is exactly what serial :meth:`submit` calls would produce.
+        Within a run of read-only requests, the first gather for each
+        (loads, semantics) group happens at the widest budget the run
+        needs, so the remaining requests of the group upcast for free.
+        """
+        pending = list(requests)
+        responses: list[Response] = []
+        index = 0
+        while index < len(pending):
+            if isinstance(pending[index], READ_ONLY_REQUESTS):
+                end = index
+                while end < len(pending) and isinstance(
+                    pending[end], READ_ONLY_REQUESTS
+                ):
+                    end += 1
+                run = pending[index:end]
+                self._plan_run(run)
+                try:
+                    responses.extend(self.submit(request) for request in run)
+                finally:
+                    self._planned_budgets.clear()
+                    self._planned_loads_fp.clear()
+                index = end
+            else:
+                responses.append(self.submit(pending[index]))
+                index += 1
+        return responses

@@ -1,0 +1,265 @@
+"""Gather-table cache: memoized incremental recomputation for the service.
+
+The gather phase dominates every solve (Figure 9: the colouring trace is two
+orders of magnitude cheaper), and the gather tables depend on nothing but
+the φ-BIC instance itself — topology, rates, loads, Λ, and the budget
+semantics.  A long-lived service answering repeated placement queries over
+a slowly-churning fleet therefore wants to compute each distinct gather
+once and reuse it, in the spirit of the ``lru_cache`` idiom: this module is
+that cache, made explicit so eviction, invalidation, and hit accounting are
+observable.
+
+Keys and correctness
+--------------------
+Entries are keyed by :class:`CacheKey` — the structure fingerprint
+(topology + rates), the availability fingerprint of Λ at gather time, the
+loads digest, the ``exact_k`` semantics, and the engine name (engines are
+bit-identical, but the key keeps the contract self-evident).  Because the
+key digests *everything* the gather depends on, a cache hit is always
+bitwise-correct: there is no way to observe a stale table through a
+matching key.  Capacity churn that changes Λ simply changes the key, so
+requests after an :class:`~repro.service.api.AdmitRequest` or
+:class:`~repro.service.api.ReleaseRequest` look up different entries — and
+when a release restores Λ to a previously-seen state, the old entries
+become live hits again for free.
+
+Budget upcasting
+----------------
+A gather at budget ``k`` carries every column ``0 .. k``, so one entry
+answers *every* request at the same key with budget ``k' <= k`` through the
+``gathered=`` path of :func:`repro.core.soar.solve` (exactly how
+:func:`~repro.core.soar.solve_budget_sweep` works).  :meth:`lookup` treats
+"stored budget too small" as a miss; the service then re-gathers at the
+larger budget and :meth:`store` replaces the entry, so the cache converges
+onto the widest table each key needs.
+
+Solution memo
+-------------
+On top of the tables, each entry memoizes the fully-traced solutions per
+effective budget (:meth:`solution` / :meth:`store_solution`): a repeated
+identical query skips both the gather *and* the colour trace, costing only
+the key digest.  Memoized solutions are the exact objects a cold solve
+produced, so responses stay bit-identical.
+
+Eviction and invalidation
+-------------------------
+Entries evict in LRU order beyond ``max_entries``.  Invalidation exists for
+*reachability*, not correctness: after a drain, Λ can never again contain
+the drained switch, so every entry whose availability set mentions it is
+dead weight — :meth:`invalidate_switches` drops exactly those entries and
+leaves the rest untouched.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.core.gather import GatherResult
+from repro.core.tree import NodeId
+
+
+class CacheKey(NamedTuple):
+    """Identity of a gather computation (everything its output depends on)."""
+
+    structure: str
+    available: str
+    loads: str
+    exact_k: bool
+    engine: str
+
+
+class CachedSolution(NamedTuple):
+    """A fully-traced placement memoized for one effective budget."""
+
+    blue_nodes: frozenset[NodeId]
+    cost: float
+    predicted_cost: float
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed through the service's ``Stats`` endpoint."""
+
+    table_hits: int = 0
+    solution_hits: int = 0
+    misses: int = 0
+    budget_upcasts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Requests answered without a gather (table or solution memo)."""
+        return self.table_hits + self.solution_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Plain-dict view for stats responses and CSV rows."""
+        return {
+            "table_hits": self.table_hits,
+            "solution_hits": self.solution_hits,
+            "misses": self.misses,
+            "budget_upcasts": self.budget_upcasts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    """One cached gather: the tables, their Λ, and the solution memo."""
+
+    gathered: GatherResult
+    available: frozenset[NodeId]
+    solutions: dict[int, CachedSolution] = field(default_factory=dict)
+
+
+class GatherTableCache:
+    """LRU cache of gather tables with budget upcasting and a solution memo.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of gather results kept (each entry's solution memo
+        rides along with it).  The oldest-used entry evicts first.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._max_entries = int(max_entries)
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def keys(self) -> tuple[CacheKey, ...]:
+        """Current keys, least-recently-used first (for tests/diagnostics)."""
+        return tuple(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    def solution(self, key: CacheKey, budget: int) -> CachedSolution | None:
+        """Memoized solution for ``(key, effective budget)``, if any.
+
+        A hit counts as ``solution_hits`` and refreshes the entry's LRU
+        position; a miss here is *not* counted (the caller falls through to
+        :meth:`lookup`, which does the accounting).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        cached = entry.solutions.get(budget)
+        if cached is None:
+            return None
+        self._entries.move_to_end(key)
+        self.stats.solution_hits += 1
+        return cached
+
+    def lookup(self, key: CacheKey, budget: int) -> GatherResult | None:
+        """Gather tables able to answer ``key`` at effective ``budget``.
+
+        Returns ``None`` (and counts a miss) when the key is absent or the
+        stored tables were built for a smaller budget — the budget-upcast
+        case, counted separately so the stats tell the two apart.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.gathered.budget < budget:
+            self.stats.misses += 1
+            self.stats.budget_upcasts += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.table_hits += 1
+        return entry.gathered
+
+    def stored_budget(self, key: CacheKey) -> int | None:
+        """Budget of the stored tables (no LRU touch, no stats) or ``None``."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry.gathered.budget
+
+    # ------------------------------------------------------------------ #
+    # population
+    # ------------------------------------------------------------------ #
+
+    def store(
+        self,
+        key: CacheKey,
+        gathered: GatherResult,
+        available: frozenset[NodeId],
+    ) -> None:
+        """Insert (or replace, on budget upcast) the tables for ``key``."""
+        previous = self._entries.pop(key, None)
+        entry = _Entry(gathered=gathered, available=frozenset(available))
+        if previous is not None:
+            # The wider table answers every budget the narrower one did, so
+            # the memoized traces stay valid.
+            entry.solutions.update(previous.solutions)
+        self._entries[key] = entry
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def store_solution(
+        self,
+        key: CacheKey,
+        budget: int,
+        solution: CachedSolution,
+    ) -> None:
+        """Memoize a traced placement for ``(key, effective budget)``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.solutions[budget] = solution
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+
+    def invalidate_switches(self, switches: frozenset[NodeId] | set[NodeId]) -> int:
+        """Drop entries whose Λ intersects ``switches``; return the count.
+
+        Used after a drain: Λ will never again contain a drained switch, so
+        entries gathered under an availability set mentioning it can never
+        be looked up again.  Entries whose Λ already excluded the switches
+        (gathered while they were saturated) are untouched and stay live.
+        """
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.available & switches
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (e.g. after a rate or topology change)."""
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += count
+        return count

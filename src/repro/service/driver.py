@@ -1,0 +1,280 @@
+"""Traffic-replay driver: run a churn trace through the service and measure.
+
+The driver is the operational proof of the subsystem: it feeds a recorded
+(or generated) trace to a fresh :class:`~repro.service.api.PlacementService`,
+times every request, and aggregates throughput, per-kind latency, and cache
+hit rate.  With ``verify=True`` it additionally re-solves every placement
+response *cold* — a direct :func:`repro.core.soar.solve` /
+:func:`~repro.core.soar.solve_budget_sweep` against the availability the
+service saw — and asserts the answers are bit-identical (same blue set,
+same cost floats), turning any replay into a differential test of the whole
+cache/state stack.
+
+The summary row distinguishes *warm* placement requests (answered from the
+cache) from *cold* ones (paid a gather); their latency ratio
+(``warm_speedup``) is the service's headline number, asserted ≥ 10x on
+BT(1024) by the acceptance test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.core.engine import DEFAULT_ENGINE
+from repro.core.soar import solve, solve_budget_sweep
+from repro.core.tree import NodeId, TreeNetwork
+from repro.service.api import (
+    AdmitRequest,
+    AdmitResponse,
+    PlacementService,
+    Request,
+    Response,
+    SolveRequest,
+    SolveResponse,
+    SweepRequest,
+    SweepResponse,
+)
+from repro.service.events import TraceEvent, _node_index, event_to_request
+
+
+@dataclass(frozen=True)
+class ReplayRecord:
+    """One replayed request: the event, what was sent, what came back."""
+
+    index: int
+    event: TraceEvent
+    request: Request
+    response: Response
+    elapsed_s: float
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate outcome of replaying a trace."""
+
+    records: list[ReplayRecord]
+    wall_s: float
+    verified: int
+    engine: str
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests served per second of wall time."""
+        return self.num_requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def _placement_records(self) -> list[ReplayRecord]:
+        return [
+            record
+            for record in self.records
+            if isinstance(record.response, (SolveResponse, AdmitResponse, SweepResponse))
+        ]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of placement-producing requests answered from the cache."""
+        placements = self._placement_records()
+        if not placements:
+            return 0.0
+        hits = sum(1 for record in placements if record.response.cache_hit)
+        return hits / len(placements)
+
+    def _latencies(self, warm: bool) -> list[float]:
+        return [
+            record.elapsed_s
+            for record in self._placement_records()
+            if record.response.cache_hit == warm
+        ]
+
+    @property
+    def warm_mean_s(self) -> float:
+        warm = self._latencies(warm=True)
+        return sum(warm) / len(warm) if warm else 0.0
+
+    @property
+    def cold_mean_s(self) -> float:
+        cold = self._latencies(warm=False)
+        return sum(cold) / len(cold) if cold else 0.0
+
+    @property
+    def warm_speedup(self) -> float:
+        """Mean cold latency over mean warm latency (0.0 when undefined)."""
+        warm, cold = self.warm_mean_s, self.cold_mean_s
+        return cold / warm if warm > 0 and cold > 0 else 0.0
+
+    def kind_rows(self) -> list[dict]:
+        """Per-request-kind latency/hit table (one row per kind seen)."""
+        grouped: dict[str, list[ReplayRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.event.kind, []).append(record)
+        rows = []
+        for kind in sorted(grouped):
+            records = grouped[kind]
+            latencies = sorted(record.elapsed_s for record in records)
+            hits = sum(
+                1
+                for record in records
+                if getattr(record.response, "cache_hit", False)
+            )
+            rows.append(
+                {
+                    "kind": kind,
+                    "count": len(records),
+                    "cache_hits": hits,
+                    "mean_ms": 1e3 * sum(latencies) / len(latencies),
+                    "p50_ms": 1e3 * _percentile(latencies, 0.50),
+                    "p95_ms": 1e3 * _percentile(latencies, 0.95),
+                    "max_ms": 1e3 * latencies[-1],
+                }
+            )
+        return rows
+
+    def summary_row(self) -> dict:
+        """One-row overall summary (throughput, hit rate, warm speedup)."""
+        return {
+            "requests": self.num_requests,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "hit_rate": self.hit_rate,
+            "warm_mean_ms": 1e3 * self.warm_mean_s,
+            "cold_mean_ms": 1e3 * self.cold_mean_s,
+            "warm_speedup": self.warm_speedup,
+            "verified": self.verified,
+            "engine": self.engine,
+        }
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+def _verify_response(
+    tree: TreeNetwork,
+    available: frozenset[NodeId],
+    request: Request,
+    response: Response,
+    engine: str,
+) -> bool:
+    """Re-solve a placement response cold and assert bitwise agreement.
+
+    Returns True when the response type is verifiable (solve/sweep/admit),
+    False otherwise.  Raises AssertionError on any mismatch.
+    """
+    if isinstance(request, (SolveRequest, AdmitRequest)) and isinstance(
+        response, (SolveResponse, AdmitResponse)
+    ):
+        reference_tree = tree.with_loads(request.loads, available=available)
+        reference = solve(
+            reference_tree, request.budget, exact_k=request.exact_k, engine=engine
+        )
+        assert response.cost == reference.cost, (
+            f"service cost {response.cost!r} != cold solve cost {reference.cost!r}"
+        )
+        assert response.predicted_cost == reference.predicted_cost, (
+            f"service predicted {response.predicted_cost!r} != "
+            f"cold {reference.predicted_cost!r}"
+        )
+        assert response.blue_nodes == reference.blue_nodes, (
+            f"service placement {sorted(map(repr, response.blue_nodes))} != "
+            f"cold placement {sorted(map(repr, reference.blue_nodes))}"
+        )
+        return True
+    if isinstance(request, SweepRequest) and isinstance(response, SweepResponse):
+        if not request.budgets:
+            return True
+        reference_tree = tree.with_loads(request.loads, available=available)
+        reference = solve_budget_sweep(
+            reference_tree, request.budgets, exact_k=request.exact_k, engine=engine
+        )
+        for budget, solution in reference.items():
+            got_cost = response.costs[budget]
+            assert got_cost == solution.cost, (
+                f"sweep budget {budget}: service cost {got_cost!r} != "
+                f"cold {solution.cost!r}"
+            )
+            assert response.placements[budget] == solution.blue_nodes, (
+                f"sweep budget {budget}: placements differ"
+            )
+        return True
+    return False
+
+
+def replay_trace(
+    tree: TreeNetwork,
+    events: Sequence[TraceEvent],
+    capacity: int | Mapping[NodeId, int] = 4,
+    engine: str | None = None,
+    cache_entries: int = 64,
+    verify: bool = False,
+    service: PlacementService | None = None,
+) -> ReplayReport:
+    """Replay a trace against a (fresh or supplied) service and measure it.
+
+    Parameters
+    ----------
+    tree:
+        The shared network the trace was recorded for.
+    events:
+        The trace (see :mod:`repro.service.events`).
+    capacity:
+        Per-switch capacity used when constructing a fresh service.
+    engine:
+        Gather engine for a fresh service (default: the library default).
+    cache_entries:
+        Cache size for a fresh service.
+    verify:
+        When true, every placement response is checked bit-identical
+        against a direct cold solve at the availability the service saw
+        (verification time is *excluded* from the request timings and the
+        wall clock).
+    service:
+        Replay into an existing service instead of a fresh one (state and
+        cache carry over; ``capacity``/``engine``/``cache_entries`` are
+        then ignored).
+    """
+    if service is None:
+        service = PlacementService(
+            tree,
+            capacity,
+            engine=engine or DEFAULT_ENGINE,
+            cache_entries=cache_entries,
+        )
+    node_index = _node_index(tree)
+    records: list[ReplayRecord] = []
+    verified = 0
+    wall = 0.0
+    for index, event in enumerate(events):
+        request = event_to_request(tree, event, node_index)
+        # Read Λ from the fleet state, not service.available(): the latter
+        # would prime the service's memoized Λ fingerprint outside the
+        # timer and flatter the measured latencies.
+        available = service.state.available() if verify else frozenset()
+        start = time.perf_counter()
+        response = service.submit(request)
+        elapsed = time.perf_counter() - start
+        wall += elapsed
+        if verify and _verify_response(
+            tree, available, request, response, service.engine
+        ):
+            verified += 1
+        records.append(
+            ReplayRecord(
+                index=index,
+                event=event,
+                request=request,
+                response=response,
+                elapsed_s=elapsed,
+            )
+        )
+    return ReplayReport(
+        records=records, wall_s=wall, verified=verified, engine=service.engine
+    )

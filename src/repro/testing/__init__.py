@@ -20,13 +20,17 @@ load profiles, availability restriction) and
 from repro.testing.generators import (
     DYADIC_RATES,
     LOAD_PROFILES,
+    NEAR_TIE_EPSILON,
+    RATE_PROFILES,
     SHAPES,
     instance_stream,
+    near_tie_stream,
     random_availability,
     random_budget,
     random_instance,
     random_loads,
     random_parents,
+    random_rates,
 )
 from repro.testing.invariants import (
     assert_budget_monotone,
@@ -44,6 +48,8 @@ from repro.testing.invariants import (
 __all__ = [
     "DYADIC_RATES",
     "LOAD_PROFILES",
+    "NEAR_TIE_EPSILON",
+    "RATE_PROFILES",
     "SHAPES",
     "assert_budget_monotone",
     "assert_cost_sandwich",
@@ -56,9 +62,11 @@ __all__ = [
     "check_instance",
     "costs_close",
     "instance_stream",
+    "near_tie_stream",
     "random_availability",
     "random_budget",
     "random_instance",
     "random_loads",
     "random_parents",
+    "random_rates",
 ]

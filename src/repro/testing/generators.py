@@ -32,6 +32,26 @@ Load profiles
 Rates are drawn from ``rate_choices``; the default choices are powers of
 two, so every path cost is an exact dyadic float and differential tests can
 assert bit-identical costs across engines.
+
+Rate profiles
+-------------
+The argmin tie-breaking of the gather convolution (ascending-``j``,
+strict-improvement-only updates) is easiest to get wrong exactly when many
+candidate placements cost the same — which the dyadic default makes rare.
+The *near-tie* rate profiles manufacture that pressure deliberately:
+
+``dyadic``
+    The default independent draw from ``rate_choices``.
+``constant``
+    One shared rate for every link: symmetric subtrees become *exactly*
+    tied, so every argmin is a tie-break.
+``near_tie``
+    A shared base rate, each link perturbed by a factor ``1 ± 2^-8`` (or
+    left exact) — candidates separated by tiny but strictly-ordered
+    margins, punishing any ``<=`` vs ``<`` confusion.
+``sibling_tie``
+    Children of the same parent share one random dyadic rate: same-parent
+    subtrees tie exactly while cross-level costs still vary.
 """
 
 from __future__ import annotations
@@ -49,6 +69,10 @@ LOAD_PROFILES: tuple[str, ...] = ("zero", "positive", "skewed", "mixed")
 #: Power-of-two rates: exact in binary floating point, so engine
 #: comparisons are free of rounding noise.
 DYADIC_RATES: tuple[float, ...] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+#: Rate profiles :func:`random_rates` can draw from.
+RATE_PROFILES: tuple[str, ...] = ("dyadic", "constant", "near_tie", "sibling_tie")
+#: Relative perturbation of the ``near_tie`` profile (exact in binary FP).
+NEAR_TIE_EPSILON: float = 2.0**-8
 
 
 def random_parents(
@@ -93,6 +117,46 @@ def random_parents(
     return parents
 
 
+def random_rates(
+    rng: np.random.Generator,
+    parents: dict[NodeId, NodeId],
+    profile: str = "dyadic",
+    rate_choices: Sequence[float] = DYADIC_RATES,
+) -> dict[NodeId, float]:
+    """Draw a rate for every link according to the named profile.
+
+    ``parents`` is the parent map the rates belong to (the tie profiles
+    need the tree structure: ``sibling_tie`` groups links by their parent
+    endpoint).  See the module docstring for the profile semantics.
+    """
+    switches = list(parents)
+    if profile == "dyadic":
+        return {node: float(rng.choice(rate_choices)) for node in switches}
+    if profile == "constant":
+        base = float(rng.choice(rate_choices))
+        return {node: base for node in switches}
+    if profile == "near_tie":
+        base = float(rng.choice(rate_choices))
+        # delta in {-1, 0, +1}: perturbed links differ from the base by a
+        # factor (1 ± 2^-8) — an exact float, so the near-ties are strictly
+        # ordered rather than rounding back onto an exact tie.
+        deltas = rng.integers(-1, 2, size=len(switches))
+        return {
+            node: base * (1.0 + float(delta) * NEAR_TIE_EPSILON)
+            for node, delta in zip(switches, deltas)
+        }
+    if profile == "sibling_tie":
+        group_rates: dict[NodeId, float] = {}
+        rates: dict[NodeId, float] = {}
+        for node in switches:
+            parent = parents[node]
+            if parent not in group_rates:
+                group_rates[parent] = float(rng.choice(rate_choices))
+            rates[node] = group_rates[parent]
+        return rates
+    raise ValueError(f"unknown rate profile {profile!r}; expected one of {RATE_PROFILES}")
+
+
 def random_loads(
     rng: np.random.Generator,
     switches: Sequence[NodeId],
@@ -134,6 +198,7 @@ def random_instance(
     load_profile: str | None = None,
     max_load: int = 6,
     rate_choices: Sequence[float] = DYADIC_RATES,
+    rate_profile: str = "dyadic",
     restrict_availability: bool | None = None,
 ) -> TreeNetwork:
     """Draw one random φ-BIC instance.
@@ -141,7 +206,10 @@ def random_instance(
     ``None`` parameters are themselves randomized: the shape and load
     profile are drawn uniformly, the size uniformly from
     ``1 .. max_switches``, and Λ is restricted to a random subset with
-    probability 0.4 (full availability otherwise).
+    probability 0.4 (full availability otherwise).  ``rate_profile``
+    defaults to the historical independent-dyadic draw so existing seeded
+    streams are unchanged; pass one of the tie profiles (see
+    :data:`RATE_PROFILES`) for adversarial near-tie instances.
     """
     if shape is None:
         shape = str(rng.choice(SHAPES))
@@ -154,7 +222,7 @@ def random_instance(
 
     parents = random_parents(rng, num_switches, shape=shape)
     switches = list(parents)
-    rates = {node: float(rng.choice(rate_choices)) for node in switches}
+    rates = random_rates(rng, parents, profile=rate_profile, rate_choices=rate_choices)
     loads = random_loads(rng, switches, profile=load_profile, max_load=max_load)
     available = random_availability(rng, switches) if restrict_availability else None
     return TreeNetwork(parents, rates=rates, loads=loads, available=available)
@@ -179,4 +247,29 @@ def instance_stream(
     rng = np.random.default_rng(seed)
     for _ in range(count):
         tree = random_instance(rng, **kwargs)
+        yield tree, random_budget(rng, tree)
+
+
+def near_tie_stream(
+    seed: int,
+    count: int,
+    equalize_loads_probability: float = 0.5,
+    **kwargs,
+) -> Iterator[tuple[TreeNetwork, int]]:
+    """Yield ``count`` seeded adversarial near-tie ``(instance, budget)`` pairs.
+
+    Cycles through the tie-inducing rate profiles (``constant`` /
+    ``near_tie`` / ``sibling_tie``) and, with the given probability,
+    additionally flattens every load to 1 — symmetric rates *and* symmetric
+    loads make whole families of placements cost-identical, so every argmin
+    in the gather convolution and every colour decision is a tie-break.
+    Keyword arguments are forwarded to :func:`random_instance`.
+    """
+    rng = np.random.default_rng(seed)
+    tie_profiles = tuple(profile for profile in RATE_PROFILES if profile != "dyadic")
+    for index in range(count):
+        profile = tie_profiles[index % len(tie_profiles)]
+        tree = random_instance(rng, rate_profile=profile, **kwargs)
+        if rng.random() < equalize_loads_probability:
+            tree = tree.with_loads({switch: 1 for switch in tree.switches})
         yield tree, random_budget(rng, tree)

@@ -56,6 +56,16 @@ def test_online_multitenant_output(capsys):
     assert "End-of-sequence summary" in output
 
 
+def test_service_churn_output(capsys):
+    module = _load_example("service_churn.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Admitting 6 tenants" in output
+    assert "cache hit" in output
+    assert "Drained switch" in output
+    assert "churn-trace replay" in output
+
+
 def test_scalefree_upgrade_planning_output(capsys):
     module = _load_example("scalefree_upgrade_planning.py")
     module.main()

@@ -26,6 +26,9 @@ from repro.core.engine import ENGINES, gather
 from repro.core.soar import solve
 from repro.experiments.motivating import motivating_tree
 from repro.testing import (
+    DYADIC_RATES,
+    NEAR_TIE_EPSILON,
+    RATE_PROFILES,
     assert_budget_monotone,
     assert_cost_sandwich,
     assert_gather_consistent,
@@ -34,8 +37,10 @@ from repro.testing import (
     bruteforce_subset_count,
     check_budget_sweep,
     check_instance,
+    near_tie_stream,
     random_budget,
     random_instance,
+    random_rates,
 )
 
 
@@ -140,6 +145,84 @@ class TestCheckersCanFail:
         solutions = check_instance(paper_tree, 2)
         assert solutions["flat"].cost == 20.0
         assert solutions["reference"].cost == 20.0
+
+
+class TestNearTieRates:
+    """Adversarial near-tie rate structures stressing argmin tie-breaking.
+
+    Symmetric (``constant`` / ``sibling_tie``) and almost-symmetric
+    (``near_tie``) rates make whole families of placements cost-equal or
+    separated by margins of order 2^-8 — any ``<=`` vs ``<`` confusion in
+    the convolution argmin or the colour decision changes which optimum is
+    traced, which the differential check against brute force catches.
+    """
+
+    def test_rate_profiles_shapes(self, session_rng):
+        parents = {0: "d", 1: 0, 2: 0, 3: 1, 4: 1}
+        constant = random_rates(session_rng, parents, profile="constant")
+        assert len(set(constant.values())) == 1
+        siblings = random_rates(session_rng, parents, profile="sibling_tie")
+        assert siblings[1] == siblings[2] and siblings[3] == siblings[4]
+        near = random_rates(session_rng, parents, profile="near_tie")
+        # One shared dyadic base, every rate equal to base * (1 + delta*eps)
+        # with delta in {-1, 0, +1}.  Quantifying over the *known* dyadic
+        # bases keeps the check falsifiable (e.g. a rate of 3.7 matches no
+        # base), unlike deriving the candidate bases from the rates.
+        assert any(
+            all(
+                rate
+                in {
+                    base,
+                    base * (1.0 + NEAR_TIE_EPSILON),
+                    base * (1.0 - NEAR_TIE_EPSILON),
+                }
+                for rate in near.values()
+            )
+            for base in DYADIC_RATES
+        )
+        with pytest.raises(ValueError, match="unknown rate profile"):
+            random_rates(session_rng, parents, profile="nope")
+
+    @pytest.mark.parametrize(
+        "profile", [p for p in RATE_PROFILES if p != "dyadic"]
+    )
+    def test_tie_profiles_differential(self, session_rng, profile):
+        for _ in range(12):
+            tree = random_instance(
+                session_rng, rate_profile=profile, max_switches=9
+            )
+            budget = random_budget(session_rng, tree)
+            check_instance(tree, budget)
+            check_instance(tree, budget, exact_k=True)
+
+    def test_near_tie_stream_differential(self):
+        for tree, budget in near_tie_stream(20211207, 18, max_switches=9):
+            check_instance(tree, budget)
+
+    def test_exact_ties_on_symmetric_binary_tree(self, session_rng):
+        # Fully symmetric instance: constant rates, equal loads.  Every
+        # same-level placement is exactly tied; the sweep must still be
+        # monotone and consistent across engines and against brute force.
+        tree = random_instance(
+            session_rng,
+            shape="binary",
+            num_switches=7,
+            rate_profile="constant",
+            load_profile="positive",
+            restrict_availability=False,
+        ).with_loads({switch: 2 for switch in range(7)})
+        check_budget_sweep(tree, 5)
+        check_instance(tree, 3)
+
+
+@pytest.mark.slow
+class TestNearTieSweep:
+    """Broad near-tie sweep (slow tier), the ROADMAP open item."""
+
+    def test_hundred_near_tie_instances(self):
+        for tree, budget in near_tie_stream(20212021, 100, max_switches=11):
+            check_instance(tree, budget, bruteforce=False)
+            assert_gather_consistent(tree, gather(tree, budget))
 
 
 @pytest.mark.slow
