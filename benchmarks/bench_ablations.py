@@ -22,7 +22,7 @@ import numpy as np
 import pytest
 
 from repro.core.cost import all_red_cost, utilization_cost
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.simulation.dataplane import simulate_reduce
 from repro.topology.binary_tree import bt_network
 from repro.utils.stats import mean_and_stderr
@@ -37,7 +37,7 @@ def _network(size: int = 256, seed: int = 2021):
 @pytest.mark.benchmark(group="ablation building blocks")
 def test_utilization_cost_evaluation(benchmark):
     tree = _network()
-    blue = solve(tree, 16).blue_nodes
+    blue = Solver().solve(tree, 16).blue_nodes
     benchmark(utilization_cost, tree, blue)
 
 
@@ -54,8 +54,8 @@ def test_exact_vs_at_most_budget_semantics(benchmark, emit_rows):
         for seed in range(3):
             tree = _network(seed=seed)
             for budget in (4, 16, 64):
-                at_most = solve(tree, budget).cost
-                exact = solve(tree, budget, exact_k=True).cost
+                at_most = Solver().solve(tree, budget).cost
+                exact = Solver(exact_k=True).solve(tree, budget).cost
                 rows.append(
                     {
                         "seed": seed,
@@ -82,7 +82,7 @@ def test_restricted_availability(benchmark, emit_rows):
         tree = _network()
         budget = 16
         baseline = all_red_cost(tree)
-        full = solve(tree, budget).cost
+        full = Solver().solve(tree, budget).cost
         rows = [
             {
                 "available_fraction": 1.0,
@@ -97,7 +97,7 @@ def test_restricted_availability(benchmark, emit_rows):
                 count = max(budget, int(len(switches) * fraction))
                 chosen = rng.choice(len(switches), size=count, replace=False)
                 restricted = tree.with_available([switches[int(i)] for i in chosen])
-                values.append(solve(restricted, budget).cost / baseline)
+                values.append(Solver().solve(restricted, budget).cost / baseline)
             mean, _ = mean_and_stderr(values)
             rows.append(
                 {
@@ -131,7 +131,7 @@ def test_dataplane_completion_time(benchmark, emit_rows):
             }
         ]
         for budget in (2, 8, 31):
-            blue = solve(tree, budget).blue_nodes
+            blue = Solver().solve(tree, budget).blue_nodes
             result = simulate_reduce(tree, blue)
             rows.append(
                 {

@@ -14,9 +14,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.color import soar_color
+from repro.core.color import COLOR_KERNELS
 from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather
-from repro.experiments.fig9_runtime import run_engine_comparison, run_fig9
+from repro.experiments.fig9_runtime import (
+    run_color_comparison,
+    run_engine_comparison,
+    run_fig9,
+)
 from repro.experiments.harness import ExperimentConfig
 from repro.topology.binary_tree import bt_network
 from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
@@ -44,11 +48,32 @@ def test_gather_scaling_in_budget(benchmark, budget, engine):
 
 
 @pytest.mark.benchmark(group="fig9 color phase")
+@pytest.mark.parametrize("color", sorted(COLOR_KERNELS))
 @pytest.mark.parametrize("size", [256, 1024])
-def test_color_phase(benchmark, size):
+def test_color_phase(benchmark, size, color):
     tree = _network(size)
     gathered = gather(tree, 32, engine=DEFAULT_ENGINE)
-    benchmark(soar_color, tree, gathered)
+    benchmark(COLOR_KERNELS[color], tree, gathered)
+
+
+@pytest.mark.benchmark(group="fig9 color comparison")
+def test_color_comparison(benchmark, emit_rows):
+    """Batched vs reference colour trace on the Figure 9 sizes."""
+    config = ExperimentConfig(network_size=256, repetitions=3, seed=2021)
+    rows = benchmark.pedantic(
+        run_color_comparison,
+        kwargs={"sizes": (256, 512, 1024, 2048), "budget": 32, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    emit_rows(rows, "fig9_colors", "Colour kernels: batched vs reference (best-of-3)")
+    for row in rows:
+        # run_color_comparison already asserts identical placements; the
+        # batched kernel must never be slower than the per-node trace it
+        # replaces, and must beat it clearly at service scale.
+        assert row["batched_speedup"] > 1.0
+        if row["network_size"] >= 1024:
+            assert row["batched_speedup"] >= 3.0
 
 
 @pytest.mark.benchmark(group="fig9 engine comparison")

@@ -10,16 +10,30 @@ request would cost without the gather-table cache, ``warm_mean_ms`` is what
 cache hits actually cost, and ``warm_speedup`` is the multiplier the
 subsystem exists for (≥ 10x on BT(1024), asserted by the acceptance test in
 ``tests/test_service.py``).
+
+The summary row further splits the warm side by cache layer:
+``table_hit_mean_ms`` is the colour-only latency of a gather-table hit
+(the phase the batched colour kernel owns) and ``memo_hit_mean_ms`` the
+digest-lookup latency of a solution-memo hit.  The dedicated warm-path
+benchmark below compares the artifact path (``GatherTable.place``) against
+the legacy warm path it replaced (workload-network rebuild + per-node
+trace + cost recompute) and asserts the ≥ 3x improvement on BT(1024).
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.core.color import soar_color
+from repro.core.cost import utilization_cost
+from repro.core.solver import Solver
 from repro.experiments.service_replay import report_rows
 from repro.service.driver import replay_trace
 from repro.service.events import generate_churn_trace
 from repro.topology.binary_tree import bt_network
+from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
 from repro.workload.rates import apply_rate_scheme
 
 #: The acceptance-scale scenario: 200 requests over BT(1024).
@@ -65,6 +79,70 @@ def test_service_churn_replay(benchmark, emit_rows, size):
     # Sanity: the cache must be doing real work on a recurring-pool trace.
     assert report.hit_rate > 0.2
     assert report.warm_speedup > 1.0
+
+
+def _best_of(function, rounds: int = 25) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def warm_path_rows(size: int, rounds: int = 25) -> list[dict]:
+    """Compare the artifact warm path against the legacy warm path.
+
+    ``table_hit_ms`` is what a gather-table cache hit costs now — one
+    ``GatherTable.place`` call: the batched colour trace plus the
+    verification cost recompute, no tree reconstruction.  ``legacy_warm_ms``
+    re-enacts what the same hit cost before the artifact API: rebuild the
+    workload network from the request loads, run the per-node reference
+    trace, recompute the cost.  Identical outputs, different machinery.
+    """
+    tree = apply_rate_scheme(bt_network(size), "constant")
+    loads = sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=2021)
+    workload = tree.with_loads(loads)
+    table = Solver().gather(workload, BUDGET)
+
+    placement = table.place(BUDGET)
+
+    def legacy_warm_hit():
+        rebuilt = tree.with_loads(loads)
+        blue = soar_color(rebuilt, table.result)
+        return blue, utilization_cost(rebuilt, blue)
+
+    legacy_blue, legacy_cost = legacy_warm_hit()
+    assert legacy_blue == placement.blue_nodes and legacy_cost == placement.cost
+
+    table_hit_s = _best_of(lambda: table.place(BUDGET), rounds)
+    legacy_s = _best_of(legacy_warm_hit, rounds)
+    return [
+        {
+            "network_size": size,
+            "budget": BUDGET,
+            "table_hit_ms": 1e3 * table_hit_s,
+            "legacy_warm_ms": 1e3 * legacy_s,
+            "warm_path_speedup": legacy_s / table_hit_s if table_hit_s else 0.0,
+        }
+    ]
+
+
+@pytest.mark.benchmark(group="service warm path")
+@pytest.mark.parametrize("size", [256, 1024])
+def test_warm_table_hit_colour_only(benchmark, emit_rows, size):
+    """The artifact warm path must beat the legacy warm path ≥ 3x on BT(1024)."""
+    rows = benchmark.pedantic(
+        warm_path_rows, kwargs={"size": size}, rounds=1, iterations=1
+    )
+    emit_rows(
+        rows,
+        f"service_warm_path_bt{size}",
+        f"Warm table-hit (colour-only) path on BT({size}): artifact vs legacy",
+    )
+    assert rows[0]["warm_path_speedup"] > 1.0
+    if size >= 1024:
+        assert rows[0]["warm_path_speedup"] >= 3.0
 
 
 @pytest.mark.benchmark(group="service cold vs warm")

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import bt_network, solve_budget_sweep, with_sampled_leaf_loads
+from repro import Solver, bt_network, with_sampled_leaf_loads
 from repro.apps import ParameterServerApplication, expected_byte_complexity
 from repro.core import all_red_cost
 from repro.simulation import simulate_reduce
@@ -46,7 +46,7 @@ def main() -> None:
     print()
 
     budgets = [0, 1, 2, 4, 8, 16, 32]
-    solutions = solve_budget_sweep(tree, budgets)
+    solutions = Solver().sweep(tree, budgets)
 
     baseline_utilization = all_red_cost(tree)
     baseline_bytes = expected_byte_complexity(tree, frozenset(), application)

@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: solve the paper's motivating example with SOAR.
+"""Quickstart: solve the paper's motivating example with the staged API.
 
 Builds the 7-switch complete binary tree of Figures 2 and 3 (leaf loads
 2, 6, 5, 4, unit link rates), compares the simple placement strategies
 against SOAR for a budget of two aggregation switches, and sweeps the
 budget from 0 to 4 to show how quickly a handful of aggregation switches
 shrinks the network utilization.
+
+SOAR is a two-phase algorithm, and the API mirrors it: ``Solver()`` binds
+the configuration, ``solver.gather(tree, max_budget)`` runs the expensive
+dynamic program once, and the returned ``GatherTable`` answers *every*
+budget up to the gathered one — ``table.cost(k)`` is a lookup,
+``table.place(k)`` a cheap colour trace.  The whole budget sweep below
+costs one gather.
 
 Run with::
 
@@ -14,7 +21,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import complete_binary_tree, solve, solve_budget_sweep, utilization_cost
+from repro import Solver, complete_binary_tree, utilization_cost
 from repro.baselines import level_strategy, max_load_strategy, top_strategy
 from repro.core import all_blue_cost, all_red_cost, per_link_utilization
 from repro.utils import render_table
@@ -32,13 +39,18 @@ def main() -> None:
     print(f"all-blue utilization (aggregate everywhere): {all_blue_cost(tree):.0f}")
     print()
 
+    # One gather at the largest budget we will ever ask about answers
+    # everything below: the strategy comparison, the sweep, the inspection.
+    solver = Solver()
+    table = solver.gather(tree, max_budget=4)
+
     # --- Figure 2: strategies vs SOAR at k = 2 -------------------------- #
     budget = 2
     strategies = {
         "Top": top_strategy(tree, budget),
         "Max": max_load_strategy(tree, budget),
         "Level": level_strategy(tree, budget),
-        "SOAR": solve(tree, budget).blue_nodes,
+        "SOAR": table.place(budget).blue_nodes,
     }
     rows = [
         {
@@ -51,8 +63,8 @@ def main() -> None:
     print(render_table(rows, title=f"Placement strategies with k = {budget} (Figure 2)"))
     print()
 
-    # --- Figure 3: the budget sweep -------------------------------------- #
-    sweep = solve_budget_sweep(tree, range(0, 5))
+    # --- Figure 3: the budget sweep (colour traces off the same table) --- #
+    sweep = table.sweep(range(0, 5))
     rows = [
         {
             "k": k,
@@ -65,7 +77,7 @@ def main() -> None:
     print()
 
     # --- A look inside one solution -------------------------------------- #
-    solution = solve(tree, 2)
+    solution = table.place(2)
     link_rows = [
         {"link": f"{switch} -> {tree.parent(switch)}", "messages x rho": value}
         for switch, value in sorted(per_link_utilization(tree, solution.blue_nodes).items())

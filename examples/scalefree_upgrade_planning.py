@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import scale_free_tree, solve, utilization_cost
+from repro import Solver, scale_free_tree, utilization_cost
 from repro.baselines import max_degree_strategy, random_strategy
 from repro.core import all_red_cost
 from repro.utils import render_table
@@ -33,6 +33,7 @@ def main() -> None:
     rng = np.random.default_rng(2021)
     tree = scale_free_tree(127, rng=rng, node_load=1)
     budget = 4
+    solver = Solver()
     baseline = all_red_cost(tree)
     print(
         f"scale-free network: {tree.num_switches} switches, height {tree.height}, "
@@ -42,7 +43,7 @@ def main() -> None:
     # --- Scenario 1: degree heuristic vs SOAR ---------------------------- #
     degree_blue = max_degree_strategy(tree, budget)
     random_blue = random_strategy(tree, budget, rng=rng)
-    soar_solution = solve(tree, budget)
+    soar_solution = solver.solve(tree, budget)
     rows = [
         {
             "strategy": "Max degree",
@@ -70,7 +71,7 @@ def main() -> None:
         count = max(1, int(len(switches) * fraction))
         available = rng.choice(len(switches), size=count, replace=False)
         restricted = tree.with_available([switches[int(i)] for i in available])
-        solution = solve(restricted, budget)
+        solution = solver.solve(restricted, budget)
         rows.append(
             {
                 "fraction of switches upgradeable": fraction,

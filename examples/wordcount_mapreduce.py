@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import bt_network, solve_budget_sweep, with_sampled_leaf_loads
+from repro import Solver, bt_network, with_sampled_leaf_loads
 from repro.apps import (
     WordCountApplication,
     evaluate_application,
@@ -55,7 +55,7 @@ def main() -> None:
     print()
 
     budgets = [0, 1, 2, 4, 8, 16]
-    solutions = solve_budget_sweep(tree, budgets)
+    solutions = Solver().sweep(tree, budgets)
 
     baseline_utilization = all_red_cost(tree)
     baseline_bytes_sampled = evaluate_application(tree, frozenset(), application).total_bytes

@@ -9,29 +9,45 @@ dataplane, and an experiment harness that regenerates every figure.
 
 Quickstart
 ----------
+SOAR is a two-phase algorithm — an expensive gather dynamic program
+followed by a cheap colouring trace — and the API mirrors that structure.
+A :class:`repro.Solver` binds the configuration once; ``solver.gather``
+produces an immutable :class:`repro.GatherTable` artifact that answers
+*every* budget up to the gathered one; ``table.place`` traces a
+:class:`repro.Placement` out of it:
+
 >>> import repro
 >>> tree = repro.complete_binary_tree(4, leaf_loads=[2, 6, 5, 4])
->>> solution = repro.solve(tree, budget=2)
->>> solution.cost
+>>> solver = repro.Solver()
+>>> table = solver.gather(tree, max_budget=4)   # the expensive phase, once
+>>> table.place(2).cost                         # the cheap phase, per budget
 20.0
+>>> {k: table.cost(k) for k in (1, 2, 3, 4)}    # pure table lookups
+{1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}
 
-Gather engines
---------------
-Every solver entry point (:func:`repro.solve`,
-:func:`repro.solve_budget_sweep`, :func:`repro.optimal_cost`, and the raw
-:func:`repro.gather`) accepts an ``engine=`` keyword selecting the
-SOAR-Gather implementation:
+One-shot helpers skip the explicit artifact when there is nothing to
+reuse — ``solver.solve(tree, 2)``, ``solver.sweep(tree, range(5))``,
+``solver.cost(tree, 2)`` — and ``solver.solve_many`` /
+``solver.sweep_many`` batch whole instance lists, sharing gathers across
+same-tree entries.  The historical free functions (:func:`repro.solve`,
+:func:`repro.solve_budget_sweep`, :func:`repro.optimal_cost`) remain as
+deprecated bit-identical shims.
 
-* ``engine="flat"`` (default) — the vectorized flat-array kernel of
-  :mod:`repro.core.engine`: one contiguous ``(node, l, i)`` tensor, leaves
-  initialized in a single broadcast, and the per-level child merges batched
-  across all nodes of a level at once,
-* ``engine="reference"`` — the per-node Algorithm 3 implementation of
-  :mod:`repro.core.gather`, kept as ground truth for differential testing.
+Engines and kernels
+-------------------
+Both phases ship interchangeable implementations, selected when
+constructing the solver:
 
-The two produce bit-identical tables, costs, and placements;
-``tests/test_engine_differential.py`` enforces this on hundreds of seeded
-random instances.
+* ``Solver(engine=...)`` — SOAR-Gather: ``"flat"`` (default, the
+  vectorized flat-array kernel of :mod:`repro.core.engine`) or
+  ``"reference"`` (per-node Algorithm 3, ground truth),
+* ``Solver(color=...)`` — SOAR-Color: ``"batched"`` (default, the
+  level-batched trace of :mod:`repro.core.color` over the same flat
+  tensors) or ``"reference"`` (per-node Algorithm 4, ground truth).
+
+All combinations produce bit-identical tables, costs, and placements;
+``tests/test_engine_differential.py`` and ``tests/test_api_equivalence.py``
+enforce this on hundreds of seeded random instances.
 
 Placement service
 -----------------
@@ -58,11 +74,18 @@ fuzz their own extensions the same way.
 """
 
 from repro.core import (
+    BATCHED_COLOR,
+    COLOR_KERNELS,
+    DEFAULT_COLOR,
     DEFAULT_ENGINE,
     ENGINES,
     FLAT_ENGINE,
+    GatherTable,
+    Placement,
+    REFERENCE_COLOR,
     REFERENCE_ENGINE,
     SoarSolution,
+    Solver,
     TreeNetwork,
     all_blue_cost,
     all_red_cost,
@@ -71,10 +94,13 @@ from repro.core import (
     link_message_counts,
     normalized_utilization,
     optimal_cost,
+    soar_color,
+    soar_color_batched,
     soar_gather,
     solve,
     solve_budget_sweep,
     solve_bruteforce,
+    trace_color,
     utilization_cost,
 )
 from repro.baselines import ALL_STRATEGIES, PAPER_STRATEGIES, get_strategy
@@ -109,17 +135,24 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_STRATEGIES",
     "AdmitRequest",
+    "BATCHED_COLOR",
+    "COLOR_KERNELS",
+    "DEFAULT_COLOR",
     "DEFAULT_ENGINE",
     "DrainRequest",
     "ENGINES",
     "FLAT_ENGINE",
+    "GatherTable",
     "PAPER_STRATEGIES",
+    "Placement",
     "PlacementService",
     "PowerLawLoadDistribution",
+    "REFERENCE_COLOR",
     "REFERENCE_ENGINE",
     "ReleaseRequest",
     "SoarSolution",
     "SolveRequest",
+    "Solver",
     "StatsRequest",
     "SweepRequest",
     "TreeNetwork",
@@ -141,8 +174,11 @@ __all__ = [
     "replay_trace",
     "scale_free_tree",
     "sf_network",
+    "soar_color",
+    "soar_color_batched",
     "soar_gather",
     "solve",
+    "trace_color",
     "solve_budget_sweep",
     "solve_bruteforce",
     "utilization_cost",

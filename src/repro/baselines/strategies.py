@@ -25,7 +25,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.soar import solve as soar_solve
+from repro.core.solver import Solver
 from repro.core.tree import NodeId, TreeNetwork
 from repro.exceptions import InvalidBudgetError
 
@@ -170,9 +170,14 @@ def random_strategy(
     return frozenset(candidates[int(index)] for index in chosen)
 
 
+#: Shared stateless solver behind :func:`soar_strategy` (default engine,
+#: at-most-k semantics, batched colour).
+_SOAR: Solver = Solver()
+
+
 def soar_strategy(tree: TreeNetwork, budget: int) -> frozenset[NodeId]:
     """The optimal placement computed by SOAR, wrapped in the strategy signature."""
-    return soar_solve(tree, budget).blue_nodes
+    return _SOAR.solve(tree, budget).blue_nodes
 
 
 #: Strategies plotted in Figures 6 and 7, keyed by the names used in the paper.

@@ -30,11 +30,13 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.core.color import COLOR_KERNELS, DEFAULT_COLOR, REFERENCE_COLOR
 from repro.core.engine import DEFAULT_ENGINE, ENGINES, REFERENCE_ENGINE
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
     run_budget_sweep,
+    run_color_comparison,
     run_engine_comparison,
     run_fig10_required_fraction,
     run_fig10_utilization,
@@ -59,6 +61,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         repetitions=args.repetitions or base.repetitions,
         seed=args.seed,
         engine=args.engine,
+        color=args.color,
     )
 
 
@@ -133,6 +136,18 @@ def _cmd_engines(args: argparse.Namespace) -> list[dict]:
     return run_engine_comparison(sizes=sizes, config=config, engines=engines)
 
 
+def _cmd_colors(args: argparse.Namespace) -> list[dict]:
+    config = _config(args)
+    sizes = (256, 512) if args.quick else (256, 512, 1024, 2048, 4096)
+    # The reference trace is always the timing baseline; --color picks
+    # what gets compared against it.
+    if args.color == REFERENCE_COLOR:
+        colors = (REFERENCE_COLOR,)
+    else:
+        colors = (REFERENCE_COLOR, args.color)
+    return run_color_comparison(sizes=sizes, config=config, colors=colors)
+
+
 def _cmd_serve_replay(args: argparse.Namespace) -> list[dict]:
     """Replay a churn trace through the placement service and report."""
     from repro.experiments.service_replay import run_service_replay
@@ -164,6 +179,7 @@ _COMMANDS = {
     "fig10": (_cmd_fig10, "Scaling on binary trees (Figure 10, Appendix A)"),
     "fig11": (_cmd_fig11, "Scale-free networks (Figure 11, Appendix B)"),
     "engines": (_cmd_engines, "Gather engine comparison: flat vs reference speedup"),
+    "colors": (_cmd_colors, "Colour kernel comparison: batched vs reference trace speedup"),
 }
 
 
@@ -191,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=sorted(ENGINES),
             default=DEFAULT_ENGINE,
             help="SOAR-Gather engine to use (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--color",
+            choices=sorted(COLOR_KERNELS),
+            default=DEFAULT_COLOR,
+            help="SOAR-Color kernel to use (default: %(default)s)",
         )
 
     for name, (_, help_text) in _COMMANDS.items():

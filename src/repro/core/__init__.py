@@ -8,16 +8,28 @@ The sub-modules map directly onto the paper's sections:
 * :mod:`repro.core.cost` — the utilization complexity (Eq. 1) and its
   barrier re-formulation (Lemma 4.2),
 * :mod:`repro.core.gather` / :mod:`repro.core.color` — the two phases of
-  SOAR (Algorithms 3 and 4),
-* :mod:`repro.core.engine` — interchangeable gather engines: the vectorized
-  flat-array kernel (default) and the per-node reference implementation,
-* :mod:`repro.core.soar` — the user-facing solver,
+  SOAR (Algorithms 3 and 4); each phase ships a batched kernel and a
+  per-node reference implementation,
+* :mod:`repro.core.engine` — the gather-engine registry,
+* :mod:`repro.core.flat` — the flat ``(l, i, node)`` tensor layout the
+  batched kernels share,
+* :mod:`repro.core.solver` — the user-facing staged API
+  (:class:`Solver` / :class:`GatherTable` / :class:`Placement`),
+* :mod:`repro.core.soar` — deprecated keyword-threaded shims over it,
 * :mod:`repro.core.bruteforce` — the exhaustive reference used for
   optimality certification in the tests.
 """
 
 from repro.core.bruteforce import BruteForceSolution, solve_bruteforce
-from repro.core.color import soar_color
+from repro.core.color import (
+    BATCHED_COLOR,
+    COLOR_KERNELS,
+    DEFAULT_COLOR,
+    REFERENCE_COLOR,
+    soar_color,
+    soar_color_batched,
+    trace_color,
+)
 from repro.core.cost import (
     all_blue_cost,
     all_red_cost,
@@ -44,6 +56,7 @@ from repro.core.reduce_op import (
     validate_placement,
 )
 from repro.core.soar import SoarSolution, optimal_cost, solve, solve_budget_sweep
+from repro.core.solver import GatherTable, Placement, Solver
 from repro.core.tree import (
     DEFAULT_DESTINATION,
     NodeId,
@@ -53,17 +66,24 @@ from repro.core.tree import (
 )
 
 __all__ = [
+    "BATCHED_COLOR",
     "BruteForceSolution",
+    "COLOR_KERNELS",
+    "DEFAULT_COLOR",
     "DEFAULT_DESTINATION",
     "DEFAULT_ENGINE",
     "ENGINES",
     "FLAT_ENGINE",
     "GatherResult",
+    "GatherTable",
     "NodeId",
     "NodeTables",
+    "Placement",
+    "REFERENCE_COLOR",
     "REFERENCE_ENGINE",
     "ReduceTrace",
     "SoarSolution",
+    "Solver",
     "TreeNetwork",
     "all_blue_cost",
     "all_red_cost",
@@ -78,8 +98,10 @@ __all__ = [
     "per_link_utilization",
     "run_reduce",
     "soar_color",
+    "soar_color_batched",
     "soar_gather",
     "solve",
+    "trace_color",
     "solve_bruteforce",
     "solve_budget_sweep",
     "total_messages",

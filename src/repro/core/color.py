@@ -14,15 +14,39 @@ then
 3. forwards ``(i_child, l_child)`` to each child, where ``l_child = 1`` when
    the node is blue and ``l* + 1`` otherwise.
 
-The traceback is iterative (explicit work list) so arbitrarily deep trees do
-not hit the recursion limit, mirroring the distributed description of the
-paper where each switch acts on the message received from its parent.
+Two interchangeable kernels implement this trace:
+
+:func:`soar_color` (``"reference"``)
+    The per-node work-list traversal following the distributed description
+    of the paper, where each switch acts on the message received from its
+    parent.  Iterative, so arbitrarily deep trees do not hit the recursion
+    limit.
+
+:func:`soar_color_batched` (``"batched"``, the default)
+    A level-batched traversal over the flat ``(l, i, node)`` tensors of
+    :mod:`repro.core.flat`: every level of the tree decides its colours in
+    one vectorized comparison and scatters its children's budgets in a
+    handful of fancy-indexed passes — the same batching strategy the flat
+    gather engine applies bottom-up, applied top-down.  The colour trace is
+    the *entire* cost of a warm gather-table cache hit in
+    :mod:`repro.service`, which is what makes this kernel worth having.
+
+Both kernels read the same breadcrumbs and compare the same floats with the
+same strict inequality, so they produce **identical** placements — including
+on exact ties, where the shared ``<`` keeps the node red and the stored
+ascending-``j`` argmin picks the same split.  The differential suites
+(``tests/test_api_equivalence.py``, ``tests/test_invariants.py``) enforce
+this on both engines' tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
+import numpy as np
+
+from repro.core.flat import flat_tables_for
 from repro.core.gather import GatherResult
 from repro.core.tree import NodeId, TreeNetwork
 from repro.exceptions import PlacementError
@@ -35,6 +59,25 @@ class ColoringAssignment:
     node: NodeId
     budget: int
     distance: int
+
+
+def _validated_budget(
+    tree: TreeNetwork,
+    gathered: GatherResult,
+    budget: int | None,
+) -> int:
+    """Shared argument validation of the colour kernels."""
+    if gathered.root != tree.root:
+        raise PlacementError("gather tables were computed for a different network")
+    if budget is None:
+        budget = gathered.budget
+    if budget > gathered.budget:
+        raise PlacementError(
+            f"requested budget {budget} exceeds the gathered budget {gathered.budget}"
+        )
+    if budget < 0:
+        raise PlacementError(f"budget must be non-negative, got {budget}")
+    return int(budget)
 
 
 def _leaf_is_blue(
@@ -86,16 +129,7 @@ def soar_color(
         If ``budget`` exceeds the budget the tables were built for, or the
         tables do not belong to this tree.
     """
-    if gathered.root != tree.root:
-        raise PlacementError("gather tables were computed for a different network")
-    if budget is None:
-        budget = gathered.budget
-    if budget > gathered.budget:
-        raise PlacementError(
-            f"requested budget {budget} exceeds the gathered budget {gathered.budget}"
-        )
-    if budget < 0:
-        raise PlacementError(f"budget must be non-negative, got {budget}")
+    budget = _validated_budget(tree, gathered, budget)
 
     blue: set[NodeId] = set()
     # The destination sends (k, 1) to the root (Algorithm 4 line 2).
@@ -153,3 +187,151 @@ def soar_color(
             "the gather tables are inconsistent"
         )
     return frozenset(blue)
+
+
+def soar_color_batched(
+    tree: TreeNetwork,
+    gathered: GatherResult,
+    budget: int | None = None,
+) -> frozenset[NodeId]:
+    """Level-batched colour trace over the flat ``(l, i, node)`` tensors.
+
+    Same parameters, same result, and same raised errors as
+    :func:`soar_color`; the traversal is batched per tree level instead of
+    per node.  Every child of a depth-``d`` node sits at depth ``d + 1``,
+    so processing the levels root-down visits parents strictly before their
+    children; within a level, colour decisions are one fancy-indexed tensor
+    comparison and the budget split walks the convolution stages exactly as
+    the reference does — highest child first, running remainder — but
+    vectorized across every node of the level that still has an ``m``-th
+    child.
+    """
+    budget = _validated_budget(tree, gathered, budget)
+    flat = flat_tables_for(tree, gathered)
+    n = len(flat.order)
+
+    # The leaf colour rule depends on the *caller's* loads and Λ, exactly
+    # as the reference consults ``tree`` rather than gather-time state.
+    # On the hot path (service table hits, GatherTable.place) the caller's
+    # tree IS the gather-time tree and the cached arrays apply; a legacy
+    # caller tracing the tables against a modified same-structure network
+    # gets the arrays re-derived from its own tree.
+    if tree is flat.tree:
+        load, avail = flat.load, flat.avail
+    else:
+        load = np.fromiter((tree.load(v) for v in flat.order), dtype=np.int64, count=n)
+        avail = np.fromiter((v in tree.available for v in flat.order), dtype=bool, count=n)
+
+    # (budget, distance) each node receives from its parent; the
+    # destination sends (k, 1) to the root (Algorithm 4 line 2).
+    budget_vec = np.zeros(n, dtype=np.int64)
+    dist_vec = np.ones(n, dtype=np.int64)
+    budget_vec[flat.index[gathered.root]] = budget
+
+    chosen: list[np.ndarray] = []
+    for start, stop in flat.level_slices:
+        level = np.arange(start, stop)
+        leaf_mask = flat.leaf[start:stop]
+
+        leaves = level[leaf_mask]
+        if leaves.size:
+            # Algorithm 4 lines 4-5, adapted per semantics (_leaf_is_blue).
+            blue_leaf = (budget_vec[leaves] > 0) & avail[leaves]
+            if not gathered.exact_k:
+                blue_leaf &= load[leaves] > 1
+            chosen.append(leaves[blue_leaf])
+
+        internal = level[~leaf_mask]
+        if not internal.size:
+            continue
+        l_params = dist_vec[internal]
+        budgets = budget_vec[internal]
+        node_blue = (
+            flat.y_blue[l_params, budgets, internal]
+            < flat.y_red[l_params, budgets, internal]
+        )
+        chosen.append(internal[node_blue])
+        child_distance = np.where(node_blue, 1, l_params + 1)
+
+        # Children c_C .. c_2 take the breadcrumb budgets; the running
+        # remainder mirrors the reference's descending-stage walk.
+        remaining = budgets.copy()
+        counts = flat.num_children[internal]
+        for stage in range(int(counts.max()), 1, -1):
+            active = counts >= stage
+            nodes = internal[active]
+            slot = flat.stage_offset[nodes] + (stage - 2)
+            l_sel = l_params[active]
+            r_sel = remaining[active]
+            share = np.where(
+                node_blue[active],
+                flat.splits_blue[l_sel, r_sel, slot],
+                flat.splits_red[l_sel, r_sel, slot],
+            ).astype(np.int64)
+            child = flat.child_concat[flat.child_offset[nodes] + (stage - 1)]
+            budget_vec[child] = share
+            dist_vec[child] = child_distance[active]
+            remaining[active] -= share
+
+        first = flat.child_concat[flat.child_offset[internal]]
+        budget_vec[first] = remaining - node_blue
+        dist_vec[first] = child_distance
+
+    # A negative assignment means inconsistent tables; every non-root node's
+    # budget was written by its parent above, so one pass over the levels
+    # below the root is the batched equivalent of the reference's per-child
+    # guard.
+    for start, stop in flat.level_slices[1:]:
+        window = budget_vec[start:stop]
+        if window.size and int(window.min()) < 0:
+            offender = flat.order[start + int(np.argmin(window))]
+            raise PlacementError(
+                f"traceback assigned a negative budget to {offender!r}; "
+                "the gather tables are inconsistent"
+            )
+
+    blue = frozenset(
+        flat.order[position]
+        for position in (np.concatenate(chosen) if chosen else ())
+    )
+    if len(blue) > budget:
+        raise PlacementError(
+            f"traceback selected {len(blue)} blue nodes for budget {budget}; "
+            "the gather tables are inconsistent"
+        )
+    return blue
+
+
+#: Name of the level-batched colour kernel (the default).
+BATCHED_COLOR: str = "batched"
+#: Name of the per-node reference trace of Algorithm 4.
+REFERENCE_COLOR: str = "reference"
+#: Kernel used when callers do not ask for a specific one.
+DEFAULT_COLOR: str = BATCHED_COLOR
+
+#: Registry of colour kernels, keyed by their public name (the colour-phase
+#: counterpart of :data:`repro.core.engine.ENGINES`).
+COLOR_KERNELS: dict[str, Callable[..., frozenset[NodeId]]] = {
+    BATCHED_COLOR: soar_color_batched,
+    REFERENCE_COLOR: soar_color,
+}
+
+
+def trace_color(
+    tree: TreeNetwork,
+    gathered: GatherResult,
+    budget: int | None = None,
+    color: str = DEFAULT_COLOR,
+) -> frozenset[NodeId]:
+    """Trace a placement with the named colour kernel.
+
+    ``"batched"`` (default) or ``"reference"``; both produce identical
+    placements, the reference kernel is retained as ground truth for
+    differential testing — mirroring :func:`repro.core.engine.gather`.
+    """
+    try:
+        kernel = COLOR_KERNELS[color]
+    except KeyError:
+        known = ", ".join(sorted(COLOR_KERNELS))
+        raise ValueError(f"unknown colour kernel {color!r}; expected one of: {known}")
+    return kernel(tree, gathered, budget=budget)

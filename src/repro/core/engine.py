@@ -42,6 +42,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.core.flat import FlatTables, flat_order, level_slices_for
 from repro.core.gather import (
     BLUE,
     RED,
@@ -147,11 +148,11 @@ def flat_gather(
     n = tree.num_switches
     height = tree.height
     width = k + 1
-    # Node axis of the flat tensors: deepest level first (stable within a
-    # level).  Every level is then a contiguous slab, so the child gathers
-    # and table writes of the level-batched loop stay cache-local; children
-    # still precede parents, as the DP requires.
-    order = sorted(tree.switches, key=tree.depth, reverse=True)
+    # Node axis of the flat tensors: the canonical deepest-level-first
+    # order of repro.core.flat.  Every level is then a contiguous slab, so
+    # the child gathers and table writes of the level-batched loop stay
+    # cache-local; children still precede parents, as the DP requires.
+    order = flat_order(tree)
     index = {node: i for i, node in enumerate(order)}
 
     depth = np.fromiter((tree.depth(v) for v in order), dtype=np.int64, count=n)
@@ -297,12 +298,42 @@ def flat_gather(
             splits_red=[splits_red_flat[:rows, :, base + s] for s in range(stages)],
         )
 
+    num_children = np.fromiter(
+        (len(c) for c in children_idx), dtype=np.int64, count=n
+    )
+    # The per-node arrays double as the FlatTables metadata; the layout
+    # matches repro.core.flat.build_metadata field for field.
+    flat = FlatTables(
+        tree=tree,
+        order=tuple(order),
+        index=index,
+        depth=depth,
+        load=load.astype(np.int64),
+        avail=avail,
+        leaf=leaf_rows,
+        num_children=num_children,
+        child_concat=(
+            np.concatenate(children_idx)
+            if children_idx
+            else np.empty(0, dtype=np.int64)
+        ),
+        child_offset=np.concatenate(([0], np.cumsum(num_children)[:-1])),
+        stage_offset=stage_offset,
+        level_slices=level_slices_for(depth, height),
+        y_blue=y_blue_flat,
+        y_red=y_red_flat,
+        splits_blue=splits_blue_flat,
+        splits_red=splits_red_flat,
+    )
+
     return GatherResult(
         tables=tables,
         root=tree.root,
         budget=k,
         requested_budget=int(budget),
         exact_k=exact_k,
+        engine=FLAT_ENGINE,
+        flat=flat,
     )
 
 

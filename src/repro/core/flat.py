@@ -1,0 +1,198 @@
+"""Flat tensor view of a gather result, shared by the batched kernels.
+
+The flat gather engine of :mod:`repro.core.engine` computes the SOAR dynamic
+program directly on contiguous ``(l, i, node)`` tensors; the level-batched
+colour kernel of :mod:`repro.core.color` traces placements out of the very
+same layout.  :class:`FlatTables` is that layout made explicit: the tensors
+plus the index metadata (node order, per-level slabs, ragged child lists,
+breadcrumb slots) a batched traversal needs.
+
+Results produced by the flat engine carry their :class:`FlatTables`
+zero-copy (the per-node :class:`~repro.core.gather.NodeTables` are views
+into the same memory).  Results produced by the per-node reference engine
+do not; :func:`flat_tables_for` stacks them into the flat layout on first
+use and caches the outcome on the result, so the batched colour kernel
+works identically on both engines' tables — which is exactly what the
+differential tests exploit.
+
+Node order
+----------
+Nodes are laid out deepest level first (stable within a level), matching
+the flat engine: every level is then one contiguous slab, recorded in
+``level_slices``, so both the bottom-up gather and the top-down colour
+trace touch contiguous runs.  The children of all nodes are concatenated
+into one ragged array (``child_concat`` + ``child_offset``), keeping the
+per-stage scatter of the colour traceback a single fancy-indexed gather
+even on trees with wildly varying fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gather import GatherResult
+from repro.core.tree import NodeId, TreeNetwork
+
+
+@dataclass
+class FlatTables:
+    """Flat ``(l, i, node)`` tensors plus the traversal metadata.
+
+    Attributes
+    ----------
+    tree:
+        The instance the tables were gathered for — the network whose
+        loads and Λ the cached ``load`` / ``avail`` arrays reflect.
+        Consumers tracing for a *different* (same-structure) network must
+        re-derive those two arrays from their own tree (the colour kernel
+        does; see :func:`repro.core.color.soar_color_batched`).
+    order:
+        Nodes in flat order (deepest level first, stable within a level);
+        position ``p`` of every other array refers to ``order[p]``.
+    index:
+        Inverse of ``order``: node id -> flat position.
+    depth, load, avail, leaf, num_children:
+        Per-node scalars in flat order.
+    child_concat, child_offset:
+        Ragged child lists: the children of the node at position ``p`` are
+        ``child_concat[child_offset[p] : child_offset[p] + num_children[p]]``
+        (as flat positions), in the tree's child order.
+    stage_offset:
+        Position ``p``'s first breadcrumb slot in the split tensors; a node
+        with ``C`` children owns slots ``stage_offset[p] .. + C - 2``.
+    level_slices:
+        ``level_slices[d - 1]`` is the ``(start, stop)`` slab of the nodes
+        at depth ``d`` (1-based; the root's level is first).
+    y_blue, y_red:
+        The final-stage colour-decision tables, shape
+        ``(height + 1, k + 1, n)``.  Rows ``l > depth`` of a node are
+        unspecified (never read: the traceback parameter satisfies
+        ``l <= depth``).
+    splits_blue, splits_red:
+        Breadcrumb tensors of shape ``(height + 1, k + 1, total_stages)``.
+    """
+
+    tree: TreeNetwork
+    order: tuple[NodeId, ...]
+    index: dict[NodeId, int]
+    depth: np.ndarray
+    load: np.ndarray
+    avail: np.ndarray
+    leaf: np.ndarray
+    num_children: np.ndarray
+    child_concat: np.ndarray
+    child_offset: np.ndarray
+    stage_offset: np.ndarray
+    level_slices: tuple[tuple[int, int], ...]
+    y_blue: np.ndarray
+    y_red: np.ndarray
+    splits_blue: np.ndarray
+    splits_red: np.ndarray
+
+
+def flat_order(tree: TreeNetwork) -> list[NodeId]:
+    """The canonical flat node order: deepest level first, stable within."""
+    return sorted(tree.switches, key=tree.depth, reverse=True)
+
+
+def level_slices_for(depth: np.ndarray, height: int) -> tuple[tuple[int, int], ...]:
+    """Per-level ``(start, stop)`` slabs of a descending-sorted depth array."""
+    negated = -depth
+    slices = []
+    for level in range(1, height + 1):
+        start = int(np.searchsorted(negated, -level, side="left"))
+        stop = int(np.searchsorted(negated, -level, side="right"))
+        slices.append((start, stop))
+    return tuple(slices)
+
+
+def build_metadata(
+    tree: TreeNetwork,
+    order: list[NodeId],
+    index: dict[NodeId, int],
+) -> dict:
+    """Compute every non-tensor field of :class:`FlatTables` for ``tree``."""
+    n = tree.num_switches
+    depth = np.fromiter((tree.depth(v) for v in order), dtype=np.int64, count=n)
+    load = np.fromiter((tree.load(v) for v in order), dtype=np.int64, count=n)
+    avail = np.fromiter((v in tree.available for v in order), dtype=bool, count=n)
+    num_children = np.fromiter(
+        (tree.num_children(v) for v in order), dtype=np.int64, count=n
+    )
+    child_offset = np.concatenate(([0], np.cumsum(num_children)[:-1]))
+    child_concat = np.fromiter(
+        (index[c] for v in order for c in tree.children(v)),
+        dtype=np.int64,
+        count=int(num_children.sum()),
+    )
+    stage_counts = np.maximum(num_children - 1, 0)
+    stage_offset = np.concatenate(([0], np.cumsum(stage_counts)[:-1]))
+    return {
+        "tree": tree,
+        "order": tuple(order),
+        "index": index,
+        "depth": depth,
+        "load": load,
+        "avail": avail,
+        "leaf": num_children == 0,
+        "num_children": num_children,
+        "child_concat": child_concat,
+        "child_offset": child_offset,
+        "stage_offset": stage_offset,
+        "level_slices": level_slices_for(depth, tree.height),
+    }
+
+
+def _stack_result(tree: TreeNetwork, result: GatherResult) -> FlatTables:
+    """Stack per-node :class:`NodeTables` into the flat layout.
+
+    Used for results of the per-node reference engine (the flat engine
+    attaches its tensors directly).  Rows beyond a node's depth are left
+    uninitialized, exactly as the flat engine leaves them.
+    """
+    order = flat_order(tree)
+    index = {node: position for position, node in enumerate(order)}
+    meta = build_metadata(tree, order, index)
+    n = tree.num_switches
+    height = tree.height
+    width = result.budget + 1
+    stage_counts = np.maximum(meta["num_children"] - 1, 0)
+    total_stages = int(stage_counts.sum())
+
+    y_blue = np.empty((height + 1, width, n), dtype=np.float64)
+    y_red = np.empty((height + 1, width, n), dtype=np.float64)
+    splits_blue = np.zeros((height + 1, width, total_stages), dtype=np.int32)
+    splits_red = np.zeros((height + 1, width, total_stages), dtype=np.int32)
+
+    for position, node in enumerate(order):
+        tables = result.tables[node]
+        rows = int(meta["depth"][position]) + 1
+        y_blue[:rows, :, position] = tables.y_blue
+        y_red[:rows, :, position] = tables.y_red
+        base = int(meta["stage_offset"][position])
+        for stage, split in enumerate(tables.splits_blue):
+            splits_blue[:rows, :, base + stage] = split
+        for stage, split in enumerate(tables.splits_red):
+            splits_red[:rows, :, base + stage] = split
+
+    return FlatTables(
+        y_blue=y_blue,
+        y_red=y_red,
+        splits_blue=splits_blue,
+        splits_red=splits_red,
+        **meta,
+    )
+
+
+def flat_tables_for(tree: TreeNetwork, result: GatherResult) -> FlatTables:
+    """The :class:`FlatTables` of ``result``, building and caching if needed.
+
+    Flat-engine results carry theirs from birth; reference-engine results
+    pay one per-node stacking pass on first use, memoized on the result so
+    budget sweeps over the same tables stack only once.
+    """
+    if result.flat is None:
+        result.flat = _stack_result(tree, result)
+    return result.flat

@@ -96,6 +96,15 @@ class GatherResult:
         The budget the caller asked for.
     exact_k:
         Which budget semantics the tables encode.
+    engine:
+        Name of the gather engine that produced the tables (provenance;
+        the engines are bit-identical but artifacts advertise their
+        origin so reuse mismatches are detectable).
+    flat:
+        The :class:`~repro.core.flat.FlatTables` layout of the tables,
+        attached by the flat engine at construction and lazily stacked
+        for reference-engine results (see
+        :func:`repro.core.flat.flat_tables_for`).
     """
 
     tables: dict[NodeId, NodeTables]
@@ -103,6 +112,8 @@ class GatherResult:
     budget: int
     requested_budget: int
     exact_k: bool
+    engine: str = "reference"
+    flat: "object | None" = field(default=None, repr=False, compare=False)
 
     @property
     def optimal_cost(self) -> float:
@@ -299,4 +310,5 @@ def soar_gather(
         budget=effective,
         requested_budget=int(budget),
         exact_k=exact_k,
+        engine="reference",
     )

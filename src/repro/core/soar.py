@@ -1,57 +1,49 @@
-"""The SOAR algorithm: optimal bounded in-network aggregation placement.
+"""Deprecated keyword-threaded solver entry points (pre-``Solver`` API).
 
-This module is the public entry point for solving the φ-BIC problem
-(Definition 2.1 of the paper): given a weighted tree network, a load, an
-availability set Λ and a budget ``k``, find at most ``k`` aggregation (blue)
-switches minimizing the network utilization complexity of a Reduce.
+.. deprecated::
+    :func:`solve`, :func:`solve_budget_sweep`, and :func:`optimal_cost` are
+    thin shims over the staged artifact API of :mod:`repro.core.solver` and
+    emit :class:`DeprecationWarning`.  Migrate::
 
-:func:`solve` runs the two phases — :func:`repro.core.gather.soar_gather`
-followed by :func:`repro.core.color.soar_color` — and wraps the outcome in a
-:class:`SoarSolution` carrying the chosen placement, its cost, and the DP
-tables (useful for budget sweeps and for inspecting the breadcrumbs).
+        solve(tree, k)                     -> Solver().solve(tree, k)
+        solve(tree, k, exact_k=True)       -> Solver(exact_k=True).solve(tree, k)
+        solve(tree, k, gathered=g)         -> table.place(k)   # table = solver.gather(...)
+        solve_budget_sweep(tree, ks)       -> Solver().sweep(tree, ks)
+        optimal_cost(tree, k)              -> Solver().cost(tree, k)
 
-Example
--------
->>> from repro.topology import complete_binary_tree
->>> from repro.core.soar import solve
->>> tree = complete_binary_tree(4, leaf_loads=[2, 6, 5, 4])
->>> solution = solve(tree, budget=2)
->>> solution.cost
-20.0
+    The shims delegate to the very same gather engines and colour kernels,
+    so their results are bit-identical to the staged path (asserted on
+    hundreds of seeded instances by ``tests/test_api_equivalence.py``).
+
+Unlike the historical implementation, reusing ``gathered=`` tables built
+under different budget semantics (or by a different engine than the
+``engine=`` argument claims) now raises
+:class:`~repro.exceptions.SemanticsMismatchError` /
+:class:`~repro.exceptions.EngineMismatchError` instead of silently tracing
+answers for the wrong problem.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.core.color import soar_color
-from repro.core.cost import utilization_cost
-from repro.core.engine import DEFAULT_ENGINE, gather
+from repro.core.color import DEFAULT_COLOR
+from repro.core.engine import DEFAULT_ENGINE
 from repro.core.gather import GatherResult
+from repro.core.solver import GatherTable, Placement, Solver
 from repro.core.tree import NodeId, TreeNetwork
 
 
 @dataclass(frozen=True)
 class SoarSolution:
-    """Result of running SOAR on a φ-BIC instance.
+    """Result of running SOAR on a φ-BIC instance (legacy shape).
 
-    Attributes
-    ----------
-    blue_nodes:
-        The selected aggregation switches ``U`` (``|U| <= budget``).
-    cost:
-        The utilization complexity ``phi(T, L, U)`` of the placement,
-        recomputed from the Reduce message counts (not just read from the DP
-        table) so it is verifiable against the cost module.
-    predicted_cost:
-        The optimum announced by the gather table ``X_r(1, k)``.  Equal to
-        ``cost`` whenever the tables are consistent; the test-suite asserts
-        this on every solve.
-    budget:
-        The budget ``k`` this solution was traced for.
-    gather:
-        The full gather result, kept for budget sweeps and diagnostics.
+    The staged API returns :class:`repro.core.solver.Placement` instead;
+    the fields below are identical except that ``gather`` holds the raw
+    :class:`~repro.core.gather.GatherResult` rather than the
+    :class:`~repro.core.solver.GatherTable` artifact.
     """
 
     blue_nodes: frozenset[NodeId]
@@ -66,52 +58,68 @@ class SoarSolution:
         return len(self.blue_nodes)
 
 
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.soar.{name}() is deprecated; use {replacement} "
+        "(see repro.core.solver)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _as_table(
+    tree: TreeNetwork,
+    gathered: GatherResult | GatherTable,
+    exact_k: bool,
+    engine: str,
+) -> GatherTable:
+    """Wrap a legacy ``gathered=`` argument and enforce the reuse contract."""
+    if isinstance(gathered, GatherTable):
+        table = gathered
+    else:
+        table = GatherTable(
+            result=gathered,
+            tree=tree,
+            engine=gathered.engine,
+            exact_k=gathered.exact_k,
+            color=DEFAULT_COLOR,
+            fingerprint=tree.fingerprint(),
+        )
+    table.require(engine=engine, exact_k=exact_k)
+    return table
+
+
+def _legacy(placement: Placement) -> SoarSolution:
+    return SoarSolution(
+        blue_nodes=placement.blue_nodes,
+        cost=placement.cost,
+        predicted_cost=placement.predicted_cost,
+        budget=placement.budget,
+        gather=placement.table.result,
+    )
+
+
 def solve(
     tree: TreeNetwork,
     budget: int,
     exact_k: bool = False,
-    gathered: GatherResult | None = None,
+    gathered: GatherResult | GatherTable | None = None,
     engine: str = DEFAULT_ENGINE,
 ) -> SoarSolution:
     """Solve the φ-BIC problem optimally with SOAR.
 
-    Parameters
-    ----------
-    tree:
-        The tree network (topology, link rates, loads, availability Λ).
-    budget:
-        Maximum number of blue nodes ``k``.
-    exact_k:
-        Budget semantics; see :mod:`repro.core.gather`.  The default
-        (at-most-k) is never worse than the paper-literal exactly-k mode.
-    gathered:
-        Optional pre-computed gather tables.  When sweeping budgets
-        ``1 .. k`` it is much cheaper to gather once at the largest budget
-        and trace each smaller budget from the same tables.
-    engine:
-        Gather engine to use: ``"flat"`` (vectorized, the default) or
-        ``"reference"`` (per-node Algorithm 3); see
-        :mod:`repro.core.engine`.  Both produce identical tables; the
-        reference engine is retained for differential testing.
-
-    Returns
-    -------
-    SoarSolution
-        The optimal placement and its cost.
+    .. deprecated:: use ``Solver(engine=..., exact_k=...).solve(tree, budget)``,
+       or ``table.place(budget)`` to reuse a gathered table.
     """
-    if gathered is None or gathered.budget < min(budget, len(tree.available)):
-        gathered = gather(tree, budget, exact_k=exact_k, engine=engine)
-    effective_budget = min(int(budget), gathered.budget)
-    blue = soar_color(tree, gathered, budget=effective_budget)
-    achieved = utilization_cost(tree, blue)
-    predicted = gathered.cost_for_budget(effective_budget)
-    return SoarSolution(
-        blue_nodes=blue,
-        cost=achieved,
-        predicted_cost=predicted,
-        budget=effective_budget,
-        gather=gathered,
-    )
+    _warn("solve", "Solver(...).solve(tree, budget) or GatherTable.place(budget)")
+    solver = Solver(engine=engine, exact_k=exact_k)
+    if gathered is not None:
+        table = _as_table(tree, gathered, exact_k, engine)
+        if table.budget >= min(int(budget), len(tree.available)):
+            return _legacy(table.place(min(int(budget), table.budget)))
+        # Historical behaviour: tables too narrow for the request are
+        # silently re-gathered at the requested budget.
+    return _legacy(solver.solve(tree, budget))
 
 
 def solve_budget_sweep(
@@ -122,20 +130,11 @@ def solve_budget_sweep(
 ) -> dict[int, SoarSolution]:
     """Solve the φ-BIC problem for several budgets using a single gather.
 
-    This is how the evaluation figures (e.g. Figure 6, x-axis ``k``) are
-    produced: the gather tables for the largest budget contain every smaller
-    budget as a column, so only the cheap colouring phase is repeated.
+    .. deprecated:: use ``Solver(engine=..., exact_k=...).sweep(tree, budgets)``.
     """
-    budget_list = sorted({int(b) for b in budgets})
-    if not budget_list:
-        return {}
-    if min(budget_list) < 0:
-        raise ValueError("budgets must be non-negative")
-    gathered = gather(tree, max(budget_list), exact_k=exact_k, engine=engine)
-    return {
-        budget: solve(tree, budget, exact_k=exact_k, gathered=gathered)
-        for budget in budget_list
-    }
+    _warn("solve_budget_sweep", "Solver(...).sweep(tree, budgets)")
+    placements = Solver(engine=engine, exact_k=exact_k).sweep(tree, budgets)
+    return {budget: _legacy(placement) for budget, placement in placements.items()}
 
 
 def optimal_cost(
@@ -144,5 +143,9 @@ def optimal_cost(
     exact_k: bool = False,
     engine: str = DEFAULT_ENGINE,
 ) -> float:
-    """Convenience wrapper returning only the optimal utilization value."""
-    return solve(tree, budget, exact_k=exact_k, engine=engine).cost
+    """Convenience wrapper returning only the optimal utilization value.
+
+    .. deprecated:: use ``Solver(engine=..., exact_k=...).cost(tree, budget)``.
+    """
+    _warn("optimal_cost", "Solver(...).cost(tree, budget)")
+    return Solver(engine=engine, exact_k=exact_k).cost(tree, budget)

@@ -1,0 +1,340 @@
+"""The staged solver API: :class:`Solver`, :class:`GatherTable`, :class:`Placement`.
+
+SOAR is a two-phase algorithm — an expensive gather dynamic program followed
+by a cheap colouring trace — and this module makes that structure the public
+API instead of hiding it behind keyword-threaded free functions:
+
+* :class:`Solver` binds the engine, the budget semantics, and the colour
+  kernel **once**; every artifact it produces records that provenance.
+* :class:`GatherTable` is the immutable product of the gather phase.  A
+  table gathered at budget ``k`` carries every column ``0 .. k``, so one
+  table answers *every* smaller budget through :meth:`GatherTable.cost`,
+  :meth:`GatherTable.place`, and :meth:`GatherTable.sweep` without touching
+  the gather again — the service cache, budget sweeps, and figure harnesses
+  all reuse tables through exactly this surface.
+* :class:`Placement` is the product of the colour phase: the blue set, its
+  recomputed utilization, and the DP optimum it was traced from.
+
+Example
+-------
+>>> from repro.topology import complete_binary_tree
+>>> from repro.core.solver import Solver
+>>> solver = Solver()
+>>> tree = complete_binary_tree(4, leaf_loads=[2, 6, 5, 4])
+>>> table = solver.gather(tree, max_budget=4)
+>>> table.cost(2)
+20.0
+>>> placement = table.place(2)
+>>> sorted(placement.blue_nodes)
+['s1_1', 's2_1']
+>>> [table.cost(k) for k in range(1, 5)]
+[35.0, 20.0, 15.0, 11.0]
+
+Reuse safety
+------------
+A :class:`GatherTable` knows the engine and semantics it was built under
+and refuses to be passed off as anything else: :meth:`GatherTable.require`
+raises :class:`~repro.exceptions.EngineMismatchError` or
+:class:`~repro.exceptions.SemanticsMismatchError` on a mismatch, closing
+the historical hole where ``solve(..., gathered=...)`` silently traced
+at-most-k answers out of exactly-k tables (or vice versa).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.core.color import COLOR_KERNELS, DEFAULT_COLOR, trace_color
+from repro.core.cost import utilization_cost
+from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather as run_gather
+from repro.core.gather import GatherResult, normalize_budget
+from repro.core.tree import NodeId, TreeNetwork
+from repro.exceptions import (
+    EngineMismatchError,
+    InvalidBudgetError,
+    SemanticsMismatchError,
+)
+
+__all__ = ["GatherTable", "Placement", "Solver"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Product of the colour phase: an optimal blue set and its cost.
+
+    Attributes
+    ----------
+    blue_nodes:
+        The selected aggregation switches ``U`` (``|U| <= budget``).
+    cost:
+        The utilization complexity ``phi(T, L, U)``, recomputed from the
+        Reduce message counts (not just read from the DP table) so it is
+        verifiable against the cost module.
+    predicted_cost:
+        The optimum announced by the gather table ``X_r(1, k)``; equal to
+        ``cost`` whenever the tables are consistent, which the test-suite
+        asserts on every solve.
+    budget:
+        The effective budget ``k`` this placement was traced for.
+    table:
+        The :class:`GatherTable` the placement was traced from, kept for
+        follow-up sweeps and diagnostics.
+    """
+
+    blue_nodes: frozenset[NodeId]
+    cost: float
+    predicted_cost: float
+    budget: int
+    table: "GatherTable"
+
+    @property
+    def num_blue(self) -> int:
+        """Number of aggregation switches actually used."""
+        return len(self.blue_nodes)
+
+
+@dataclass(frozen=True)
+class GatherTable:
+    """Immutable product of the gather phase, with provenance.
+
+    Produced by :meth:`Solver.gather`; reusable for every budget up to
+    :attr:`budget`.  The artifact owns the instance it was gathered for
+    (``tree``), so placing from a table needs no external state — which is
+    what lets the service answer warm cache hits without reconstructing
+    the workload network.
+
+    Attributes
+    ----------
+    result:
+        The raw per-node DP tables (:class:`~repro.core.gather.GatherResult`).
+    tree:
+        The φ-BIC instance the tables were gathered for (topology, rates,
+        loads, Λ).
+    engine:
+        Gather engine that built the tables.
+    exact_k:
+        Budget semantics the tables encode.
+    color:
+        Colour kernel :meth:`place` uses by default (bound from the
+        producing :class:`Solver`).
+    fingerprint:
+        Digest of the full instance (:meth:`TreeNetwork.fingerprint`);
+        equal fingerprints mean the table is valid verbatim for the other
+        instance.
+    """
+
+    result: GatherResult = field(repr=False)
+    tree: TreeNetwork = field(repr=False)
+    engine: str
+    exact_k: bool
+    color: str
+    fingerprint: str
+
+    @property
+    def budget(self) -> int:
+        """Largest budget the tables can answer (requested ``k`` clamped to ``|Λ|``)."""
+        return self.result.budget
+
+    @property
+    def requested_budget(self) -> int:
+        """The budget :meth:`Solver.gather` was asked for."""
+        return self.result.requested_budget
+
+    @property
+    def root(self) -> NodeId:
+        """Root switch of the instance the tables belong to."""
+        return self.result.root
+
+    def require(self, engine: str | None = None, exact_k: bool | None = None) -> None:
+        """Assert the table may be reused under the given settings.
+
+        Raises
+        ------
+        EngineMismatchError
+            If ``engine`` is given and differs from the table's engine.
+        SemanticsMismatchError
+            If ``exact_k`` is given and differs from the table's semantics.
+        """
+        if engine is not None and engine != self.engine:
+            raise EngineMismatchError(
+                f"gather table was built by engine {self.engine!r}; "
+                f"cannot reuse it as {engine!r} output"
+            )
+        if exact_k is not None and exact_k != self.exact_k:
+            raise SemanticsMismatchError(
+                f"gather table encodes exact_k={self.exact_k}; "
+                f"reusing it with exact_k={exact_k} would trace the wrong "
+                "dynamic program"
+            )
+
+    def effective_budget(self, budget: int | None = None) -> int:
+        """Clamp ``budget`` to what the tables can answer (default: all of it)."""
+        if budget is None:
+            return self.budget
+        if budget < 0:
+            raise InvalidBudgetError(f"budget must be non-negative, got {budget}")
+        return min(int(budget), self.budget)
+
+    def cost(self, budget: int | None = None) -> float:
+        """Optimal utilization ``X_r(1, budget)`` — a pure table lookup."""
+        return self.result.cost_for_budget(self.effective_budget(budget))
+
+    def place(self, budget: int | None = None, color: str | None = None) -> Placement:
+        """Trace an optimal placement for ``budget`` out of the tables.
+
+        This is the whole cost of answering a query from a cached table:
+        the colour trace (batched by default) plus the verification
+        recompute of the achieved cost.  ``color`` overrides the table's
+        default kernel (e.g. ``"reference"`` for differential runs).
+        """
+        effective = self.effective_budget(budget)
+        blue = trace_color(
+            self.tree, self.result, budget=effective, color=color or self.color
+        )
+        return Placement(
+            blue_nodes=blue,
+            cost=utilization_cost(self.tree, blue),
+            predicted_cost=self.result.cost_for_budget(effective),
+            budget=effective,
+            table=self,
+        )
+
+    def sweep(
+        self,
+        budgets: Iterable[int],
+        color: str | None = None,
+    ) -> dict[int, Placement]:
+        """Trace one placement per budget — the Figure 3/6 sweep surface.
+
+        Budgets above :attr:`budget` are clamped (they share the widest
+        column); duplicates after clamping are traced once and shared.
+        """
+        placements: dict[int, Placement] = {}
+        by_effective: dict[int, Placement] = {}
+        for budget in sorted({int(b) for b in budgets}):
+            effective = self.effective_budget(budget)
+            if effective not in by_effective:
+                by_effective[effective] = self.place(effective, color=color)
+            placements[budget] = by_effective[effective]
+        return placements
+
+
+@dataclass(frozen=True)
+class Solver:
+    """Facade binding engine, budget semantics, and colour kernel once.
+
+    Parameters
+    ----------
+    engine:
+        Gather engine (``"flat"`` default, ``"reference"`` ground truth);
+        see :mod:`repro.core.engine`.
+    exact_k:
+        Budget semantics; see :mod:`repro.core.gather`.  The default
+        (at-most-k) is never worse than the paper-literal exactly-k mode.
+    color:
+        Colour kernel placements are traced with (``"batched"`` default,
+        ``"reference"`` ground truth); see :mod:`repro.core.color`.
+
+    The solver is stateless and immutable — share one per configuration.
+    """
+
+    engine: str = DEFAULT_ENGINE
+    exact_k: bool = False
+    color: str = DEFAULT_COLOR
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            known = ", ".join(sorted(ENGINES))
+            raise ValueError(
+                f"unknown gather engine {self.engine!r}; expected one of: {known}"
+            )
+        if self.color not in COLOR_KERNELS:
+            known = ", ".join(sorted(COLOR_KERNELS))
+            raise ValueError(
+                f"unknown colour kernel {self.color!r}; expected one of: {known}"
+            )
+
+    def with_semantics(self, exact_k: bool) -> "Solver":
+        """A solver identical to this one except for the budget semantics."""
+        return replace(self, exact_k=exact_k)
+
+    # ------------------------------------------------------------------ #
+    # the staged surface
+    # ------------------------------------------------------------------ #
+
+    def gather(self, tree: TreeNetwork, max_budget: int) -> GatherTable:
+        """Run the gather phase and wrap the tables as a reusable artifact.
+
+        When sweeping budgets ``1 .. k`` gather once at ``k``: the returned
+        table answers every smaller budget through :meth:`GatherTable.cost`
+        / :meth:`GatherTable.place` for the price of a colour trace.
+        """
+        result = run_gather(
+            tree, max_budget, exact_k=self.exact_k, engine=self.engine
+        )
+        return GatherTable(
+            result=result,
+            tree=tree,
+            engine=self.engine,
+            exact_k=self.exact_k,
+            color=self.color,
+            fingerprint=tree.fingerprint(),
+        )
+
+    def solve(self, tree: TreeNetwork, budget: int) -> Placement:
+        """Gather + place in one step (the cold-query path)."""
+        normalize_budget(tree, budget)  # validate before paying the gather
+        return self.gather(tree, budget).place()
+
+    def sweep(self, tree: TreeNetwork, budgets: Iterable[int]) -> dict[int, Placement]:
+        """Solve several budgets from a single gather at the largest one."""
+        budget_list = sorted({int(b) for b in budgets})
+        if not budget_list:
+            return {}
+        if budget_list[0] < 0:
+            raise InvalidBudgetError("budgets must be non-negative")
+        return self.gather(tree, budget_list[-1]).sweep(budget_list)
+
+    def cost(self, tree: TreeNetwork, budget: int) -> float:
+        """Optimal utilization for one budget (cold gather + trace)."""
+        return self.solve(tree, budget).cost
+
+    # ------------------------------------------------------------------ #
+    # batch entry points
+    # ------------------------------------------------------------------ #
+
+    def solve_many(
+        self,
+        instances: Iterable[tuple[TreeNetwork, int]],
+    ) -> list[Placement]:
+        """Solve a batch of ``(tree, budget)`` instances, sharing gathers.
+
+        Instances over the *same* tree object are grouped and gathered once
+        at the largest budget of the group (the experiment- and
+        service-scale fan-out path); distinct trees gather independently.
+        """
+        items: list[tuple[TreeNetwork, int]] = [
+            (tree, int(budget)) for tree, budget in instances
+        ]
+        widest: dict[int, int] = {}
+        for tree, budget in items:
+            if budget < 0:
+                raise InvalidBudgetError(f"budget must be non-negative, got {budget}")
+            key = id(tree)
+            widest[key] = max(widest.get(key, 0), budget)
+        tables: dict[int, GatherTable] = {}
+        placements: list[Placement] = []
+        for tree, budget in items:
+            key = id(tree)
+            if key not in tables:
+                tables[key] = self.gather(tree, widest[key])
+            placements.append(tables[key].place(budget))
+        return placements
+
+    def sweep_many(
+        self,
+        instances: Iterable[tuple[TreeNetwork, Sequence[int]]],
+    ) -> list[dict[int, Placement]]:
+        """Run one budget sweep per instance, each from a single gather."""
+        return [self.sweep(tree, budgets) for tree, budgets in instances]

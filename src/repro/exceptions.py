@@ -30,8 +30,13 @@ class InvalidLoadError(ReproError):
     """A switch load is negative or not an integer-valued number."""
 
 
-class InvalidBudgetError(ReproError):
-    """The aggregation budget ``k`` is negative or not an integer."""
+class InvalidBudgetError(ReproError, ValueError):
+    """The aggregation budget ``k`` is negative or not an integer.
+
+    Also a :class:`ValueError`: budget validation historically raised plain
+    ``ValueError`` in places (e.g. the budget-sweep entry point), so callers
+    catching that keep working.
+    """
 
 
 class AvailabilityError(ReproError):
@@ -43,6 +48,36 @@ class PlacementError(ReproError):
 
     Examples include exceeding the budget, selecting the destination, or
     selecting a switch outside the availability set Λ.
+    """
+
+
+class TableMismatchError(ReproError):
+    """A gather-table artifact is being reused under incompatible settings.
+
+    Gather tables are only valid for the exact configuration they were
+    computed under; reusing them with a different engine or different budget
+    semantics would silently produce tables that answer a *different*
+    problem.  The two concrete subclasses identify which half of the
+    contract was violated.
+    """
+
+
+class EngineMismatchError(TableMismatchError):
+    """A gather table is being reused with a different gather engine.
+
+    The shipped engines are bit-identical, so this is about keeping the
+    provenance contract self-evident: a table advertises the engine that
+    built it, and a solver bound to another engine must not claim the
+    table as its own output.
+    """
+
+
+class SemanticsMismatchError(TableMismatchError):
+    """A gather table is being reused under different budget semantics.
+
+    Tables gathered with ``exact_k=True`` encode a different dynamic
+    program than at-most-k tables; tracing one with the other's semantics
+    yields placements for the wrong problem.
     """
 
 

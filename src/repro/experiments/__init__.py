@@ -22,7 +22,11 @@ from repro.experiments.motivating import (
 from repro.experiments.fig6_strategies import run_fig6
 from repro.experiments.fig7_online import run_fig7_capacity_sweep, run_fig7_workload_sweep
 from repro.experiments.fig8_applications import run_fig8
-from repro.experiments.fig9_runtime import run_engine_comparison, run_fig9
+from repro.experiments.fig9_runtime import (
+    run_color_comparison,
+    run_engine_comparison,
+    run_fig9,
+)
 from repro.experiments.fig10_scaling import (
     BUDGET_RULES,
     run_fig10_required_fraction,
@@ -47,6 +51,7 @@ __all__ = [
     "motivating_tree",
     "repetition_seeds",
     "run_budget_sweep",
+    "run_color_comparison",
     "run_engine_comparison",
     "run_fig10_required_fraction",
     "run_fig10_utilization",

@@ -22,7 +22,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.core.cost import all_blue_cost, all_red_cost
-from repro.core.engine import gather
+from repro.core.solver import Solver
 from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
 from repro.topology.binary_tree import bt_network
 from repro.utils.stats import mean_and_stderr
@@ -67,9 +67,9 @@ def run_fig10_utilization(
             rng = np.random.default_rng(seed)
             tree = _sampled_tree(size, rng)
             baseline = all_red_cost(tree)
-            gathered = gather(tree, max_budget, engine=config.engine)
+            gathered = Solver(engine=config.engine).gather(tree, max_budget)
             for name, budget in budgets.items():
-                cost = gathered.cost_for_budget(budget)
+                cost = gathered.cost(budget)
                 per_rule[name].append(cost / baseline if baseline else 0.0)
             all_blue_values.append(all_blue_cost(tree) / baseline if baseline else 0.0)
 
@@ -124,8 +124,10 @@ def run_fig10_required_fraction(
             rng = np.random.default_rng(seed)
             tree = _sampled_tree(size, rng)
             baseline = all_red_cost(tree)
-            gathered = gather(tree, min(search_budget, tree.num_switches), engine=config.engine)
-            costs = [gathered.cost_for_budget(k) for k in range(gathered.budget + 1)]
+            gathered = Solver(engine=config.engine).gather(
+                tree, min(search_budget, tree.num_switches)
+            )
+            costs = [gathered.cost(k) for k in range(gathered.budget + 1)]
             for target in targets:
                 threshold = (1.0 - target) * baseline
                 needed = next(

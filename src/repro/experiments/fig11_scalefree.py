@@ -19,7 +19,7 @@ import numpy as np
 from repro.baselines.strategies import max_degree_strategy
 from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
 from repro.core.engine import gather
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.experiments.fig10_scaling import BUDGET_RULES
 from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
 from repro.topology.scale_free import degree_sequence, sf_network
@@ -56,7 +56,7 @@ def run_fig11_example(
             first_degrees = ",".join(map(str, degree_sequence(tree)[:9]))
         all_red_values.append(utilization_cost(tree, frozenset()))
         max_values.append(utilization_cost(tree, max_degree_strategy(tree, budget)))
-        soar_values.append(solve(tree, budget).cost)
+        soar_values.append(Solver().solve(tree, budget).cost)
 
     mean_all_red = sum(all_red_values) / len(all_red_values)
     mean_max = sum(max_values) / len(max_values)

@@ -18,7 +18,7 @@ from collections.abc import Sequence
 
 from repro.baselines.strategies import PAPER_STRATEGIES
 from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
-from repro.core.soar import solve_budget_sweep
+from repro.core.solver import Solver
 from repro.experiments.harness import (
     DISTRIBUTION_NAMES,
     FIG6_BUDGETS,
@@ -46,6 +46,7 @@ def run_fig6(
     error — exactly the series of the corresponding sub-plot.
     """
     strategies = dict(strategies or PAPER_STRATEGIES)
+    solver = Solver(engine=config.engine, color=config.color)
     rows: list[dict] = []
 
     for distribution in distributions:
@@ -62,7 +63,7 @@ def run_fig6(
                 baseline = all_red_cost(tree)
                 blue_reference = all_blue_cost(tree) / baseline if baseline else 0.0
 
-                soar_solutions = solve_budget_sweep(tree, effective_budgets)
+                soar_solutions = solver.sweep(tree, effective_budgets)
                 for budget in effective_budgets:
                     for name, strategy in strategies.items():
                         if name == "SOAR":

@@ -22,7 +22,7 @@ from repro.apps.bytes_model import expected_byte_complexity
 from repro.apps.paramserver import ParameterServerApplication
 from repro.apps.wordcount import WordCountApplication
 from repro.core.cost import all_red_cost
-from repro.core.soar import solve_budget_sweep
+from repro.core.solver import Solver
 from repro.experiments.harness import (
     DISTRIBUTION_NAMES,
     ExperimentConfig,
@@ -57,6 +57,7 @@ def run_fig8(
     averaged over the configured repetitions.
     """
     applications = dict(applications or default_applications())
+    solver = Solver(engine=config.engine, color=config.color)
     rows: list[dict] = []
 
     for app_name, application in applications.items():
@@ -75,7 +76,7 @@ def run_fig8(
                     tree, frozenset(tree.switches), application
                 )
 
-                solutions = solve_budget_sweep(tree, effective_budgets)
+                solutions = solver.sweep(tree, effective_budgets)
                 for budget in effective_budgets:
                     solution = solutions[budget]
                     placement_bytes = expected_byte_complexity(

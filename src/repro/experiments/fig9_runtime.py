@@ -15,7 +15,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.color import soar_color
+from repro.core.color import (
+    BATCHED_COLOR,
+    COLOR_KERNELS,
+    REFERENCE_COLOR,
+    trace_color,
+)
 from repro.core.engine import ENGINES, FLAT_ENGINE, REFERENCE_ENGINE, gather
 from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
 from repro.topology.binary_tree import bt_network
@@ -32,14 +37,18 @@ def run_fig9(
     sizes: Sequence[int] = FIG9_SIZES,
     budgets: Sequence[int] = FIG9_BUDGETS,
     config: ExperimentConfig = PAPER_CONFIG,
+    color: str | None = None,
 ) -> list[dict]:
     """Time SOAR-Gather and SOAR-Color for every (network size, budget) pair.
 
     Returns one row per pair with the mean wall-clock seconds of each phase
     over ``config.repetitions`` runs (each on a freshly sampled power-law
     workload), plus the color/gather runtime ratio the paper highlights.
-    The gather engine is taken from ``config.engine``.
+    The gather engine is taken from ``config.engine``; ``color`` selects
+    the colour kernel (``"batched"`` by default — the phase the service's
+    warm path consists of).
     """
+    color = color or config.color
     distribution = PowerLawLoadDistribution()
     rows: list[dict] = []
     seeds = np.random.SeedSequence(config.seed).spawn(config.repetitions)
@@ -58,7 +67,7 @@ def run_fig9(
                 gather_times.append(time.perf_counter() - start)
 
                 start = time.perf_counter()
-                soar_color(tree, gathered)
+                trace_color(tree, gathered, color=color)
                 color_times.append(time.perf_counter() - start)
 
             gather_mean, gather_err = mean_and_stderr(gather_times)
@@ -69,6 +78,7 @@ def run_fig9(
                     "network_size": size,
                     "k": budget,
                     "engine": config.engine,
+                    "color": color,
                     "gather_seconds": gather_mean,
                     "gather_stderr": gather_err,
                     "color_seconds": color_mean,
@@ -134,6 +144,69 @@ def run_engine_comparison(
             row[f"{engine}_seconds"] = best[engine]
             row[f"{engine}_speedup"] = (
                 best[baseline_engine] / best[engine] if best[engine] else float("inf")
+            )
+        rows.append(row)
+    return rows
+
+
+def run_color_comparison(
+    sizes: Sequence[int] = FIG9_SIZES,
+    budget: int = 32,
+    config: ExperimentConfig = PAPER_CONFIG,
+    colors: Sequence[str] = (REFERENCE_COLOR, BATCHED_COLOR),
+) -> list[dict]:
+    """Time every colour kernel tracing the same gather tables.
+
+    The colour-phase counterpart of :func:`run_engine_comparison`: one row
+    per network size with, for each kernel, the best wall-clock trace time
+    over ``config.repetitions`` runs and the speedup relative to the first
+    kernel listed (the reference trace by default).  Every kernel is
+    verified to produce the identical blue set before its time is trusted —
+    the colour trace is the entire cost of a warm table hit in the
+    placement service, so this table is the measured justification for the
+    batched kernel.
+    """
+    distribution = PowerLawLoadDistribution()
+    rows: list[dict] = []
+
+    for size in sizes:
+        rng = np.random.default_rng(np.random.SeedSequence(config.seed))
+        tree = bt_network(size)
+        tree = tree.with_loads(sample_leaf_loads(tree, distribution, rng=rng))
+        effective = min(budget, len(tree.available))
+        gathered = gather(tree, effective, engine=config.engine)
+
+        best: dict[str, float] = {}
+        placements: dict[str, frozenset] = {}
+        for color in colors:
+            kernel = COLOR_KERNELS[color]
+            times = []
+            for _ in range(max(1, config.repetitions)):
+                start = time.perf_counter()
+                blue = kernel(tree, gathered)
+                times.append(time.perf_counter() - start)
+            best[color] = min(times)
+            placements[color] = blue
+
+        baseline_color = colors[0]
+        for color in colors:
+            if placements[color] != placements[baseline_color]:
+                raise AssertionError(
+                    f"colour kernel {color!r} placement differs from "
+                    f"{baseline_color!r} on BT({size})"
+                )
+        row = {
+            "figure": "fig9-colors",
+            "network_size": size,
+            "k": effective,
+            "engine": config.engine,
+            "blue_nodes": len(placements[baseline_color]),
+            "repetitions": config.repetitions,
+        }
+        for color in colors:
+            row[f"{color}_seconds"] = best[color]
+            row[f"{color}_speedup"] = (
+                best[baseline_color] / best[color] if best[color] else float("inf")
             )
         rows.append(row)
     return rows

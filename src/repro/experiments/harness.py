@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core.color import DEFAULT_COLOR
 from repro.core.engine import DEFAULT_ENGINE
 from repro.core.tree import TreeNetwork
 from repro.exceptions import ExperimentError
@@ -52,12 +53,16 @@ class ExperimentConfig:
     engine:
         SOAR-Gather engine used by the experiments (``"flat"`` or
         ``"reference"``; see :mod:`repro.core.engine`).
+    color:
+        SOAR-Color kernel used by the experiments (``"batched"`` or
+        ``"reference"``; see :mod:`repro.core.color`).
     """
 
     network_size: int = 256
     repetitions: int = 10
     seed: int = 2021
     engine: str = DEFAULT_ENGINE
+    color: str = DEFAULT_COLOR
     extra: dict = field(default_factory=dict)
 
     def scaled(self, network_size: int | None = None, repetitions: int | None = None):

@@ -16,7 +16,7 @@ from repro.baselines.strategies import (
     top_strategy,
 )
 from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
-from repro.core.soar import solve_budget_sweep
+from repro.core.solver import Solver
 from repro.core.tree import TreeNetwork
 from repro.topology.binary_tree import complete_binary_tree
 
@@ -81,7 +81,7 @@ def run_strategy_comparison(budget: int = 2) -> list[dict]:
 def run_budget_sweep(max_budget: int = 4) -> list[dict]:
     """Reproduce Figure 3: the optimal cost for each budget on the example tree."""
     tree = motivating_tree()
-    solutions = solve_budget_sweep(tree, range(1, max_budget + 1))
+    solutions = Solver().sweep(tree, range(1, max_budget + 1))
     rows: list[dict] = []
     for budget, solution in sorted(solutions.items()):
         rows.append(

@@ -49,6 +49,8 @@ ROW_COLUMNS: tuple[str, ...] = (
     "hit_rate",
     "warm_mean_ms",
     "cold_mean_ms",
+    "table_hit_mean_ms",
+    "memo_hit_mean_ms",
     "warm_speedup",
     "verified",
     "engine",
@@ -107,7 +109,14 @@ def run_service_replay(
         )
     if record_path is not None:
         write_trace(trace, record_path, tree=tree)
-    report = replay_trace(tree, trace, capacity=capacity, engine=config.engine, verify=verify)
+    report = replay_trace(
+        tree,
+        trace,
+        capacity=capacity,
+        engine=config.engine,
+        color=config.color,
+        verify=verify,
+    )
 
     solve_budgets = {
         event.budget

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.engine import DEFAULT_ENGINE, gather
+from repro.core.engine import DEFAULT_ENGINE
+from repro.core.solver import Solver
 from repro.core.tree import NodeId, TreeNetwork
 from repro.exceptions import InvalidBudgetError
 
@@ -75,8 +76,8 @@ def workload_cost_curve(
     if max_budget < 0:
         raise InvalidBudgetError(f"budget must be non-negative, got {max_budget}")
     workload_tree = tree.with_loads(loads)
-    gathered = gather(workload_tree, max_budget, engine=engine)
-    curve = [gathered.cost_for_budget(budget) for budget in range(gathered.budget + 1)]
+    table = Solver(engine=engine).gather(workload_tree, max_budget)
+    curve = [table.cost(budget) for budget in range(table.budget + 1)]
     # If the budget was clamped (more budget than available switches), the
     # curve is flat beyond the clamp point.
     while len(curve) < max_budget + 1:

@@ -4,7 +4,7 @@ The paper's online setting (Section 5.2) assumes workloads arrive once and
 never leave.  A production aggregation service faces the full lifecycle —
 arrivals *and* departures, switch maintenance, and a heavy stream of
 repeated placement queries that must be answered far faster than a cold
-:func:`repro.solve`.  This package is that service layer.
+:meth:`repro.Solver.solve`.  This package is that service layer.
 
 Module tour
 -----------
@@ -15,10 +15,12 @@ Module tour
     with the placements they hold.
 
 :mod:`repro.service.cache`
-    The speed multiplier: an LRU cache of gather tables keyed by
-    (structure fingerprint, Λ fingerprint, loads digest, budget semantics,
-    engine).  A table gathered at budget ``k`` answers every budget
-    ``k' <= k`` through the ``gathered=`` path (*budget upcasting*), and a
+    The speed multiplier: an LRU cache of public
+    :class:`repro.GatherTable` artifacts keyed by (structure fingerprint,
+    Λ fingerprint, loads digest, budget semantics, engine).  A table
+    gathered at budget ``k`` answers every budget ``k' <= k`` through
+    ``table.place(k')`` (*budget upcasting*) — a batched colour trace and
+    nothing else, since the artifact owns its workload network — and a
     per-budget solution memo answers exact repeats without even a colour
     trace.  Keys digest everything a gather depends on, so hits are always
     bitwise-correct; invalidation (after drains) only reclaims entries that

@@ -23,11 +23,11 @@ six request types:
     Fleet and cache counters.
 
 Every response carries ``elapsed_s`` (measured inside the service) and, for
-placement-producing requests, ``cache_hit`` — whether the answer avoided a
-gather.  Responses are bit-identical to cold calls of
-:func:`repro.core.soar.solve` / :func:`~repro.core.soar.solve_budget_sweep`
-on the equivalent instance; ``tests/test_service.py`` enforces this across
-seeded churn traces.
+placement-producing requests, ``cache_hit`` / ``cache_source`` — whether
+(and through which cache layer) the answer avoided a gather.  Responses are
+bit-identical to cold calls of :meth:`repro.core.solver.Solver.solve` /
+:meth:`~repro.core.solver.Solver.sweep` on the equivalent instance;
+``tests/test_service.py`` enforces this across seeded churn traces.
 
 Batching
 --------
@@ -46,8 +46,9 @@ import time
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Mapping, Sequence
 
-from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather
-from repro.core.soar import solve
+from repro.core.color import DEFAULT_COLOR
+from repro.core.engine import DEFAULT_ENGINE, ENGINES
+from repro.core.solver import Solver
 from repro.core.tree import (
     NodeId,
     TreeNetwork,
@@ -162,7 +163,13 @@ READ_ONLY_REQUESTS = (SolveRequest, SweepRequest, StatsRequest)
 
 @dataclass(frozen=True)
 class SolveResponse:
-    """Answer to a :class:`SolveRequest`."""
+    """Answer to a :class:`SolveRequest`.
+
+    ``cache_source`` records how deep the request had to go: ``"memo"``
+    (solution memo, no trace at all), ``"table"`` (cached gather table,
+    colour trace only — the warm hit the batched kernel exists for), or
+    ``"gather"`` (cold).  ``cache_hit`` is true for the first two.
+    """
 
     blue_nodes: frozenset[NodeId]
     cost: float
@@ -170,16 +177,23 @@ class SolveResponse:
     budget: int
     cache_hit: bool
     elapsed_s: float
+    cache_source: str = "gather"
 
 
 @dataclass(frozen=True)
 class SweepResponse:
-    """Answer to a :class:`SweepRequest`: one entry per requested budget."""
+    """Answer to a :class:`SweepRequest`: one entry per requested budget.
+
+    ``cache_hit`` describes the widest-budget solve (the one that decides
+    whether a gather was paid); ``cache_source`` is the deepest cache layer
+    any budget of the sweep had to reach.
+    """
 
     costs: dict[int, float]
     placements: dict[int, frozenset[NodeId]]
     cache_hit: bool
     elapsed_s: float
+    cache_source: str = "gather"
 
 
 @dataclass(frozen=True)
@@ -193,6 +207,7 @@ class AdmitResponse:
     budget: int
     cache_hit: bool
     elapsed_s: float
+    cache_source: str = "gather"
 
 
 @dataclass(frozen=True)
@@ -259,6 +274,7 @@ class _Placement:
     predicted_cost: float
     budget: int
     cache_hit: bool
+    cache_source: str
 
 
 class PlacementService:
@@ -275,6 +291,10 @@ class PlacementService:
         Gather engine used for every solve (see :mod:`repro.core.engine`).
     cache_entries:
         LRU capacity of the gather-table cache.
+    color:
+        Colour kernel placements are traced with (see
+        :mod:`repro.core.color`); the batched default is what keeps warm
+        table hits cheap.
     """
 
     def __init__(
@@ -283,6 +303,7 @@ class PlacementService:
         capacity: int | Mapping[NodeId, int],
         engine: str = DEFAULT_ENGINE,
         cache_entries: int = 64,
+        color: str = DEFAULT_COLOR,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -291,6 +312,13 @@ class PlacementService:
         self._state = FleetState(tree, capacity)
         self._cache = GatherTableCache(max_entries=cache_entries)
         self._engine = engine
+        self._color = color
+        # One immutable solver per budget semantics, bound to the service's
+        # engine and colour kernel once.
+        self._solvers = {
+            exact_k: Solver(engine=engine, exact_k=exact_k, color=color)
+            for exact_k in (False, True)
+        }
         self._structure_fp = tree.structure_fingerprint()
         self._request_counts: dict[str, int] = {}
         # Batch plan: (loads_fp, exact_k) -> largest effective budget any
@@ -323,6 +351,14 @@ class PlacementService:
     @property
     def engine(self) -> str:
         return self._engine
+
+    @property
+    def color(self) -> str:
+        return self._color
+
+    def solver(self, exact_k: bool = False) -> Solver:
+        """The service's bound :class:`~repro.core.solver.Solver` for the semantics."""
+        return self._solvers[bool(exact_k)]
 
     def available(self) -> frozenset[NodeId]:
         """Current availability set Λ_t (cached between fleet mutations)."""
@@ -380,11 +416,14 @@ class PlacementService:
     ) -> _Placement:
         """Answer one placement query through the cache layers.
 
-        Fast path: solution memo (no tree construction at all).  Middle
-        path: cached tables + colour trace.  Slow path: gather (at the
-        batch-planned budget when one is on file), then memoize.
-        ``loads_fp`` lets callers that already digested the loads (batch
-        planning, per-sweep reuse) skip re-digesting them.
+        Fast path: solution memo (no trace at all).  Middle path: cached
+        :class:`~repro.core.solver.GatherTable` — ``table.place()`` alone,
+        since the artifact owns its workload network no tree is
+        reconstructed; this is the colour-only warm hit.  Slow path: build
+        the workload network and gather (at the batch-planned budget when
+        one is on file), then memoize.  ``loads_fp`` lets callers that
+        already digested the loads (batch planning, per-sweep reuse) skip
+        re-digesting them.
         """
         effective = self._effective_budget(budget)
         if loads_fp is None:
@@ -399,38 +438,38 @@ class PlacementService:
                 predicted_cost=memo.predicted_cost,
                 budget=effective,
                 cache_hit=True,
+                cache_source="memo",
             )
 
-        gathered = self._cache.lookup(key, effective)
-        cache_hit = gathered is not None
-        workload_tree = self._workload_tree(loads)
-        if gathered is None:
+        table = self._cache.lookup(key, effective)
+        if table is None:
+            source = "gather"
             planned = self._planned_budgets.get((loads_fp, exact_k), 0)
             stored = self._cache.stored_budget(key) or 0
             gather_budget = max(effective, planned, stored)
-            gathered = gather(
-                workload_tree, gather_budget, exact_k=exact_k, engine=self._engine
-            )
-            self._cache.store(key, gathered, workload_tree.available)
+            workload_tree = self._workload_tree(loads)
+            table = self._solvers[exact_k].gather(workload_tree, gather_budget)
+            self._cache.store(key, table)
+        else:
+            source = "table"
 
-        solution = solve(
-            workload_tree, effective, exact_k=exact_k, gathered=gathered
-        )
+        placement = table.place(effective)
         self._cache.store_solution(
             key,
             effective,
             CachedSolution(
-                blue_nodes=solution.blue_nodes,
-                cost=solution.cost,
-                predicted_cost=solution.predicted_cost,
+                blue_nodes=placement.blue_nodes,
+                cost=placement.cost,
+                predicted_cost=placement.predicted_cost,
             ),
         )
         return _Placement(
-            blue_nodes=solution.blue_nodes,
-            cost=solution.cost,
-            predicted_cost=solution.predicted_cost,
+            blue_nodes=placement.blue_nodes,
+            cost=placement.cost,
+            predicted_cost=placement.predicted_cost,
             budget=effective,
-            cache_hit=cache_hit,
+            cache_hit=source == "table",
+            cache_source=source,
         )
 
     # ------------------------------------------------------------------ #
@@ -452,6 +491,7 @@ class PlacementService:
             budget=placement.budget,
             cache_hit=placement.cache_hit,
             elapsed_s=time.perf_counter() - start,
+            cache_source=placement.cache_source,
         )
 
     def _handle_sweep(self, request: SweepRequest) -> SweepResponse:
@@ -460,28 +500,41 @@ class PlacementService:
             return SweepResponse(
                 costs={}, placements={}, cache_hit=True,
                 elapsed_s=time.perf_counter() - start,
+                cache_source="memo",
             )
         loads = _freeze_loads(request.loads)
         budgets = sorted({self._validate_budget(b) for b in request.budgets})
         loads_fp = self._planned_loads_fp.get(id(request)) or fingerprint_loads(loads)
         # Solving the largest budget first populates the tables every
-        # smaller budget then hits (mirrors solve_budget_sweep).
+        # smaller budget then hits (mirrors GatherTable.sweep).
         costs: dict[int, float] = {}
         placements: dict[int, frozenset[NodeId]] = {}
+        sources: set[str] = set()
         first = self._solve_cached(loads, budgets[-1], request.exact_k, loads_fp=loads_fp)
+        sources.add(first.cache_source)
         costs[budgets[-1]] = first.cost
         placements[budgets[-1]] = first.blue_nodes
         for budget in budgets[:-1]:
             placement = self._solve_cached(
                 loads, budget, request.exact_k, loads_fp=loads_fp
             )
+            sources.add(placement.cache_source)
             costs[budget] = placement.cost
             placements[budget] = placement.blue_nodes
+        # The deepest layer any budget had to reach: the widest budget
+        # decides whether a gather was paid, but a sweep whose remaining
+        # budgets traced placements out of cached tables is a "table"
+        # response, not a "memo" one.
+        source = next(
+            (layer for layer in ("gather", "table", "memo") if layer in sources),
+            "memo",
+        )
         return SweepResponse(
             costs=costs,
             placements=placements,
             cache_hit=first.cache_hit,
             elapsed_s=time.perf_counter() - start,
+            cache_source=source,
         )
 
     def _handle_admit(self, request: AdmitRequest) -> AdmitResponse:
@@ -507,6 +560,7 @@ class PlacementService:
             budget=placement.budget,
             cache_hit=placement.cache_hit,
             elapsed_s=time.perf_counter() - start,
+            cache_source=placement.cache_source,
         )
 
     def _handle_release(self, request: ReleaseRequest) -> ReleaseResponse:

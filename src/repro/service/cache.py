@@ -9,6 +9,12 @@ once and reuse it, in the spirit of the ``lru_cache`` idiom: this module is
 that cache, made explicit so eviction, invalidation, and hit accounting are
 observable.
 
+Entries are the public :class:`repro.core.solver.GatherTable` artifacts —
+self-contained (each owns the workload network it was gathered for) and
+provenance-carrying, so a table hit is answered by ``table.place(budget)``
+alone: no tree reconstruction, no solver state, just the batched colour
+trace.
+
 Keys and correctness
 --------------------
 Entries are keyed by :class:`CacheKey` — the structure fingerprint
@@ -25,10 +31,10 @@ become live hits again for free.
 
 Budget upcasting
 ----------------
-A gather at budget ``k`` carries every column ``0 .. k``, so one entry
-answers *every* request at the same key with budget ``k' <= k`` through the
-``gathered=`` path of :func:`repro.core.soar.solve` (exactly how
-:func:`~repro.core.soar.solve_budget_sweep` works).  :meth:`lookup` treats
+A :class:`~repro.core.solver.GatherTable` gathered at budget ``k`` carries
+every column ``0 .. k``, so one entry answers *every* request at the same
+key with budget ``k' <= k`` through ``table.place(k')`` (exactly how
+:meth:`~repro.core.solver.GatherTable.sweep` works).  :meth:`lookup` treats
 "stored budget too small" as a miss; the service then re-gathers at the
 larger budget and :meth:`store` replaces the entry, so the cache converges
 onto the widest table each key needs.
@@ -56,7 +62,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
-from repro.core.gather import GatherResult
+from repro.core.solver import GatherTable
 from repro.core.tree import NodeId
 
 
@@ -119,11 +125,18 @@ class CacheStats:
 
 @dataclass
 class _Entry:
-    """One cached gather: the tables, their Λ, and the solution memo."""
+    """One cached gather: the table artifact and the solution memo.
 
-    gathered: GatherResult
-    available: frozenset[NodeId]
+    The entry's Λ (used by :meth:`GatherTableCache.invalidate_switches`)
+    is the availability set of the table's own workload network.
+    """
+
+    table: GatherTable
     solutions: dict[int, CachedSolution] = field(default_factory=dict)
+
+    @property
+    def available(self) -> frozenset[NodeId]:
+        return self.table.tree.available
 
 
 class GatherTableCache:
@@ -178,43 +191,38 @@ class GatherTableCache:
         self.stats.solution_hits += 1
         return cached
 
-    def lookup(self, key: CacheKey, budget: int) -> GatherResult | None:
-        """Gather tables able to answer ``key`` at effective ``budget``.
+    def lookup(self, key: CacheKey, budget: int) -> GatherTable | None:
+        """Gather table able to answer ``key`` at effective ``budget``.
 
         Returns ``None`` (and counts a miss) when the key is absent or the
-        stored tables were built for a smaller budget — the budget-upcast
+        stored table was built for a smaller budget — the budget-upcast
         case, counted separately so the stats tell the two apart.
         """
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
-        if entry.gathered.budget < budget:
+        if entry.table.budget < budget:
             self.stats.misses += 1
             self.stats.budget_upcasts += 1
             return None
         self._entries.move_to_end(key)
         self.stats.table_hits += 1
-        return entry.gathered
+        return entry.table
 
     def stored_budget(self, key: CacheKey) -> int | None:
-        """Budget of the stored tables (no LRU touch, no stats) or ``None``."""
+        """Budget of the stored table (no LRU touch, no stats) or ``None``."""
         entry = self._entries.get(key)
-        return None if entry is None else entry.gathered.budget
+        return None if entry is None else entry.table.budget
 
     # ------------------------------------------------------------------ #
     # population
     # ------------------------------------------------------------------ #
 
-    def store(
-        self,
-        key: CacheKey,
-        gathered: GatherResult,
-        available: frozenset[NodeId],
-    ) -> None:
-        """Insert (or replace, on budget upcast) the tables for ``key``."""
+    def store(self, key: CacheKey, table: GatherTable) -> None:
+        """Insert (or replace, on budget upcast) the table for ``key``."""
         previous = self._entries.pop(key, None)
-        entry = _Entry(gathered=gathered, available=frozenset(available))
+        entry = _Entry(table=table)
         if previous is not None:
             # The wider table answers every budget the narrower one did, so
             # the memoized traces stay valid.

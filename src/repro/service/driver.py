@@ -4,8 +4,8 @@ The driver is the operational proof of the subsystem: it feeds a recorded
 (or generated) trace to a fresh :class:`~repro.service.api.PlacementService`,
 times every request, and aggregates throughput, per-kind latency, and cache
 hit rate.  With ``verify=True`` it additionally re-solves every placement
-response *cold* — a direct :func:`repro.core.soar.solve` /
-:func:`~repro.core.soar.solve_budget_sweep` against the availability the
+response *cold* — a direct :meth:`repro.core.solver.Solver.solve` /
+:meth:`~repro.core.solver.Solver.sweep` against the availability the
 service saw — and asserts the answers are bit-identical (same blue set,
 same cost floats), turning any replay into a differential test of the whole
 cache/state stack.
@@ -13,7 +13,12 @@ cache/state stack.
 The summary row distinguishes *warm* placement requests (answered from the
 cache) from *cold* ones (paid a gather); their latency ratio
 (``warm_speedup``) is the service's headline number, asserted ≥ 10x on
-BT(1024) by the acceptance test.
+BT(1024) by the acceptance test.  Warm requests are further split by cache
+layer — ``table_hit_mean_ms`` (gather-table hits: a colour trace and
+nothing else, the latency the batched colour kernel owns) versus
+``memo_hit_mean_ms`` (solution-memo hits: a digest lookup) — so
+``benchmarks/bench_service.py`` can track the colour-phase latency as its
+own column.
 """
 
 from __future__ import annotations
@@ -22,8 +27,9 @@ import time
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
+from repro.core.color import DEFAULT_COLOR
 from repro.core.engine import DEFAULT_ENGINE
-from repro.core.soar import solve, solve_budget_sweep
+from repro.core.solver import Solver
 from repro.core.tree import NodeId, TreeNetwork
 from repro.service.api import (
     AdmitRequest,
@@ -91,6 +97,13 @@ class ReplayReport:
             if record.response.cache_hit == warm
         ]
 
+    def _source_latencies(self, source: str) -> list[float]:
+        return [
+            record.elapsed_s
+            for record in self._placement_records()
+            if record.response.cache_source == source
+        ]
+
     @property
     def warm_mean_s(self) -> float:
         warm = self._latencies(warm=True)
@@ -100,6 +113,18 @@ class ReplayReport:
     def cold_mean_s(self) -> float:
         cold = self._latencies(warm=False)
         return sum(cold) / len(cold) if cold else 0.0
+
+    @property
+    def table_hit_mean_s(self) -> float:
+        """Mean latency of gather-table hits: the colour-only warm path."""
+        hits = self._source_latencies("table")
+        return sum(hits) / len(hits) if hits else 0.0
+
+    @property
+    def memo_hit_mean_s(self) -> float:
+        """Mean latency of solution-memo hits (digest lookup, no trace)."""
+        hits = self._source_latencies("memo")
+        return sum(hits) / len(hits) if hits else 0.0
 
     @property
     def warm_speedup(self) -> float:
@@ -143,6 +168,8 @@ class ReplayReport:
             "hit_rate": self.hit_rate,
             "warm_mean_ms": 1e3 * self.warm_mean_s,
             "cold_mean_ms": 1e3 * self.cold_mean_s,
+            "table_hit_mean_ms": 1e3 * self.table_hit_mean_s,
+            "memo_hit_mean_ms": 1e3 * self.memo_hit_mean_s,
             "warm_speedup": self.warm_speedup,
             "verified": self.verified,
             "engine": self.engine,
@@ -169,13 +196,14 @@ def _verify_response(
     Returns True when the response type is verifiable (solve/sweep/admit),
     False otherwise.  Raises AssertionError on any mismatch.
     """
+    solver = Solver(engine=engine, exact_k=request.exact_k) if isinstance(
+        request, (SolveRequest, AdmitRequest, SweepRequest)
+    ) else None
     if isinstance(request, (SolveRequest, AdmitRequest)) and isinstance(
         response, (SolveResponse, AdmitResponse)
     ):
         reference_tree = tree.with_loads(request.loads, available=available)
-        reference = solve(
-            reference_tree, request.budget, exact_k=request.exact_k, engine=engine
-        )
+        reference = solver.solve(reference_tree, request.budget)
         assert response.cost == reference.cost, (
             f"service cost {response.cost!r} != cold solve cost {reference.cost!r}"
         )
@@ -192,9 +220,7 @@ def _verify_response(
         if not request.budgets:
             return True
         reference_tree = tree.with_loads(request.loads, available=available)
-        reference = solve_budget_sweep(
-            reference_tree, request.budgets, exact_k=request.exact_k, engine=engine
-        )
+        reference = solver.sweep(reference_tree, request.budgets)
         for budget, solution in reference.items():
             got_cost = response.costs[budget]
             assert got_cost == solution.cost, (
@@ -216,6 +242,7 @@ def replay_trace(
     cache_entries: int = 64,
     verify: bool = False,
     service: PlacementService | None = None,
+    color: str | None = None,
 ) -> ReplayReport:
     """Replay a trace against a (fresh or supplied) service and measure it.
 
@@ -238,8 +265,12 @@ def replay_trace(
         wall clock).
     service:
         Replay into an existing service instead of a fresh one (state and
-        cache carry over; ``capacity``/``engine``/``cache_entries`` are
-        then ignored).
+        cache carry over; ``capacity``/``engine``/``cache_entries``/
+        ``color`` are then ignored).
+    color:
+        Colour kernel for a fresh service (default: the library default);
+        ``"reference"`` replays with the per-node trace, which is how the
+        colour-phase benchmark isolates the batched kernel's contribution.
     """
     if service is None:
         service = PlacementService(
@@ -247,6 +278,7 @@ def replay_trace(
             capacity,
             engine=engine or DEFAULT_ENGINE,
             cache_entries=cache_entries,
+            color=color or DEFAULT_COLOR,
         )
     node_index = _node_index(tree)
     records: list[ReplayRecord] = []

@@ -18,19 +18,23 @@ load profiles, availability restriction) and
 """
 
 from repro.testing.generators import (
+    AVAILABILITY_PATTERNS,
     DYADIC_RATES,
     LOAD_PROFILES,
+    LOAD_TIE_PROFILES,
     NEAR_TIE_EPSILON,
     RATE_PROFILES,
     SHAPES,
     instance_stream,
     near_tie_stream,
+    patterned_availability,
     random_availability,
     random_budget,
     random_instance,
     random_loads,
     random_parents,
     random_rates,
+    random_tie_loads,
 )
 from repro.testing.invariants import (
     assert_budget_monotone,
@@ -46,8 +50,10 @@ from repro.testing.invariants import (
 )
 
 __all__ = [
+    "AVAILABILITY_PATTERNS",
     "DYADIC_RATES",
     "LOAD_PROFILES",
+    "LOAD_TIE_PROFILES",
     "NEAR_TIE_EPSILON",
     "RATE_PROFILES",
     "SHAPES",
@@ -63,10 +69,12 @@ __all__ = [
     "costs_close",
     "instance_stream",
     "near_tie_stream",
+    "patterned_availability",
     "random_availability",
     "random_budget",
     "random_instance",
     "random_loads",
     "random_parents",
     "random_rates",
+    "random_tie_loads",
 ]

@@ -52,6 +52,26 @@ The *near-tie* rate profiles manufacture that pressure deliberately:
 ``sibling_tie``
     Children of the same parent share one random dyadic rate: same-parent
     subtrees tie exactly while cross-level costs still vary.
+
+Load-tie profiles
+-----------------
+Rates are only half of the tie surface: placements also tie when the
+*loads* are symmetric.  :func:`random_tie_loads` mirrors the rate profiles
+on the load function — ``constant`` (one shared load), ``near_tie``
+(a shared base ± 1, the tightest possible integer near-tie), and
+``sibling_tie`` (children of the same parent share a load) — so whole
+sibling subtrees become exactly or almost cost-identical and every argmin
+of the gather convolution and every colour decision is a tie-break.
+
+Availability patterns
+---------------------
+:func:`patterned_availability` restricts Λ so that it *straddles* tied
+families instead of sampling switches independently: ``sibling_split``
+keeps a nonempty proper subset of every sibling group (some members of a
+tied family are placeable, others are not, so the argmin must discriminate
+between candidates a symmetric instance makes equal), and ``level_stripe``
+admits alternating tree levels only (tied placements across adjacent
+levels resolve to the admissible one).
 """
 
 from __future__ import annotations
@@ -73,6 +93,10 @@ DYADIC_RATES: tuple[float, ...] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
 RATE_PROFILES: tuple[str, ...] = ("dyadic", "constant", "near_tie", "sibling_tie")
 #: Relative perturbation of the ``near_tie`` profile (exact in binary FP).
 NEAR_TIE_EPSILON: float = 2.0**-8
+#: Load-tie profiles :func:`random_tie_loads` can draw from.
+LOAD_TIE_PROFILES: tuple[str, ...] = ("constant", "near_tie", "sibling_tie")
+#: Availability patterns :func:`patterned_availability` can draw from.
+AVAILABILITY_PATTERNS: tuple[str, ...] = ("independent", "sibling_split", "level_stripe")
 
 
 def random_parents(
@@ -190,6 +214,88 @@ def random_availability(
     return [node for node in switches if rng.random() < probability]
 
 
+def random_tie_loads(
+    rng: np.random.Generator,
+    parents: dict[NodeId, NodeId],
+    profile: str = "constant",
+    max_load: int = 6,
+) -> dict[NodeId, int]:
+    """Draw a *tie-inducing* load for every switch (see the module docstring).
+
+    ``parents`` is the parent map the loads belong to (``sibling_tie``
+    groups switches by their parent).  ``constant`` makes every placement
+    family with symmetric rates cost-identical; ``near_tie`` separates them
+    by the smallest integral margin possible (±1 around a shared base);
+    ``sibling_tie`` ties exactly within sibling groups while cross-level
+    loads still vary.
+    """
+    switches = list(parents)
+    if profile == "constant":
+        base = int(rng.integers(1, max_load + 1))
+        return {node: base for node in switches}
+    if profile == "near_tie":
+        base = int(rng.integers(1, max_load + 1))
+        deltas = rng.integers(-1, 2, size=len(switches))
+        return {
+            node: max(0, base + int(delta)) for node, delta in zip(switches, deltas)
+        }
+    if profile == "sibling_tie":
+        group_loads: dict[NodeId, int] = {}
+        loads: dict[NodeId, int] = {}
+        for node in switches:
+            parent = parents[node]
+            if parent not in group_loads:
+                group_loads[parent] = int(rng.integers(0, max_load + 1))
+            loads[node] = group_loads[parent]
+        return loads
+    raise ValueError(
+        f"unknown load-tie profile {profile!r}; expected one of {LOAD_TIE_PROFILES}"
+    )
+
+
+def patterned_availability(
+    rng: np.random.Generator,
+    tree: TreeNetwork,
+    pattern: str = "independent",
+    probability: float = 0.6,
+) -> list[NodeId]:
+    """A Λ restriction that straddles tied placement families.
+
+    ``independent`` is the plain Bernoulli draw of
+    :func:`random_availability`.  ``sibling_split`` keeps, for every
+    sibling group of two or more, a uniformly random *nonempty proper*
+    subset (singletons stay with probability 1/2), so a symmetric instance
+    always has tied candidates on both sides of the Λ boundary.
+    ``level_stripe`` admits only the switches of every other tree level
+    (random parity), pitting tied same-subtree placements at adjacent
+    depths against the restriction.  Either pattern may produce an empty
+    Λ on degenerate trees — a legal all-red instance.
+    """
+    if pattern == "independent":
+        return random_availability(rng, tree.switches, probability=probability)
+    if pattern == "sibling_split":
+        chosen: list[NodeId] = []
+        for parent in (tree.destination, *tree.switches):
+            group = tree.children(parent)
+            if not group:
+                continue
+            if len(group) == 1:
+                if rng.random() < 0.5:
+                    chosen.append(group[0])
+                continue
+            count = int(rng.integers(1, len(group)))
+            picks = rng.choice(len(group), size=count, replace=False)
+            chosen.extend(group[int(i)] for i in picks)
+        return chosen
+    if pattern == "level_stripe":
+        parity = int(rng.integers(0, 2))
+        return [node for node in tree.switches if tree.depth(node) % 2 == parity]
+    raise ValueError(
+        f"unknown availability pattern {pattern!r}; "
+        f"expected one of {AVAILABILITY_PATTERNS}"
+    )
+
+
 def random_instance(
     rng: np.random.Generator,
     shape: str | None = None,
@@ -254,22 +360,42 @@ def near_tie_stream(
     seed: int,
     count: int,
     equalize_loads_probability: float = 0.5,
+    availability_pattern_probability: float = 0.5,
     **kwargs,
 ) -> Iterator[tuple[TreeNetwork, int]]:
     """Yield ``count`` seeded adversarial near-tie ``(instance, budget)`` pairs.
 
     Cycles through the tie-inducing rate profiles (``constant`` /
-    ``near_tie`` / ``sibling_tie``) and, with the given probability,
-    additionally flattens every load to 1 — symmetric rates *and* symmetric
-    loads make whole families of placements cost-identical, so every argmin
-    in the gather convolution and every colour decision is a tie-break.
-    Keyword arguments are forwarded to :func:`random_instance`.
+    ``near_tie`` / ``sibling_tie``) and, with
+    ``equalize_loads_probability``, additionally replaces the loads with a
+    cycling load-tie profile (:func:`random_tie_loads`) — symmetric rates
+    *and* symmetric loads make whole families of placements
+    cost-identical, so every argmin in the gather convolution and every
+    colour decision is a tie-break.  With
+    ``availability_pattern_probability`` the instance's Λ is further
+    restricted by a cycling straddling pattern
+    (:func:`patterned_availability`), forcing the trace to discriminate
+    between tied candidates on opposite sides of the Λ boundary.  Keyword
+    arguments are forwarded to :func:`random_instance`.
     """
     rng = np.random.default_rng(seed)
     tie_profiles = tuple(profile for profile in RATE_PROFILES if profile != "dyadic")
+    straddling = tuple(
+        pattern for pattern in AVAILABILITY_PATTERNS if pattern != "independent"
+    )
     for index in range(count):
         profile = tie_profiles[index % len(tie_profiles)]
         tree = random_instance(rng, rate_profile=profile, **kwargs)
         if rng.random() < equalize_loads_probability:
-            tree = tree.with_loads({switch: 1 for switch in tree.switches})
+            parents = {switch: tree.parent(switch) for switch in tree.switches}
+            tree = tree.with_loads(
+                random_tie_loads(
+                    rng,
+                    parents,
+                    profile=LOAD_TIE_PROFILES[index % len(LOAD_TIE_PROFILES)],
+                )
+            )
+        if rng.random() < availability_pattern_probability:
+            pattern = straddling[index % len(straddling)]
+            tree = tree.with_available(patterned_availability(rng, tree, pattern))
         yield tree, random_budget(rng, tree)

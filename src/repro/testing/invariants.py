@@ -23,9 +23,10 @@ from repro.core.cost import (
     utilization_cost,
     utilization_cost_barrier,
 )
+from repro.core.color import COLOR_KERNELS
 from repro.core.engine import DEFAULT_ENGINE, ENGINES
 from repro.core.gather import GatherResult
-from repro.core.soar import SoarSolution, solve, solve_budget_sweep
+from repro.core.solver import Placement, Solver
 from repro.core.tree import NodeId, TreeNetwork
 
 #: Relative tolerance for cost comparisons.  With the dyadic rates of
@@ -55,7 +56,7 @@ def assert_placement_feasible(
     return blue
 
 
-def assert_solution_consistent(tree: TreeNetwork, solution: SoarSolution) -> None:
+def assert_solution_consistent(tree: TreeNetwork, solution: Placement) -> None:
     """Per-solution invariants: feasibility and cost consistency.
 
     * the placement is feasible (``blue ⊆ Λ``, ``|blue| <= budget``),
@@ -167,25 +168,39 @@ def check_instance(
     budget: int,
     exact_k: bool = False,
     engines: Sequence[str] = tuple(ENGINES),
+    colors: Sequence[str] = tuple(COLOR_KERNELS),
     bruteforce: bool | None = None,
     bruteforce_limit: int = 100_000,
-) -> dict[str, SoarSolution]:
+) -> dict[str, Placement]:
     """Full differential verification of one φ-BIC instance.
 
     Solves with every requested engine, asserts the per-solution invariants
     (:func:`assert_solution_consistent`, :func:`assert_cost_sandwich` for
-    at-most-k), asserts all engines report the identical cost and placement,
-    and — when ``bruteforce`` is true, or ``None`` and the instance is small
-    enough — certifies optimality against :func:`solve_bruteforce`.
+    at-most-k), asserts every colour kernel traces the *identical* blue set
+    out of each engine's tables, asserts all engines report the identical
+    cost and placement, and — when ``bruteforce`` is true, or ``None`` and
+    the instance is small enough — certifies optimality against
+    :func:`solve_bruteforce`.
 
     Returns the per-engine solutions for further inspection.
     """
-    solutions: dict[str, SoarSolution] = {}
+    solutions: dict[str, Placement] = {}
     for engine in engines:
-        solution = solve(tree, budget, exact_k=exact_k, engine=engine)
+        table = Solver(engine=engine, exact_k=exact_k).gather(tree, budget)
+        solution = table.place()
         assert_solution_consistent(tree, solution)
         if not exact_k:
             assert_cost_sandwich(tree, solution.cost)
+        for color in colors:
+            if color == table.color:
+                continue
+            traced = table.place(color=color)
+            assert traced.blue_nodes == solution.blue_nodes, (
+                f"colour kernel {color!r} traced "
+                f"{sorted(map(repr, traced.blue_nodes))} out of {engine!r} "
+                f"tables, {table.color!r} traced "
+                f"{sorted(map(repr, solution.blue_nodes))}"
+            )
         solutions[engine] = solution
 
     baseline = solutions[engines[0]]
@@ -221,7 +236,7 @@ def check_budget_sweep(
     Uses at-most-k semantics (monotonicity does not hold for exactly-k).
     Returns the budget -> cost curve.
     """
-    solutions = solve_budget_sweep(tree, range(max_budget + 1), engine=engine)
+    solutions = Solver(engine=engine).sweep(tree, range(max_budget + 1))
     costs = {budget: solution.cost for budget, solution in solutions.items()}
     assert_budget_monotone(costs)
     return costs

@@ -1,0 +1,235 @@
+"""API-equivalence suite: deprecated shims vs the staged ``Solver`` path.
+
+Three contracts, each enforced on hundreds of seeded random instances:
+
+* the deprecated free functions (:func:`repro.core.soar.solve`,
+  :func:`~repro.core.soar.solve_budget_sweep`,
+  :func:`~repro.core.soar.optimal_cost`) return **bit-identical**
+  placements, costs, and predicted costs to the staged
+  ``Solver`` / ``GatherTable`` / ``Placement`` path — same floats, not
+  approximately-equal floats;
+* the level-batched colour kernel traces exactly the same blue set as the
+  per-node reference trace, out of both engines' tables, at every budget a
+  table carries — including on adversarial near-tie instances where every
+  argmin is a tie-break over the stored breadcrumbs;
+* reusing a gather artifact under the wrong provenance raises
+  (:class:`~repro.exceptions.SemanticsMismatchError` /
+  :class:`~repro.exceptions.EngineMismatchError`) instead of silently
+  tracing answers for a different problem — the regression tests pin the
+  historical ``solve(..., gathered=...)`` hole.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.color import soar_color, soar_color_batched
+from repro.core.engine import flat_gather, gather
+from repro.core.gather import soar_gather
+from repro.core.soar import optimal_cost, solve, solve_budget_sweep
+from repro.core.solver import GatherTable, Solver
+from repro.exceptions import (
+    EngineMismatchError,
+    SemanticsMismatchError,
+    TableMismatchError,
+)
+from repro.testing import instance_stream, near_tie_stream
+
+# The shims are exercised on purpose throughout this module.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _assert_same_solution(legacy, placement) -> None:
+    """Bitwise agreement between a legacy SoarSolution and a Placement."""
+    assert legacy.cost == placement.cost
+    assert legacy.predicted_cost == placement.predicted_cost
+    assert legacy.blue_nodes == placement.blue_nodes
+    assert legacy.budget == placement.budget
+
+
+class TestShimEquivalence:
+    """Deprecated entry points are bit-identical to the staged path."""
+
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_two_hundred_instances_solve(self, exact_k):
+        count = 0
+        for tree, budget in instance_stream(seed=31337, count=200, max_switches=12):
+            solver = Solver(exact_k=exact_k)
+            _assert_same_solution(
+                solve(tree, budget, exact_k=exact_k), solver.solve(tree, budget)
+            )
+            count += 1
+        assert count == 200
+
+    def test_sweep_and_cost_equivalence(self):
+        for tree, budget in instance_stream(seed=4242, count=40, max_switches=12):
+            budgets = range(min(budget, len(tree.available)) + 1)
+            legacy = solve_budget_sweep(tree, budgets)
+            staged = Solver().sweep(tree, budgets)
+            assert set(legacy) == set(staged)
+            for k in legacy:
+                _assert_same_solution(legacy[k], staged[k])
+            assert optimal_cost(tree, budget) == Solver().cost(tree, budget)
+
+    def test_shim_table_reuse_is_identical(self, paper_tree):
+        solver = Solver()
+        table = solver.gather(paper_tree, 4)
+        for budget in range(5):
+            _assert_same_solution(
+                solve(paper_tree, budget, gathered=table), table.place(budget)
+            )
+
+    def test_shim_regathers_when_table_too_narrow(self, paper_tree):
+        narrow = Solver().gather(paper_tree, 1)
+        solution = solve(paper_tree, 3, gathered=narrow)
+        # The shim's historical contract: honour the larger budget by
+        # re-gathering rather than clamping to the narrow table.
+        assert solution.budget == 3
+        assert solution.gather.budget >= 3
+        _assert_same_solution(solution, Solver().solve(paper_tree, 3))
+
+    def test_every_shim_warns(self, paper_tree):
+        with pytest.warns(DeprecationWarning, match="solve.*deprecated"):
+            solve(paper_tree, 2)
+        with pytest.warns(DeprecationWarning, match="solve_budget_sweep.*deprecated"):
+            solve_budget_sweep(paper_tree, [1, 2])
+        with pytest.warns(DeprecationWarning, match="optimal_cost.*deprecated"):
+            optimal_cost(paper_tree, 2)
+
+
+class TestBatchedColorExactness:
+    """The batched colour kernel is bit-identical to the reference trace."""
+
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_random_instances_every_budget(self, exact_k):
+        for tree, budget in instance_stream(seed=90210, count=60, max_switches=12):
+            for build in (flat_gather, soar_gather):
+                gathered = build(tree, budget, exact_k=exact_k)
+                for k in range(gathered.budget + 1):
+                    assert soar_color_batched(tree, gathered, budget=k) == soar_color(
+                        tree, gathered, budget=k
+                    ), f"kernels diverge at budget {k} on {build.__name__} tables"
+
+    def test_near_tie_instances_breadcrumb_ties(self):
+        # Symmetric rates/loads and straddled Λ make every colour decision
+        # and split lookup a tie-break over the stored breadcrumbs; the two
+        # kernels must still walk them identically.
+        for tree, budget in near_tie_stream(20260730, 80, max_switches=11):
+            gathered = gather(tree, budget)
+            for k in range(gathered.budget + 1):
+                assert soar_color_batched(tree, gathered, budget=k) == soar_color(
+                    tree, gathered, budget=k
+                )
+
+    def test_kernels_agree_on_foreign_same_structure_tree(self, paper_tree):
+        # The leaf colour rule reads the *caller's* loads and Λ, not
+        # gather-time state: tracing tables against a modified same-root
+        # network must keep the two kernels identical (regression — the
+        # batched kernel once consulted the arrays cached at gather time).
+        gathered = gather(paper_tree, 2)
+        flattened = paper_tree.with_loads({s: 1 for s in paper_tree.switches})
+        assert soar_color_batched(flattened, gathered) == soar_color(
+            flattened, gathered
+        )
+        restricted = paper_tree.with_available({"s1_0"})
+        assert soar_color_batched(restricted, gathered) == soar_color(
+            restricted, gathered
+        )
+
+    def test_solver_color_selection_matches(self, loaded_bt16):
+        batched = Solver(color="batched").solve(loaded_bt16, 5)
+        reference = Solver(color="reference").solve(loaded_bt16, 5)
+        assert batched.blue_nodes == reference.blue_nodes
+        assert batched.cost == reference.cost
+
+
+class TestReuseMismatchRegression:
+    """Regression: mismatched ``gathered=`` reuse raises instead of lying.
+
+    Historically ``solve(tree, k, exact_k=True, gathered=g)`` with tables
+    gathered under ``exact_k=False`` silently traced the at-most-k optimum
+    and reported it as the exactly-k answer (and vice versa), corrupting
+    whole sweeps.  The artifact now carries its semantics and engine.
+    """
+
+    def _zero_load_tree(self):
+        # exact-k and at-most-k genuinely differ here (a zero-load leaf
+        # makes forced blue placements costly), so the historical bug
+        # produced *wrong* numbers, not just impolite ones.
+        from repro.core.tree import TreeNetwork
+
+        return TreeNetwork(
+            parents={"r": "d", "a": "r", "b": "r"},
+            loads={"a": 5, "b": 0},
+        )
+
+    def test_semantics_mismatch_via_shim(self):
+        tree = self._zero_load_tree()
+        exact_tables = gather(tree, 3, exact_k=True)
+        with pytest.raises(SemanticsMismatchError):
+            solve(tree, 3, gathered=exact_tables)  # exact_k defaults to False
+        at_most_tables = gather(tree, 3)
+        with pytest.raises(SemanticsMismatchError):
+            solve(tree, 3, exact_k=True, gathered=at_most_tables)
+        # The honest reuses still work and differ from each other — which is
+        # exactly why the silent mix-up used to corrupt sweeps.
+        exact = solve(tree, 3, exact_k=True, gathered=exact_tables)
+        at_most = solve(tree, 3, gathered=at_most_tables)
+        assert exact.cost != at_most.cost
+
+    def test_engine_mismatch_via_shim(self, paper_tree):
+        reference_tables = soar_gather(paper_tree, 2)
+        with pytest.raises(EngineMismatchError):
+            solve(paper_tree, 2, gathered=reference_tables)  # engine="flat"
+        matched = solve(paper_tree, 2, gathered=reference_tables, engine="reference")
+        assert matched.cost == 20.0
+
+    def test_require_on_the_artifact(self, paper_tree):
+        table = Solver(engine="flat", exact_k=True).gather(paper_tree, 2)
+        with pytest.raises(SemanticsMismatchError):
+            table.require(exact_k=False)
+        with pytest.raises(EngineMismatchError):
+            table.require(engine="reference")
+        table.require(engine="flat", exact_k=True)  # matching: no raise
+
+    def test_mismatches_share_a_catchable_base(self, paper_tree):
+        table = Solver(exact_k=True).gather(paper_tree, 2)
+        with pytest.raises(TableMismatchError):
+            table.require(exact_k=False)
+        assert issubclass(EngineMismatchError, TableMismatchError)
+        assert issubclass(SemanticsMismatchError, TableMismatchError)
+
+    def test_gather_table_shim_interop(self, paper_tree):
+        # A GatherTable artifact can be passed where legacy code expects
+        # ``gathered=`` and keeps its provenance checks.
+        table = Solver(engine="reference").gather(paper_tree, 3)
+        assert isinstance(table, GatherTable)
+        with pytest.raises(EngineMismatchError):
+            solve(paper_tree, 2, gathered=table)  # engine="flat" default
+        solution = solve(paper_tree, 2, gathered=table, engine="reference")
+        _assert_same_solution(solution, table.place(2))
+
+
+class TestWarningHygiene:
+    """The library itself never routes through its own deprecated shims."""
+
+    def test_internal_paths_warn_free(self, paper_tree):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            solver = Solver()
+            table = solver.gather(paper_tree, 4)
+            table.sweep(range(5))
+            solver.solve_many([(paper_tree, 2), (paper_tree, 3)])
+
+    def test_service_paths_warn_free(self, paper_tree):
+        from repro.service import PlacementService, SolveRequest, SweepRequest
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service = PlacementService(paper_tree, capacity=2)
+            loads = {leaf: 3 for leaf in paper_tree.leaves()}
+            service.submit(SolveRequest(loads=loads, budget=2))
+            service.submit(SolveRequest(loads=loads, budget=2))
+            service.submit(SweepRequest(loads=loads, budgets=(1, 2)))

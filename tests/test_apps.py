@@ -21,7 +21,7 @@ from repro.apps.wordcount import (
     zipf_probabilities,
 )
 from repro.core.reduce_op import link_message_counts
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.exceptions import WorkloadError
 from repro.topology.binary_tree import complete_binary_tree
 
@@ -167,7 +167,7 @@ class TestMessageGroupSizes:
         assert list(root_groups) == [small_loaded_tree.total_load]
 
     def test_group_counts_match_message_counts(self, small_loaded_tree):
-        blue = solve(small_loaded_tree, 2).blue_nodes
+        blue = Solver().solve(small_loaded_tree, 2).blue_nodes
         groups = message_group_sizes(small_loaded_tree, blue)
         counts = link_message_counts(small_loaded_tree, blue)
         for switch, counter in groups.items():
@@ -188,7 +188,7 @@ class TestMessageGroupSizes:
 class TestByteComplexity:
     def test_sampled_and_analytic_agree_for_ps(self, small_loaded_tree):
         app = ParameterServerApplication(feature_dimension=2_000, dropout=0.5, rng=11)
-        blue = solve(small_loaded_tree, 2).blue_nodes
+        blue = Solver().solve(small_loaded_tree, 2).blue_nodes
         sampled = evaluate_application(small_loaded_tree, blue, app).total_bytes
         analytic = expected_byte_complexity(small_loaded_tree, blue, app)
         assert sampled == pytest.approx(analytic, rel=0.05)
@@ -210,7 +210,7 @@ class TestByteComplexity:
 
     def test_normalized_byte_complexity_references(self, small_loaded_tree):
         app = ParameterServerApplication(feature_dimension=500, dropout=0.5, rng=14)
-        blue = solve(small_loaded_tree, 1).blue_nodes
+        blue = Solver().solve(small_loaded_tree, 1).blue_nodes
         vs_red = normalized_byte_complexity(small_loaded_tree, blue, app, reference="all-red")
         vs_blue = normalized_byte_complexity(small_loaded_tree, blue, app, reference="all-blue")
         assert 0.0 < vs_red <= 1.0 + 1e-9
@@ -222,8 +222,8 @@ class TestByteComplexity:
         """Figure 8b shape: WC byte savings are smaller than utilization savings."""
         tree = complete_binary_tree(8, leaf_loads=[4, 5, 6, 4, 5, 6, 4, 5])
         app = WordCountApplication(vocabulary_size=5_000, shard_size=1_000, rng=15)
-        solution = solve(tree, 2)
-        util_ratio = solution.cost / solve(tree, 0).cost
+        solution = Solver().solve(tree, 2)
+        util_ratio = solution.cost / Solver().solve(tree, 0).cost
         byte_ratio = normalized_byte_complexity(tree, solution.blue_nodes, app)
         assert byte_ratio > util_ratio
 
@@ -231,8 +231,8 @@ class TestByteComplexity:
         """Figure 8 shape: with 0.5 dropout PS bytes follow utilization closely."""
         tree = complete_binary_tree(8, leaf_loads=[4, 5, 6, 4, 5, 6, 4, 5])
         app = ParameterServerApplication(feature_dimension=10_000, dropout=0.5)
-        solution = solve(tree, 4)
-        util_ratio = solution.cost / solve(tree, 0).cost
+        solution = Solver().solve(tree, 4)
+        util_ratio = solution.cost / Solver().solve(tree, 0).cost
         byte_ratio = normalized_byte_complexity(tree, solution.blue_nodes, app)
         assert abs(byte_ratio - util_ratio) < 0.25
 

@@ -6,7 +6,7 @@ import itertools
 
 import pytest
 
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.exceptions import InvalidBudgetError
 from repro.online.budget_allocation import (
     allocate_budgets,
@@ -29,7 +29,7 @@ def _exhaustive_best(tree, workloads, total_budget):
         if sum(split) > total_budget:
             continue
         cost = sum(
-            solve(tree.with_loads(loads), budget).cost
+            Solver().solve(tree.with_loads(loads), budget).cost
             for loads, budget in zip(workloads, split)
         )
         best = min(best, cost)
@@ -41,7 +41,7 @@ class TestWorkloadCostCurve:
         loads = {leaf: 3 for leaf in tree.leaves()}
         curve = workload_cost_curve(tree, loads, 4)
         for budget, value in enumerate(curve):
-            assert value == pytest.approx(solve(tree.with_loads(loads), budget).cost)
+            assert value == pytest.approx(Solver().solve(tree.with_loads(loads), budget).cost)
 
     def test_curve_is_non_increasing(self, tree):
         loads = {leaf: int(i) + 1 for i, leaf in enumerate(tree.leaves())}
@@ -108,6 +108,6 @@ class TestAllocateBudgets:
         generous = allocate_budgets(tree, workloads, total_budget=2 * tree.num_switches)
         # With unbounded budget every workload reaches its all-blue optimum.
         expected = sum(
-            solve(tree.with_loads(loads), tree.num_switches).cost for loads in workloads
+            Solver().solve(tree.with_loads(loads), tree.num_switches).cost for loads in workloads
         )
         assert generous.total_cost == pytest.approx(expected)

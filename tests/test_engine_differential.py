@@ -17,10 +17,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.color import soar_color
+from repro.core.color import soar_color, soar_color_batched
 from repro.core.engine import ENGINES, flat_gather, gather
 from repro.core.gather import soar_gather
-from repro.core.soar import solve, solve_budget_sweep
+from repro.core.solver import Solver
 from repro.experiments.motivating import motivating_tree
 from repro.testing import (
     SHAPES,
@@ -37,7 +37,11 @@ def _assert_engines_identical(tree, budget, exact_k):
     reference = soar_gather(tree, budget, exact_k=exact_k)
     flat = flat_gather(tree, budget, exact_k=exact_k)
     assert_tables_equal(reference, flat)
-    assert soar_color(tree, reference) == soar_color(tree, flat)
+    traced = soar_color(tree, reference)
+    assert traced == soar_color(tree, flat)
+    # ... and the batched colour kernel traces the same set out of both.
+    assert soar_color_batched(tree, reference) == traced
+    assert soar_color_batched(tree, flat) == traced
 
 
 class TestEngineDispatch:
@@ -45,18 +49,22 @@ class TestEngineDispatch:
         with pytest.raises(ValueError, match="unknown gather engine"):
             gather(paper_tree, 2, engine="warp")
         with pytest.raises(ValueError, match="unknown gather engine"):
-            solve(paper_tree, 2, engine="warp")
+            Solver(engine="warp")
 
     def test_registry_contains_both_engines(self):
         assert set(ENGINES) == {"flat", "reference"}
 
-    def test_solve_accepts_engine_keyword(self, paper_tree):
+    def test_results_record_their_engine(self, paper_tree):
         for engine in ENGINES:
-            assert solve(paper_tree, 2, engine=engine).cost == 20.0
+            assert gather(paper_tree, 2, engine=engine).engine == engine
 
-    def test_budget_sweep_accepts_engine_keyword(self, paper_tree):
+    def test_solver_accepts_every_engine(self, paper_tree):
         for engine in ENGINES:
-            sweep = solve_budget_sweep(paper_tree, range(1, 5), engine=engine)
+            assert Solver(engine=engine).solve(paper_tree, 2).cost == 20.0
+
+    def test_sweep_accepts_every_engine(self, paper_tree):
+        for engine in ENGINES:
+            sweep = Solver(engine=engine).sweep(paper_tree, range(1, 5))
             assert [sweep[k].cost for k in (1, 2, 3, 4)] == [35.0, 20.0, 15.0, 11.0]
 
 

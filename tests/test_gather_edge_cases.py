@@ -9,7 +9,7 @@ from repro.core.bruteforce import solve_bruteforce
 from repro.core.color import soar_color
 from repro.core.cost import utilization_cost
 from repro.core.gather import soar_gather
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.core.tree import TreeNetwork
 from repro.topology.generic import kary_tree, path_network, star_network
 
@@ -17,14 +17,14 @@ from repro.topology.generic import kary_tree, path_network, star_network
 class TestDegenerateShapes:
     def test_single_switch(self):
         tree = TreeNetwork({"r": "d"}, loads={"r": 5})
-        assert solve(tree, 0).cost == 5.0
-        solution = solve(tree, 1)
+        assert Solver().solve(tree, 0).cost == 5.0
+        solution = Solver().solve(tree, 1)
         assert solution.cost == 1.0
         assert solution.blue_nodes == frozenset({"r"})
 
     def test_single_switch_zero_load(self):
         tree = TreeNetwork({"r": "d"})
-        solution = solve(tree, 1)
+        solution = Solver().solve(tree, 1)
         assert solution.cost == 0.0
         assert solution.blue_nodes == frozenset()
 
@@ -33,20 +33,20 @@ class TestDegenerateShapes:
         # the deepest switch: the single aggregated message then travels the
         # whole path instead of `load` messages doing so.
         tree = path_network(6, leaf_load=7)
-        solution = solve(tree, 1)
+        solution = Solver().solve(tree, 1)
         assert solution.blue_nodes == frozenset({5})
         assert solution.cost == pytest.approx(7.0 * 0 + 1.0 * 6)
 
     def test_path_blue_useless_when_load_is_one(self):
         tree = path_network(5, leaf_load=1)
-        solution = solve(tree, 3)
+        solution = Solver().solve(tree, 3)
         assert solution.cost == 5.0
         assert solution.blue_nodes == frozenset()
 
     def test_star_with_wide_fanout(self):
         tree = star_network(12, leaf_loads=[3] * 12)
         for budget in (0, 1, 3, 12):
-            assert solve(tree, budget).cost == pytest.approx(
+            assert Solver().solve(tree, budget).cost == pytest.approx(
                 solve_bruteforce(tree, budget).cost
             )
 
@@ -58,14 +58,14 @@ class TestDegenerateShapes:
             rates={"a": 2.0, "b": 1.0, "c": 0.5},
         )
         for budget in range(4):
-            assert solve(tree, budget).cost == pytest.approx(
+            assert Solver().solve(tree, budget).cost == pytest.approx(
                 solve_bruteforce(tree, budget).cost
             )
 
     def test_high_fanout_internal_node(self):
         tree = kary_tree(5, 1, leaf_loads=[1, 2, 3, 4, 5])
         for budget in range(0, 7):
-            assert solve(tree, budget).cost == pytest.approx(
+            assert Solver().solve(tree, budget).cost == pytest.approx(
                 solve_bruteforce(tree, budget).cost
             )
 
@@ -73,19 +73,19 @@ class TestDegenerateShapes:
 class TestAvailabilityAtInternalNodes:
     def test_only_root_available(self, paper_tree):
         restricted = paper_tree.with_available({paper_tree.root})
-        solution = solve(restricted, 3)
+        solution = Solver().solve(restricted, 3)
         assert solution.blue_nodes <= {paper_tree.root}
         assert solution.cost == pytest.approx(solve_bruteforce(restricted, 3).cost)
 
     def test_only_leaves_available(self, paper_tree):
         restricted = paper_tree.with_available(set(paper_tree.leaves()))
-        solution = solve(restricted, 2)
+        solution = Solver().solve(restricted, 2)
         assert solution.blue_nodes <= set(paper_tree.leaves())
         assert solution.cost == pytest.approx(solve_bruteforce(restricted, 2).cost)
 
     def test_empty_budget_with_restricted_availability(self, paper_tree):
         restricted = paper_tree.with_available({"s2_0"})
-        assert solve(restricted, 0).blue_nodes == frozenset()
+        assert Solver().solve(restricted, 0).blue_nodes == frozenset()
 
 
 class TestGatherColorContracts:
@@ -93,12 +93,15 @@ class TestGatherColorContracts:
         gathered = soar_gather(paper_tree, 2)
         assert gathered.cost_for_budget(100) == gathered.cost_for_budget(2)
 
-    def test_solve_regathers_when_budget_grows(self, paper_tree):
-        small_gather = soar_gather(paper_tree, 1)
-        solution = solve(paper_tree, 3, gathered=small_gather)
-        # A fresh gather must have been performed to honour the larger budget.
+    def test_narrow_table_clamps_and_fresh_gather_honours_budget(self, paper_tree):
+        solver = Solver(engine="reference")
+        narrow = solver.gather(paper_tree, 1)
+        # A table only answers the budgets it carries: larger requests clamp.
+        assert narrow.place(3).budget == 1
+        # Honouring the larger budget takes a fresh gather.
+        solution = solver.solve(paper_tree, 3)
         assert solution.cost == pytest.approx(15.0)
-        assert solution.gather.budget >= 3
+        assert solution.table.budget >= 3
 
     def test_color_with_smaller_budget_than_gather(self, loaded_bt16):
         gathered = soar_gather(loaded_bt16, 8)
@@ -117,7 +120,7 @@ class TestGatherColorContracts:
             rates={"top": 10.0, "mid": 0.1, "leaf": 10.0},
             loads={"leaf": 9},
         )
-        solution = solve(tree, 1)
+        solution = Solver().solve(tree, 1)
         assert solution.blue_nodes == frozenset({"leaf"})
         # Placing it at "mid" instead would push 9 messages over the slow link.
         assert solution.cost < utilization_cost(tree, {"mid"})
@@ -131,6 +134,6 @@ class TestGatherColorContracts:
         loads = {node: int(rng.integers(0, 5)) for node in parents}
         tree = TreeNetwork(parents, rates=rates, loads=loads)
         for budget in (0, 2, 5):
-            assert solve(tree, budget).cost == pytest.approx(
+            assert Solver().solve(tree, budget).cost == pytest.approx(
                 solve_bruteforce(tree, budget).cost, rel=1e-9
             )

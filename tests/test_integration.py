@@ -18,7 +18,7 @@ from repro.apps.wordcount import WordCountApplication
 from repro.baselines.strategies import PAPER_STRATEGIES
 from repro.core.bruteforce import solve_bruteforce
 from repro.core.cost import all_red_cost, utilization_cost, utilization_cost_barrier
-from repro.core.soar import solve, solve_budget_sweep
+from repro.core.solver import Solver
 from repro.online.scheduler import compare_strategies_online, generate_workload_sequence
 from repro.simulation.dataplane import simulate_reduce
 from repro.topology.binary_tree import bt_network
@@ -42,7 +42,7 @@ class TestDatacenterPipeline:
         tree = apply_rate_scheme(bt_network(64), rate_scheme)
         tree = tree.with_loads(sample_leaf_loads(tree, distribution, rng=rng))
 
-        solution = solve(tree, 8)
+        solution = Solver().solve(tree, 8)
         # DP prediction, message-count evaluation and barrier evaluation agree.
         assert solution.cost == pytest.approx(solution.predicted_cost)
         assert solution.cost == pytest.approx(
@@ -59,7 +59,7 @@ class TestDatacenterPipeline:
         rng = np.random.default_rng(5)
         tree = bt_network(16)
         tree = tree.with_loads(sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=rng))
-        sweep = solve_budget_sweep(tree, range(0, 4))
+        sweep = Solver().sweep(tree, range(0, 4))
         for budget, solution in sweep.items():
             assert solution.cost == pytest.approx(solve_bruteforce(tree, budget).cost)
 
@@ -68,18 +68,18 @@ class TestFatTreeScenario:
     def test_fat_tree_reduce_with_limited_aggregation(self):
         tree = fat_tree_aggregation_tree(8, hosts_per_edge=4)
         baseline = all_red_cost(tree)
-        solution = solve(tree, 4)
+        solution = Solver().solve(tree, 4)
         assert solution.cost < baseline
         # With a budget matching the pod count, aggregating at (or below)
         # every pod is possible and the utilization collapses dramatically.
-        full = solve(tree, 8)
+        full = Solver().solve(tree, 8)
         assert full.cost <= solution.cost
         assert full.cost <= 0.5 * baseline
 
     def test_fat_tree_byte_model(self):
         tree = fat_tree_aggregation_tree(4, hosts_per_edge=8)
         app = ParameterServerApplication(feature_dimension=2_000, dropout=0.5, rng=1)
-        blue = solve(tree, 2).blue_nodes
+        blue = Solver().solve(tree, 2).blue_nodes
         placed = expected_byte_complexity(tree, blue, app)
         all_red = expected_byte_complexity(tree, frozenset(), app)
         assert placed < all_red
@@ -88,7 +88,7 @@ class TestFatTreeScenario:
 class TestScaleFreeScenario:
     def test_scale_free_end_to_end(self):
         tree = sf_network(256, rng=13)
-        solution = solve(tree, 16)
+        solution = Solver().solve(tree, 16)
         assert solution.cost < all_red_cost(tree)
         sim = simulate_reduce(tree, solution.blue_nodes)
         assert sim.total_busy_time == pytest.approx(solution.cost)
@@ -115,8 +115,8 @@ class TestOnlineScenarioWithByteAccounting:
         tree = bt_network(32)
         first_loads = {leaf: 3 for leaf in tree.leaves()}
         second_loads = {leaf: 7 for leaf in tree.leaves()}
-        first = solve(tree.with_loads(first_loads), 4)
-        second = solve(tree.with_loads(second_loads), 4)
-        again = solve(tree.with_loads(first_loads), 4)
+        first = Solver().solve(tree.with_loads(first_loads), 4)
+        second = Solver().solve(tree.with_loads(second_loads), 4)
+        again = Solver().solve(tree.with_loads(first_loads), 4)
         assert first.cost == pytest.approx(again.cost)
         assert second.cost > first.cost

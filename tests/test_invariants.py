@@ -23,10 +23,12 @@ import numpy as np
 import pytest
 
 from repro.core.engine import ENGINES, gather
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.experiments.motivating import motivating_tree
 from repro.testing import (
+    AVAILABILITY_PATTERNS,
     DYADIC_RATES,
+    LOAD_TIE_PROFILES,
     NEAR_TIE_EPSILON,
     RATE_PROFILES,
     assert_budget_monotone,
@@ -38,9 +40,11 @@ from repro.testing import (
     check_budget_sweep,
     check_instance,
     near_tie_stream,
+    patterned_availability,
     random_budget,
     random_instance,
     random_rates,
+    random_tie_loads,
 )
 
 
@@ -50,7 +54,7 @@ class TestSolutionInvariants:
     def test_paper_tree_every_budget(self, engine, exact_k):
         tree = motivating_tree()
         for budget in range(tree.num_switches + 1):
-            solution = solve(tree, budget, exact_k=exact_k, engine=engine)
+            solution = Solver(engine=engine, exact_k=exact_k).solve(tree, budget)
             assert_solution_consistent(tree, solution)
 
     def test_random_instances_predicted_equals_cost(self, session_rng):
@@ -58,14 +62,14 @@ class TestSolutionInvariants:
             tree = random_instance(session_rng, max_switches=11)
             budget = random_budget(session_rng, tree)
             for exact_k in (False, True):
-                solution = solve(tree, budget, exact_k=exact_k)
+                solution = Solver(exact_k=exact_k).solve(tree, budget)
                 assert_solution_consistent(tree, solution)
 
     def test_restricted_availability_respected(self, session_rng):
         for _ in range(20):
             tree = random_instance(session_rng, restrict_availability=True, max_switches=11)
             budget = random_budget(session_rng, tree)
-            solution = solve(tree, budget)
+            solution = Solver().solve(tree, budget)
             assert_placement_feasible(tree, solution.blue_nodes, budget)
 
 
@@ -86,14 +90,14 @@ class TestCostSandwich:
         for _ in range(20):
             tree = random_instance(session_rng, load_profile="positive", max_switches=10)
             budget = random_budget(session_rng, tree)
-            solution = solve(tree, budget)
+            solution = Solver().solve(tree, budget)
             assert_cost_sandwich(tree, solution.cost)
 
     def test_zero_load_instances_skip_lower_bound(self, session_rng):
         # With zero loads the all-blue "lower bound" does not apply; the
         # checker must still validate the all-red upper bound.
         tree = random_instance(session_rng, load_profile="zero", max_switches=8)
-        solution = solve(tree, 2)
+        solution = Solver().solve(tree, 2)
         assert_cost_sandwich(tree, solution.cost)
         assert solution.cost == 0.0
 
@@ -212,6 +216,90 @@ class TestNearTieRates:
             restrict_availability=False,
         ).with_loads({switch: 2 for switch in range(7)})
         check_budget_sweep(tree, 5)
+        check_instance(tree, 3)
+
+
+class TestNearTieLoadsAndAvailability:
+    """Load-tie profiles and straddling Λ patterns (the ROADMAP item twinned
+    with the rate profiles), stressing the batched colour kernel's
+    tie-breaking: ``check_instance`` traces every colour kernel out of
+    every engine's tables and requires identical blue sets."""
+
+    def test_tie_load_shapes(self, session_rng):
+        parents = {0: "d", 1: 0, 2: 0, 3: 1, 4: 1}
+        constant = random_tie_loads(session_rng, parents, profile="constant")
+        assert len(set(constant.values())) == 1 and min(constant.values()) >= 1
+        siblings = random_tie_loads(session_rng, parents, profile="sibling_tie")
+        assert siblings[1] == siblings[2] and siblings[3] == siblings[4]
+        near = random_tie_loads(session_rng, parents, profile="near_tie")
+        assert max(near.values()) - min(near.values()) <= 2
+        assert min(near.values()) >= 0
+        with pytest.raises(ValueError, match="unknown load-tie profile"):
+            random_tie_loads(session_rng, parents, profile="nope")
+
+    def test_availability_pattern_shapes(self, session_rng):
+        tree = random_instance(
+            session_rng, shape="binary", num_switches=15, restrict_availability=False
+        )
+        split = patterned_availability(session_rng, tree, "sibling_split")
+        # Every sibling pair of the complete binary tree is split: exactly
+        # one of the two children is admissible.
+        for node in tree.switches:
+            children = tree.children(node)
+            if len(children) == 2:
+                assert len(set(children) & set(split)) == 1
+        stripe = patterned_availability(session_rng, tree, "level_stripe")
+        assert len({tree.depth(node) % 2 for node in stripe}) <= 1
+        with pytest.raises(ValueError, match="unknown availability pattern"):
+            patterned_availability(session_rng, tree, "nope")
+
+    @pytest.mark.parametrize("load_profile", LOAD_TIE_PROFILES)
+    def test_tie_load_profiles_differential(self, session_rng, load_profile):
+        for _ in range(8):
+            tree = random_instance(
+                session_rng, rate_profile="constant", max_switches=9
+            )
+            parents = {switch: tree.parent(switch) for switch in tree.switches}
+            tree = tree.with_loads(
+                random_tie_loads(session_rng, parents, profile=load_profile)
+            )
+            budget = random_budget(session_rng, tree)
+            check_instance(tree, budget)
+            check_instance(tree, budget, exact_k=True)
+
+    @pytest.mark.parametrize(
+        "pattern", [p for p in AVAILABILITY_PATTERNS if p != "independent"]
+    )
+    def test_straddling_availability_differential(self, session_rng, pattern):
+        for _ in range(8):
+            tree = random_instance(
+                session_rng,
+                rate_profile="sibling_tie",
+                load_profile="positive",
+                max_switches=9,
+                restrict_availability=False,
+            )
+            tree = tree.with_available(
+                patterned_availability(session_rng, tree, pattern)
+            )
+            budget = random_budget(session_rng, tree)
+            check_instance(tree, budget)
+
+    def test_symmetric_instance_straddled_availability(self, session_rng):
+        # The fully symmetric worst case: constant rates, constant loads,
+        # and a Λ that keeps exactly one child of every sibling pair — the
+        # traced optimum must come entirely from the admissible side.
+        tree = random_instance(
+            session_rng,
+            shape="binary",
+            num_switches=15,
+            rate_profile="constant",
+            restrict_availability=False,
+        ).with_loads({switch: 3 for switch in range(15)})
+        tree = tree.with_available(
+            patterned_availability(session_rng, tree, "sibling_split")
+        )
+        check_budget_sweep(tree, min(6, len(tree.available)))
         check_instance(tree, 3)
 
 

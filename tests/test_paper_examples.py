@@ -20,7 +20,7 @@ import pytest
 from repro.core.cost import utilization_cost, utilization_cost_barrier
 from repro.core.gather import soar_gather
 from repro.core.reduce_op import total_messages
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.core.tree import TreeNetwork
 from repro.experiments.motivating import motivating_tree
 
@@ -56,7 +56,7 @@ class TestFigure2And3:
 
     def test_optimal_costs_per_budget(self, paper_tree):
         for budget, expected in {1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}.items():
-            assert solve(paper_tree, budget).cost == expected
+            assert Solver().solve(paper_tree, budget).cost == expected
 
     def test_uniqueness_of_optima(self, paper_tree):
         # The paper notes the optima for k = 2 and k = 3 are unique, while
@@ -83,9 +83,9 @@ class TestFigure2And3:
     def test_optimal_sets_not_monotone(self, paper_tree):
         # Figure 3: the unique optimum for k = 2 is {s1_1, s2_1} but the
         # unique optimum for k = 3 drops s1_1 entirely.
-        assert solve(paper_tree, 2).blue_nodes == frozenset({"s1_1", "s2_1"})
-        assert solve(paper_tree, 3).blue_nodes == frozenset({"s2_1", "s2_2", "s2_3"})
-        assert "s1_1" not in solve(paper_tree, 3).blue_nodes
+        assert Solver().solve(paper_tree, 2).blue_nodes == frozenset({"s1_1", "s2_1"})
+        assert Solver().solve(paper_tree, 3).blue_nodes == frozenset({"s2_1", "s2_2", "s2_3"})
+        assert "s1_1" not in Solver().solve(paper_tree, 3).blue_nodes
 
 
 class TestFigure4BarrierDecomposition:

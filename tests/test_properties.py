@@ -14,7 +14,7 @@ from repro.core.cost import (
     utilization_cost_barrier,
 )
 from repro.core.reduce_op import link_message_counts, total_messages
-from repro.core.soar import solve, solve_budget_sweep
+from repro.core.solver import Solver
 from repro.core.tree import TreeNetwork
 from repro.simulation.dataplane import simulate_reduce
 
@@ -86,7 +86,7 @@ def test_utilization_bounded_by_extremes(data):
         assert cost <= all_red_cost(tree) + 1e-9
     # The optimal bounded placement, by contrast, is always at least as good
     # as all-red regardless of where the load sits.
-    assert solve(tree, len(blue)).cost <= all_red_cost(tree) + 1e-9
+    assert Solver().solve(tree, len(blue)).cost <= all_red_cost(tree) + 1e-9
 
 
 @common_settings
@@ -130,7 +130,7 @@ def test_dataplane_busy_time_matches_phi(data):
 @common_settings
 @given(tree_instances(max_switches=8), st.integers(min_value=0, max_value=8))
 def test_soar_is_optimal(tree, budget):
-    solution = solve(tree, budget)
+    solution = Solver().solve(tree, budget)
     expected = solve_bruteforce(tree, budget)
     assert abs(solution.cost - expected.cost) < 1e-9
     assert abs(solution.cost - solution.predicted_cost) < 1e-9
@@ -141,7 +141,7 @@ def test_soar_is_optimal(tree, budget):
 @given(tree_instances(max_switches=14))
 def test_soar_costs_monotone_in_budget(tree):
     budgets = range(0, min(tree.num_switches, 6) + 1)
-    sweep = solve_budget_sweep(tree, budgets)
+    sweep = Solver().sweep(tree, budgets)
     costs = [sweep[k].cost for k in sorted(sweep)]
     for earlier, later in zip(costs, costs[1:]):
         assert later <= earlier + 1e-9
@@ -157,7 +157,7 @@ def test_soar_placement_respects_availability(tree, budget):
     switches = list(tree.switches)
     keep = [s for s in switches if rng.random() < 0.6] or [switches[0]]
     restricted = tree.with_available(keep)
-    solution = solve(restricted, budget)
+    solution = Solver().solve(restricted, budget)
     assert solution.blue_nodes <= frozenset(keep)
     assert solution.cost <= all_red_cost(restricted) + 1e-9
 
@@ -166,7 +166,7 @@ def test_soar_placement_respects_availability(tree, budget):
 @given(tree_instances(max_switches=12))
 def test_full_budget_reaches_all_blue_optimum(tree):
     # With budget n, SOAR is at least as good as colouring everything blue.
-    solution = solve(tree, tree.num_switches)
+    solution = Solver().solve(tree, tree.num_switches)
     assert solution.cost <= all_blue_cost(tree) + 1e-9
 
 
@@ -174,6 +174,6 @@ def test_full_budget_reaches_all_blue_optimum(tree):
 @given(tree_instances(max_switches=12), st.integers(min_value=0, max_value=5))
 def test_soar_beats_every_singleton_heuristic(tree, budget):
     """The optimal cost lower-bounds any specific placement of size <= budget."""
-    solution = solve(tree, budget)
+    solution = Solver().solve(tree, budget)
     switches = sorted(tree.switches, key=repr)[: max(budget, 0)]
     assert solution.cost <= utilization_cost(tree, frozenset(switches)) + 1e-9

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.apps.bytes_model import analytic_link_bytes, message_group_sizes
 from repro.core.reduce_op import link_message_counts
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.online.budget_allocation import allocate_budgets
 from repro.online.capacity import CapacityTracker
 from repro.topology.binary_tree import complete_binary_tree
@@ -36,7 +36,7 @@ def loaded_binary_trees(draw):
 @common_settings
 @given(loaded_binary_trees(), st.integers(min_value=0, max_value=10))
 def test_group_sizes_conserve_servers(tree, budget):
-    blue = solve(tree, budget).blue_nodes
+    blue = Solver().solve(tree, budget).blue_nodes
     groups = message_group_sizes(tree, blue)
     counts = link_message_counts(tree, blue)
     for switch, counter in groups.items():
@@ -52,7 +52,7 @@ def test_group_sizes_conserve_servers(tree, budget):
 @given(loaded_binary_trees(), st.integers(min_value=0, max_value=10))
 def test_linear_size_model_bytes_proportional_to_messages(tree, budget):
     """With a constant per-message size the byte model reduces to message counts."""
-    blue = solve(tree, budget).blue_nodes
+    blue = Solver().solve(tree, budget).blue_nodes
     link_bytes = analytic_link_bytes(tree, blue, lambda servers: 100.0)
     groups = message_group_sizes(tree, blue)
     for switch, value in link_bytes.items():
@@ -95,7 +95,7 @@ def test_budget_allocation_dominates_every_uniform_split(leaf_load_lists, total_
     assert allocation.total_cost <= allocation.uniform_cost + 1e-9
     # The reported total cost matches re-solving each workload at its budget.
     recomputed = sum(
-        solve(tree.with_loads(loads), budget).cost
+        Solver().solve(tree.with_loads(loads), budget).cost
         for loads, budget in zip(workloads, allocation.budgets)
     )
     assert abs(recomputed - allocation.total_cost) < 1e-9

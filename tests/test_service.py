@@ -4,7 +4,7 @@ Three layers of defence:
 
 * **differential** — every placement answer the service produces over
   seeded churn traces must be bit-identical to a direct cold
-  :func:`repro.solve` / :func:`repro.solve_budget_sweep` at the
+  :meth:`repro.Solver.solve` / :meth:`repro.Solver.sweep` at the
   availability the service saw (same blue set, same cost floats);
 * **unit** — the gather-table cache's LRU/upcast/invalidation mechanics and
   the capacity tracker's new release/drain operations, checked in
@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.core.tree import fingerprint_loads, fingerprint_nodes
 from repro.exceptions import CapacityError, InvalidBudgetError, WorkloadError
 from repro.online.capacity import CapacityTracker
@@ -166,11 +166,18 @@ def _key(tag: str, exact_k: bool = False) -> CacheKey:
     )
 
 
-class _FakeGather:
-    """Stand-in for a GatherResult: only ``budget`` matters to the cache."""
+class _FakeTree:
+    def __init__(self, available: frozenset) -> None:
+        self.available = available
 
-    def __init__(self, budget: int) -> None:
+
+class _FakeTable:
+    """Stand-in for a GatherTable: the cache only reads ``budget`` and
+    the Λ of the table's own workload network."""
+
+    def __init__(self, budget: int, available: frozenset = frozenset()) -> None:
         self.budget = budget
+        self.tree = _FakeTree(frozenset(available))
 
 
 class TestGatherTableCache:
@@ -178,18 +185,18 @@ class TestGatherTableCache:
         cache = GatherTableCache(max_entries=4)
         key = _key("x")
         assert cache.lookup(key, 2) is None
-        cache.store(key, _FakeGather(4), frozenset({"a"}))
+        cache.store(key, _FakeTable(4, frozenset({"a"})))
         assert cache.lookup(key, 2) is not None
         assert cache.stats.misses == 1 and cache.stats.table_hits == 1
 
     def test_budget_upcast_counted_and_replaced(self):
         cache = GatherTableCache(max_entries=4)
         key = _key("x")
-        cache.store(key, _FakeGather(2), frozenset())
+        cache.store(key, _FakeTable(2))
         assert cache.lookup(key, 4) is None
         assert cache.stats.budget_upcasts == 1
         assert cache.stored_budget(key) == 2
-        cache.store(key, _FakeGather(4), frozenset())
+        cache.store(key, _FakeTable(4))
         assert cache.stored_budget(key) == 4
         assert cache.lookup(key, 4).budget == 4
         # The wider table still answers narrower budgets.
@@ -198,20 +205,20 @@ class TestGatherTableCache:
     def test_upcast_preserves_solution_memo(self):
         cache = GatherTableCache(max_entries=4)
         key = _key("x")
-        cache.store(key, _FakeGather(2), frozenset())
+        cache.store(key, _FakeTable(2))
         memo = CachedSolution(frozenset({"b"}), 7.0, 7.0)
         cache.store_solution(key, 2, memo)
-        cache.store(key, _FakeGather(8), frozenset())
+        cache.store(key, _FakeTable(8))
         assert cache.solution(key, 2) == memo
         assert cache.stats.solution_hits == 1
 
     def test_lru_eviction_order(self):
         cache = GatherTableCache(max_entries=2)
         first, second, third = _key("1"), _key("2"), _key("3")
-        cache.store(first, _FakeGather(1), frozenset())
-        cache.store(second, _FakeGather(1), frozenset())
+        cache.store(first, _FakeTable(1))
+        cache.store(second, _FakeTable(1))
         cache.lookup(first, 1)  # refresh "1": now "2" is the LRU victim
-        cache.store(third, _FakeGather(1), frozenset())
+        cache.store(third, _FakeTable(1))
         assert first in cache and third in cache and second not in cache
         assert cache.stats.evictions == 1
 
@@ -219,8 +226,8 @@ class TestGatherTableCache:
         cache = GatherTableCache(max_entries=4)
         with_s = _key("with")
         without_s = _key("without")
-        cache.store(with_s, _FakeGather(1), frozenset({"s", "t"}))
-        cache.store(without_s, _FakeGather(1), frozenset({"t"}))
+        cache.store(with_s, _FakeTable(1, frozenset({"s", "t"})))
+        cache.store(without_s, _FakeTable(1, frozenset({"t"})))
         dropped = cache.invalidate_switches({"s"})
         assert dropped == 1
         assert with_s not in cache and without_s in cache
@@ -228,8 +235,8 @@ class TestGatherTableCache:
 
     def test_invalidate_all(self):
         cache = GatherTableCache(max_entries=4)
-        cache.store(_key("1"), _FakeGather(1), frozenset())
-        cache.store(_key("2"), _FakeGather(1), frozenset())
+        cache.store(_key("1"), _FakeTable(1))
+        cache.store(_key("2"), _FakeTable(1))
         assert cache.invalidate_all() == 2
         assert len(cache) == 0
 
@@ -251,7 +258,7 @@ class TestPlacementService:
         cold = service.submit(SolveRequest(loads=loads, budget=3))
         warm = service.submit(SolveRequest(loads=loads, budget=3))
         assert not cold.cache_hit and warm.cache_hit
-        reference = solve(tree.with_loads(loads), 3)
+        reference = Solver().solve(tree.with_loads(loads), 3)
         for response in (cold, warm):
             assert response.cost == reference.cost
             assert response.predicted_cost == reference.predicted_cost
@@ -263,17 +270,15 @@ class TestPlacementService:
         service.submit(SolveRequest(loads=loads, budget=5))
         small = service.submit(SolveRequest(loads=loads, budget=2))
         assert small.cache_hit
-        reference = solve(service.state.tree.with_loads(loads), 2)
+        reference = Solver().solve(service.state.tree.with_loads(loads), 2)
         assert small.cost == reference.cost and small.blue_nodes == reference.blue_nodes
 
     def test_sweep_matches_budget_sweep(self):
-        from repro.core.soar import solve_budget_sweep
-
         service = small_service()
         tree = service.state.tree
         loads = leaf_loads(tree)
         response = service.submit(SweepRequest(loads=loads, budgets=(1, 2, 4)))
-        reference = solve_budget_sweep(tree.with_loads(loads), (1, 2, 4))
+        reference = Solver().sweep(tree.with_loads(loads), (1, 2, 4))
         for budget, solution in reference.items():
             assert response.costs[budget] == solution.cost
             assert response.placements[budget] == solution.blue_nodes
@@ -312,7 +317,7 @@ class TestPlacementService:
         # The next solve must avoid the saturated switches entirely.
         follow_up = service.submit(SolveRequest(loads=loads, budget=2))
         assert not (follow_up.blue_nodes & admitted.blue_nodes)
-        reference = solve(
+        reference = Solver().solve(
             service.state.tree.with_loads(loads).with_available(available), 2
         )
         assert follow_up.cost == reference.cost
@@ -553,7 +558,9 @@ class TestDifferentialReplay:
 
 @pytest.mark.slow
 class TestServiceAcceptance:
-    """The ISSUE acceptance bar: BT(1024), 200 requests, ≥ 10x warm speedup."""
+    """The acceptance bars: BT(1024) churn with ≥ 10x warm speedup and full
+    bit-identity, plus the ≥ 3x colour-only (table-hit) improvement of the
+    artifact warm path over the legacy warm path."""
 
     def test_bt1024_churn_trace_warm_speedup_and_bit_identity(self):
         tree = bt_network(1024)
@@ -566,6 +573,22 @@ class TestServiceAcceptance:
         assert report.hit_rate > 0.2
         assert report.warm_speedup >= 10.0, (
             f"warm requests only {report.warm_speedup:.1f}x faster than cold"
+        )
+        # The summary row now reports the per-layer warm split.
+        summary = report.summary_row()
+        assert "table_hit_mean_ms" in summary and "memo_hit_mean_ms" in summary
+
+    def test_bt1024_table_hit_beats_legacy_warm_path_3x(self):
+        # The colour-only warm hit: GatherTable.place (batched trace + cost
+        # recompute on the artifact's own network) versus what PR 2's warm
+        # path did for the same hit (rebuild the workload network, per-node
+        # reference trace, cost recompute).  Same bits out, ≥ 3x faster.
+        from benchmarks.bench_service import warm_path_rows
+
+        rows = warm_path_rows(1024)
+        assert rows[0]["warm_path_speedup"] >= 3.0, (
+            f"table-hit path only {rows[0]['warm_path_speedup']:.2f}x faster "
+            "than the legacy warm path"
         )
 
     def test_long_churn_differential_sweep(self):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.cost import utilization_cost
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.exceptions import SimulationError
 from repro.simulation.dataplane import simulate_reduce
 from repro.simulation.events import EventQueue
@@ -55,7 +55,7 @@ class TestDataplane:
 
     def test_busy_time_equals_utilization_for_soar_placement(self, paper_tree):
         for budget in (1, 2, 3, 4):
-            blue = solve(paper_tree, budget).blue_nodes
+            blue = Solver().solve(paper_tree, budget).blue_nodes
             result = simulate_reduce(paper_tree, blue)
             assert result.total_busy_time == pytest.approx(utilization_cost(paper_tree, blue))
 
@@ -134,6 +134,6 @@ class TestDataplane:
     def test_message_counts_match_analytic_model(self, loaded_bt16):
         from repro.core.reduce_op import link_message_counts
 
-        blue = solve(loaded_bt16, 4).blue_nodes
+        blue = Solver().solve(loaded_bt16, 4).blue_nodes
         result = simulate_reduce(loaded_bt16, blue)
         assert result.link_messages == link_message_counts(loaded_bt16, blue)

@@ -1,4 +1,4 @@
-"""Tests for the SOAR algorithm: gather tables, colouring, and the solver facade."""
+"""Tests for the SOAR algorithm: gather tables, colouring, and the staged solver API."""
 
 from __future__ import annotations
 
@@ -9,7 +9,7 @@ from repro.core.bruteforce import solve_bruteforce
 from repro.core.color import soar_color
 from repro.core.cost import utilization_cost
 from repro.core.gather import BLUE, RED, normalize_budget, soar_gather
-from repro.core.soar import optimal_cost, solve, solve_budget_sweep
+from repro.core.solver import GatherTable, Placement, Solver
 from repro.core.tree import TreeNetwork
 from repro.exceptions import InvalidBudgetError, PlacementError
 from repro.topology.binary_tree import complete_binary_tree
@@ -126,62 +126,102 @@ class TestColor:
         assert blue <= restricted.available
 
 
-class TestSolve:
+class TestSolver:
     def test_figure3_budget_sweep(self, paper_tree):
+        solver = Solver()
         expected = {0: 51.0, 1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}
         for budget, cost in expected.items():
-            solution = solve(paper_tree, budget)
+            solution = solver.solve(paper_tree, budget)
             assert solution.cost == pytest.approx(cost)
             assert solution.predicted_cost == pytest.approx(cost)
             assert solution.num_blue <= budget
 
     def test_figure3_unique_solutions(self, paper_tree):
+        solver = Solver()
         # The paper notes the optimal sets for k = 2 and k = 3 are unique.
-        assert solve(paper_tree, 2).blue_nodes == frozenset({"s1_1", "s2_1"})
-        assert solve(paper_tree, 3).blue_nodes == frozenset({"s2_1", "s2_2", "s2_3"})
+        assert solver.solve(paper_tree, 2).blue_nodes == frozenset({"s1_1", "s2_1"})
+        assert solver.solve(paper_tree, 3).blue_nodes == frozenset(
+            {"s2_1", "s2_2", "s2_3"}
+        )
 
     def test_non_monotone_blue_sets(self, paper_tree):
         # Figure 3: the optimal set for k = 3 is not a superset of k = 2.
-        k2 = solve(paper_tree, 2).blue_nodes
-        k3 = solve(paper_tree, 3).blue_nodes
-        assert not k2 <= k3
+        table = Solver().gather(paper_tree, 3)
+        assert not table.place(2).blue_nodes <= table.place(3).blue_nodes
 
     def test_solution_within_availability(self, paper_tree):
         restricted = paper_tree.with_available({"s1_0", "s2_3"})
-        solution = solve(restricted, 2)
+        solution = Solver().solve(restricted, 2)
         assert solution.blue_nodes <= restricted.available
         assert solution.cost == pytest.approx(solve_bruteforce(restricted, 2).cost)
 
     def test_budget_larger_than_network(self, paper_tree):
-        solution = solve(paper_tree, 100)
+        solution = Solver().solve(paper_tree, 100)
         assert solution.cost == pytest.approx(7.0)  # all-blue cost
+        assert solution.table.budget == paper_tree.num_switches
+        assert solution.table.requested_budget == 100
 
-    def test_optimal_cost_helper(self, paper_tree):
-        assert optimal_cost(paper_tree, 2) == pytest.approx(20.0)
+    def test_cost_helper(self, paper_tree):
+        assert Solver().cost(paper_tree, 2) == pytest.approx(20.0)
 
-    def test_budget_sweep_shares_gather(self, paper_tree):
-        sweep = solve_budget_sweep(paper_tree, [0, 1, 2, 3, 4])
+    def test_rejects_unknown_engine_and_color(self):
+        with pytest.raises(ValueError, match="unknown gather engine"):
+            Solver(engine="warp")
+        with pytest.raises(ValueError, match="unknown colour kernel"):
+            Solver(color="warp")
+
+    def test_sweep_shares_one_table(self, paper_tree):
+        sweep = Solver().sweep(paper_tree, [0, 1, 2, 3, 4])
         assert {k: s.cost for k, s in sweep.items()} == pytest.approx(
             {0: 51.0, 1: 35.0, 2: 20.0, 3: 15.0, 4: 11.0}
         )
-        gathers = {id(s.gather) for s in sweep.values()}
-        assert len(gathers) == 1
+        tables = {id(s.table) for s in sweep.values()}
+        assert len(tables) == 1
 
-    def test_budget_sweep_rejects_negative(self, paper_tree):
-        with pytest.raises(ValueError):
-            solve_budget_sweep(paper_tree, [-1, 2])
+    def test_sweep_rejects_negative(self, paper_tree):
+        with pytest.raises(InvalidBudgetError):
+            Solver().sweep(paper_tree, [-1, 2])
 
-    def test_budget_sweep_empty(self, paper_tree):
-        assert solve_budget_sweep(paper_tree, []) == {}
+    def test_sweep_empty(self, paper_tree):
+        assert Solver().sweep(paper_tree, []) == {}
 
-    def test_reuse_gather_across_solves(self, paper_tree):
-        gathered = soar_gather(paper_tree, 4)
+    def test_table_reuse_across_budgets(self, paper_tree):
+        table = Solver().gather(paper_tree, 4)
         for budget in range(5):
-            solution = solve(paper_tree, budget, gathered=gathered)
-            assert solution.cost == pytest.approx(solve_bruteforce(paper_tree, budget).cost)
+            placement = table.place(budget)
+            assert placement.cost == pytest.approx(
+                solve_bruteforce(paper_tree, budget).cost
+            )
+            assert placement.table is table
+
+    def test_table_records_provenance(self, paper_tree):
+        table = Solver(engine="reference", exact_k=True).gather(paper_tree, 3)
+        assert isinstance(table, GatherTable)
+        assert table.engine == "reference" and table.exact_k is True
+        assert table.fingerprint == paper_tree.fingerprint()
+        assert table.root == paper_tree.root
+
+    def test_solve_many_groups_same_tree(self, paper_tree, loaded_bt16):
+        solver = Solver()
+        placements = solver.solve_many(
+            [(paper_tree, 2), (loaded_bt16, 3), (paper_tree, 4)]
+        )
+        assert [p.budget for p in placements] == [2, 3, 4]
+        # Same-tree instances share one gather artifact (at the widest budget).
+        assert placements[0].table is placements[2].table
+        assert placements[0].table is not placements[1].table
+        assert placements[0].cost == pytest.approx(20.0)
+        assert placements[2].cost == pytest.approx(11.0)
+
+    def test_sweep_many(self, paper_tree, loaded_bt16):
+        results = Solver().sweep_many(
+            [(paper_tree, (1, 2)), (loaded_bt16, (0, 4))]
+        )
+        assert [sorted(sweep) for sweep in results] == [[1, 2], [0, 4]]
+        assert results[0][2].cost == pytest.approx(20.0)
 
     def test_costs_monotone_in_budget(self, loaded_bt16):
-        sweep = solve_budget_sweep(loaded_bt16, range(0, 10))
+        sweep = Solver().sweep(loaded_bt16, range(0, 10))
         costs = [sweep[k].cost for k in sorted(sweep)]
         assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
 
@@ -191,32 +231,41 @@ class TestSolve:
             loads={"r": 2, "a": 1, "b": 4, "c": 3},
         )
         for budget in range(4):
-            assert solve(tree, budget).cost == pytest.approx(
+            assert Solver().solve(tree, budget).cost == pytest.approx(
                 solve_bruteforce(tree, budget).cost
             )
 
     def test_zero_load_tree(self):
         tree = complete_binary_tree(4)
-        solution = solve(tree, 2)
+        solution = Solver().solve(tree, 2)
         assert solution.cost == 0.0
         assert solution.blue_nodes == frozenset()
+
+    def test_placement_is_a_placement(self, paper_tree):
+        assert isinstance(Solver().solve(paper_tree, 2), Placement)
 
 
 class TestExactKMode:
     def test_exact_matches_bruteforce_exact(self, paper_tree):
+        solver = Solver(exact_k=True)
         for budget in range(1, 5):
-            solution = solve(paper_tree, budget, exact_k=True)
+            solution = solver.solve(paper_tree, budget)
             expected = solve_bruteforce(paper_tree, budget, exact_k=True)
             assert solution.cost == pytest.approx(expected.cost)
 
+    def test_with_semantics(self, paper_tree):
+        solver = Solver()
+        assert solver.with_semantics(True).exact_k is True
+        assert solver.with_semantics(True).engine == solver.engine
+
     def test_exact_uses_full_budget_on_positive_loads(self, paper_tree):
-        solution = solve(paper_tree, 3, exact_k=True)
+        solution = Solver(exact_k=True).solve(paper_tree, 3)
         assert solution.num_blue == 3
 
     def test_at_most_never_worse_than_exact(self, loaded_bt16):
         for budget in range(0, 8):
-            at_most = solve(loaded_bt16, budget).cost
-            exact = solve(loaded_bt16, budget, exact_k=True).cost
+            at_most = Solver().solve(loaded_bt16, budget).cost
+            exact = Solver(exact_k=True).solve(loaded_bt16, budget).cost
             assert at_most <= exact + 1e-9
 
     def test_exact_mode_zero_load_leaf(self):
@@ -227,10 +276,10 @@ class TestExactKMode:
             loads={"a": 5, "b": 0},
         )
         for budget in range(0, 3):
-            assert solve(tree, budget).cost == pytest.approx(
+            assert Solver().solve(tree, budget).cost == pytest.approx(
                 solve_bruteforce(tree, budget).cost
             )
-            assert solve(tree, budget, exact_k=True).cost == pytest.approx(
+            assert Solver(exact_k=True).solve(tree, budget).cost == pytest.approx(
                 solve_bruteforce(tree, budget, exact_k=True).cost
             )
 

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.bruteforce import solve_bruteforce
 from repro.core.cost import utilization_cost
-from repro.core.soar import solve
+from repro.core.solver import Solver
 from repro.core.tree import TreeNetwork
 from repro.topology.generic import kary_tree, path_network, star_network
 
@@ -37,7 +37,7 @@ def test_soar_matches_bruteforce_at_most_k(seed):
     rng = np.random.default_rng(seed)
     tree = make_random_instance(rng, max_switches=9)
     budget = int(rng.integers(0, tree.num_switches + 1))
-    solution = solve(tree, budget)
+    solution = Solver().solve(tree, budget)
     expected = solve_bruteforce(tree, budget)
     assert solution.cost == pytest.approx(expected.cost)
     assert solution.predicted_cost == pytest.approx(expected.cost)
@@ -50,7 +50,7 @@ def test_soar_matches_bruteforce_with_restricted_availability(seed):
     rng = np.random.default_rng(seed)
     tree = _random_available(make_random_instance(rng, max_switches=9), rng)
     budget = int(rng.integers(0, len(tree.available) + 1))
-    solution = solve(tree, budget)
+    solution = Solver().solve(tree, budget)
     expected = solve_bruteforce(tree, budget)
     assert solution.blue_nodes <= tree.available
     assert solution.cost == pytest.approx(expected.cost)
@@ -61,7 +61,7 @@ def test_soar_matches_bruteforce_exact_k(seed):
     rng = np.random.default_rng(seed)
     tree = make_random_instance(rng, max_switches=8)
     budget = int(rng.integers(0, tree.num_switches + 1))
-    solution = solve(tree, budget, exact_k=True)
+    solution = Solver(exact_k=True).solve(tree, budget)
     expected = solve_bruteforce(tree, budget, exact_k=True)
     assert solution.cost == pytest.approx(expected.cost)
 
@@ -78,7 +78,7 @@ def test_soar_matches_bruteforce_exact_k(seed):
 @pytest.mark.parametrize("budget", [0, 1, 2, 3])
 def test_soar_optimal_on_canonical_shapes(tree_builder, budget):
     tree = tree_builder()
-    assert solve(tree, budget).cost == pytest.approx(solve_bruteforce(tree, budget).cost)
+    assert Solver().solve(tree, budget).cost == pytest.approx(solve_bruteforce(tree, budget).cost)
 
 
 @pytest.mark.parametrize("seed", range(95, 110))
@@ -89,7 +89,7 @@ def test_soar_never_worse_than_heuristics(seed):
     rng = np.random.default_rng(seed)
     tree = make_random_instance(rng, max_switches=30)
     budget = int(rng.integers(0, 6))
-    optimal = solve(tree, budget).cost
+    optimal = Solver().solve(tree, budget).cost
     for name, strategy in ALL_STRATEGIES.items():
         if name in ("AllBlue",):
             continue  # ignores the budget by design
