@@ -16,7 +16,7 @@ This example runs the long-lived multi-tenant placement service of
 
 Along the way the script prints the service's own statistics: cache hit
 rate, warm/cold latency, and the fleet's capacity utilization.  Every
-answer the service gives is bit-identical to a cold ``repro.solve()`` on
+answer the service gives is bit-identical to a cold ``repro.Solver().solve`` on
 the equivalent instance — the test-suite's differential replays enforce
 this invariant continuously.
 

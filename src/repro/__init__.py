@@ -29,25 +29,31 @@ One-shot helpers skip the explicit artifact when there is nothing to
 reuse — ``solver.solve(tree, 2)``, ``solver.sweep(tree, range(5))``,
 ``solver.cost(tree, 2)`` — and ``solver.solve_many`` /
 ``solver.sweep_many`` batch whole instance lists, sharing gathers across
-same-tree entries.  The historical free functions (:func:`repro.solve`,
-:func:`repro.solve_budget_sweep`, :func:`repro.optimal_cost`) remain as
-deprecated bit-identical shims.
+same-tree entries.  The historical free functions (``repro.solve``,
+``repro.solve_budget_sweep``, ``repro.optimal_cost``) went through a
+deprecation release as bit-identical shims and have been removed; the
+migration table lives in ``CHANGES.md``.
 
 Engines and kernels
 -------------------
-Both phases ship interchangeable implementations, selected when
-constructing the solver:
+Every phase of a solve ships interchangeable implementations, selected
+when constructing the solver:
 
 * ``Solver(engine=...)`` — SOAR-Gather: ``"flat"`` (default, the
   vectorized flat-array kernel of :mod:`repro.core.engine`) or
   ``"reference"`` (per-node Algorithm 3, ground truth),
 * ``Solver(color=...)`` — SOAR-Color: ``"batched"`` (default, the
   level-batched trace of :mod:`repro.core.color` over the same flat
-  tensors) or ``"reference"`` (per-node Algorithm 4, ground truth).
+  tensors) or ``"reference"`` (per-node Algorithm 4, ground truth),
+* ``Solver(cost_kernel=...)`` — Eq. (1) evaluation: ``"flat"`` (default,
+  the level-batched kernel of :mod:`repro.core.cost` over the same node
+  layout) or ``"reference"`` (the per-node message-count walk, ground
+  truth).
 
 All combinations produce bit-identical tables, costs, and placements;
-``tests/test_engine_differential.py`` and ``tests/test_api_equivalence.py``
-enforce this on hundreds of seeded random instances.
+``tests/test_engine_differential.py``, ``tests/test_api_equivalence.py``
+and ``tests/test_cost_kernels.py`` enforce this on hundreds of seeded
+random instances.
 
 Placement service
 -----------------
@@ -57,7 +63,7 @@ active tenants), serves typed ``Solve`` / ``Sweep`` / ``Admit`` /
 ``Release`` / ``Drain`` / ``Stats`` requests through a batched loop, and
 reuses gather tables across requests via an LRU cache with budget
 upcasting — warm queries skip the gather entirely while staying
-bit-identical to cold :func:`repro.solve` calls.  Churn traces
+bit-identical to cold :meth:`repro.Solver.solve` calls.  Churn traces
 (:func:`repro.generate_churn_trace`, JSON-lines round-trip) and the replay
 driver (:func:`repro.replay_trace`) measure throughput, latency, and cache
 hit rate; ``soar-repro serve-replay`` drives it from the command line.
@@ -76,32 +82,35 @@ fuzz their own extensions the same way.
 from repro.core import (
     BATCHED_COLOR,
     COLOR_KERNELS,
+    COST_KERNELS,
     DEFAULT_COLOR,
+    DEFAULT_COST,
     DEFAULT_ENGINE,
     ENGINES,
+    FLAT_COST,
     FLAT_ENGINE,
     GatherTable,
     Placement,
     REFERENCE_COLOR,
+    REFERENCE_COST,
     REFERENCE_ENGINE,
-    SoarSolution,
     Solver,
     TreeNetwork,
     all_blue_cost,
     all_red_cost,
+    cost_model_for,
+    evaluate_cost,
     flat_gather,
     gather,
     link_message_counts,
     normalized_utilization,
-    optimal_cost,
     soar_color,
     soar_color_batched,
     soar_gather,
-    solve,
-    solve_budget_sweep,
     solve_bruteforce,
     trace_color,
     utilization_cost,
+    utilization_cost_flat,
 )
 from repro.baselines import ALL_STRATEGIES, PAPER_STRATEGIES, get_strategy
 from repro.topology import (
@@ -130,17 +139,22 @@ from repro.workload import (
     with_sampled_leaf_loads,
 )
 
-__version__ = "1.0.0"
+# 2.0.0: the deprecated pre-Solver free functions were removed (the only
+# breaking change; everything else in this release is additive).
+__version__ = "2.0.0"
 
 __all__ = [
     "ALL_STRATEGIES",
     "AdmitRequest",
     "BATCHED_COLOR",
     "COLOR_KERNELS",
+    "COST_KERNELS",
     "DEFAULT_COLOR",
+    "DEFAULT_COST",
     "DEFAULT_ENGINE",
     "DrainRequest",
     "ENGINES",
+    "FLAT_COST",
     "FLAT_ENGINE",
     "GatherTable",
     "PAPER_STRATEGIES",
@@ -148,9 +162,9 @@ __all__ = [
     "PlacementService",
     "PowerLawLoadDistribution",
     "REFERENCE_COLOR",
+    "REFERENCE_COST",
     "REFERENCE_ENGINE",
     "ReleaseRequest",
-    "SoarSolution",
     "SolveRequest",
     "Solver",
     "StatsRequest",
@@ -162,6 +176,8 @@ __all__ = [
     "apply_rate_scheme",
     "bt_network",
     "complete_binary_tree",
+    "cost_model_for",
+    "evaluate_cost",
     "fat_tree_aggregation_tree",
     "flat_gather",
     "gather",
@@ -170,18 +186,16 @@ __all__ = [
     "kary_tree",
     "link_message_counts",
     "normalized_utilization",
-    "optimal_cost",
     "replay_trace",
     "scale_free_tree",
     "sf_network",
     "soar_color",
     "soar_color_batched",
     "soar_gather",
-    "solve",
     "trace_color",
-    "solve_budget_sweep",
     "solve_bruteforce",
     "utilization_cost",
+    "utilization_cost_flat",
     "with_sampled_leaf_loads",
     "__version__",
 ]

@@ -31,12 +31,14 @@ import sys
 from collections.abc import Sequence
 
 from repro.core.color import COLOR_KERNELS, DEFAULT_COLOR, REFERENCE_COLOR
+from repro.core.cost import COST_KERNELS, DEFAULT_COST, REFERENCE_COST
 from repro.core.engine import DEFAULT_ENGINE, ENGINES, REFERENCE_ENGINE
 from repro.experiments import (
     PAPER_CONFIG,
     QUICK_CONFIG,
     run_budget_sweep,
     run_color_comparison,
+    run_cost_comparison,
     run_engine_comparison,
     run_fig10_required_fraction,
     run_fig10_utilization,
@@ -62,6 +64,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         engine=args.engine,
         color=args.color,
+        cost=args.cost,
     )
 
 
@@ -148,6 +151,18 @@ def _cmd_colors(args: argparse.Namespace) -> list[dict]:
     return run_color_comparison(sizes=sizes, config=config, colors=colors)
 
 
+def _cmd_costs(args: argparse.Namespace) -> list[dict]:
+    config = _config(args)
+    sizes = (256, 512) if args.quick else (256, 512, 1024, 2048, 4096)
+    # The reference walk is always the timing baseline; --cost picks
+    # what gets compared against it.
+    if args.cost == REFERENCE_COST:
+        costs = (REFERENCE_COST,)
+    else:
+        costs = (REFERENCE_COST, args.cost)
+    return run_cost_comparison(sizes=sizes, config=config, costs=costs)
+
+
 def _cmd_serve_replay(args: argparse.Namespace) -> list[dict]:
     """Replay a churn trace through the placement service and report."""
     from repro.experiments.service_replay import run_service_replay
@@ -180,6 +195,7 @@ _COMMANDS = {
     "fig11": (_cmd_fig11, "Scale-free networks (Figure 11, Appendix B)"),
     "engines": (_cmd_engines, "Gather engine comparison: flat vs reference speedup"),
     "colors": (_cmd_colors, "Colour kernel comparison: batched vs reference trace speedup"),
+    "costs": (_cmd_costs, "Cost kernel comparison: flat vs reference Eq. (1) speedup"),
 }
 
 
@@ -213,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=sorted(COLOR_KERNELS),
             default=DEFAULT_COLOR,
             help="SOAR-Color kernel to use (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--cost",
+            choices=sorted(COST_KERNELS),
+            default=DEFAULT_COST,
+            help="Eq. (1) cost kernel to use (default: %(default)s)",
         )
 
     for name, (_, help_text) in _COMMANDS.items():

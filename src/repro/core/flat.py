@@ -15,6 +15,16 @@ use and caches the outcome on the result, so the batched colour kernel
 works identically on both engines' tables — which is exactly what the
 differential tests exploit.
 
+The cost phase shares the layout too: :class:`FlatCostModel` is the
+structural slice of the metadata (node order, parent pointers, per-link
+``rho``, level slabs, the post-order permutation) that the flat cost
+kernel of :mod:`repro.core.cost` batches Eq. (1) over.  A model depends
+only on the *topology and rates* — loads and Λ are call-time inputs — so
+one model serves every same-structure workload network, and a
+:class:`~repro.core.solver.GatherTable` derives its model from the trace
+metadata it already carries (:func:`cost_model_for`), which is why a warm
+table hit never rebuilds the per-link message-count dicts.
+
 Node order
 ----------
 Nodes are laid out deepest level first (stable within a level), matching
@@ -28,7 +38,8 @@ even on trees with wildly varying fan-out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Mapping
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -90,6 +101,136 @@ class FlatTables:
     y_red: np.ndarray
     splits_blue: np.ndarray
     splits_red: np.ndarray
+    #: Lazily-derived :class:`FlatCostModel` sharing this layout (see
+    #: :func:`cost_model_for`); never built by the engines themselves.
+    cost_model: "FlatCostModel | None" = field(default=None, repr=False, compare=False)
+
+
+@dataclass
+class FlatCostModel:
+    """Structural metadata the level-batched cost kernel traverses.
+
+    The model captures only what Eq. (1) needs about the *topology and
+    rates*: loads and the blue set are inputs of every evaluation.  One
+    model therefore serves every workload network sharing the structure —
+    the online scheduler builds one per shared fleet network and feeds
+    per-arrival load mappings through it.
+
+    Attributes
+    ----------
+    tree:
+        The network the model was built from.  When an evaluation passes a
+        *different* (same-structure, same-rates) tree, its loads are
+        re-derived instead of trusting the cached ``load`` array — the
+        same foreign-tree contract the batched colour kernel follows.
+    order, index, level_slices:
+        The canonical flat layout (see :class:`FlatTables`).
+    parent:
+        Flat position of every node's parent; ``-1`` for the root (whose
+        parent is the destination).
+    rho:
+        Per-link transmission time ``rho((v, p(v)))`` in flat order.
+    load:
+        The model tree's own loads in flat order (used only when the
+        evaluation passes neither ``loads`` nor a foreign tree).
+    postorder:
+        Permutation mapping post-order rank to flat position: iterating
+        ``order[postorder[i]]`` visits the switches exactly as
+        ``tree.switches`` does, which is what lets the kernel reproduce
+        the reference summation order bit for bit.
+    postorder_nodes:
+        The switches in post-order (``tree.switches``), kept so per-link
+        dictionaries can be zipped without per-node lookups.
+    """
+
+    tree: TreeNetwork
+    order: tuple[NodeId, ...]
+    index: dict[NodeId, int]
+    parent: np.ndarray
+    rho: np.ndarray
+    load: np.ndarray
+    level_slices: tuple[tuple[int, int], ...]
+    postorder: np.ndarray
+    postorder_nodes: tuple[NodeId, ...]
+
+    def load_vector(self, loads: Mapping[NodeId, int]) -> np.ndarray:
+        """A flat-order load array for an explicit load mapping.
+
+        Mirrors the reference kernels' ``loads.get(switch, 0)`` contract:
+        switches absent from the mapping carry load 0 and keys that are
+        not switches of the network are ignored.
+        """
+        vector = np.zeros(len(self.order), dtype=np.int64)
+        index = self.index
+        for node, value in loads.items():
+            position = index.get(node)
+            if position is not None:
+                vector[position] = int(value)
+        return vector
+
+    def loads_for(self, tree: TreeNetwork, loads: Mapping[NodeId, int] | None) -> np.ndarray:
+        """Resolve the effective flat-order load array of one evaluation."""
+        if loads is not None:
+            return self.load_vector(loads)
+        if tree is self.tree:
+            return self.load
+        return np.fromiter(
+            (tree.load(node) for node in self.order),
+            dtype=np.int64,
+            count=len(self.order),
+        )
+
+
+def cost_model_for(tree: TreeNetwork, flat: FlatTables | None = None) -> FlatCostModel:
+    """Build (or fetch) the :class:`FlatCostModel` of a network.
+
+    When ``flat`` tables gathered for the *same* tree are given, the model
+    reuses their order/index/load arrays and is cached on them, so a
+    gather artifact pays the construction once across every placement it
+    traces; bare trees get a fresh model (callers evaluating many
+    placements over one network should hold on to it).
+    """
+    if flat is not None and flat.tree is tree and flat.cost_model is not None:
+        return flat.cost_model
+    if flat is not None and flat.tree is tree:
+        order, index = flat.order, flat.index
+        load = flat.load
+        level_slices = flat.level_slices
+    else:
+        order = tuple(flat_order(tree))
+        index = {node: position for position, node in enumerate(order)}
+        load = np.fromiter((tree.load(v) for v in order), dtype=np.int64, count=len(order))
+        depth = np.fromiter((tree.depth(v) for v in order), dtype=np.int64, count=len(order))
+        level_slices = level_slices_for(depth, tree.height)
+    n = len(order)
+    destination = tree.destination
+    parent = np.fromiter(
+        (
+            index[p] if (p := tree.parent(v)) != destination else -1
+            for v in order
+        ),
+        dtype=np.int64,
+        count=n,
+    )
+    rho = np.fromiter((tree.rho(v) for v in order), dtype=np.float64, count=n)
+    postorder_nodes = tree.switches
+    postorder = np.fromiter(
+        (index[v] for v in postorder_nodes), dtype=np.int64, count=n
+    )
+    model = FlatCostModel(
+        tree=tree,
+        order=order,
+        index=index,
+        parent=parent,
+        rho=rho,
+        load=load,
+        level_slices=level_slices,
+        postorder=postorder,
+        postorder_nodes=postorder_nodes,
+    )
+    if flat is not None and flat.tree is tree:
+        flat.cost_model = model
+    return model
 
 
 def flat_order(tree: TreeNetwork) -> list[NodeId]:

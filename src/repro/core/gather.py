@@ -105,6 +105,11 @@ class GatherResult:
         attached by the flat engine at construction and lazily stacked
         for reference-engine results (see
         :func:`repro.core.flat.flat_tables_for`).
+    cost_model:
+        The :class:`~repro.core.flat.FlatCostModel` the flat cost kernel
+        evaluates placements traced from these tables with; built lazily
+        by :meth:`repro.core.solver.GatherTable.place` and cached here so
+        budget sweeps over one gather price the metadata once.
     """
 
     tables: dict[NodeId, NodeTables]
@@ -114,6 +119,7 @@ class GatherResult:
     exact_k: bool
     engine: str = "reference"
     flat: "object | None" = field(default=None, repr=False, compare=False)
+    cost_model: "object | None" = field(default=None, repr=False, compare=False)
 
     @property
     def optimal_cost(self) -> float:

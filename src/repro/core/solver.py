@@ -46,8 +46,9 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.core.color import COLOR_KERNELS, DEFAULT_COLOR, trace_color
-from repro.core.cost import utilization_cost
+from repro.core.cost import COST_KERNELS, DEFAULT_COST, FLAT_COST, evaluate_cost
 from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather as run_gather
+from repro.core.flat import FlatCostModel, cost_model_for
 from repro.core.gather import GatherResult, normalize_budget
 from repro.core.tree import NodeId, TreeNetwork
 from repro.exceptions import (
@@ -122,6 +123,11 @@ class GatherTable:
         Digest of the full instance (:meth:`TreeNetwork.fingerprint`);
         equal fingerprints mean the table is valid verbatim for the other
         instance.
+    cost_kernel:
+        Cost kernel :meth:`place` recomputes the achieved utilization
+        with (bound from the producing :class:`Solver`; the flat default
+        reuses the trace metadata the artifact already carries, so a warm
+        table hit never rebuilds the per-link message-count dicts).
     """
 
     result: GatherResult = field(repr=False)
@@ -130,6 +136,7 @@ class GatherTable:
     exact_k: bool
     color: str
     fingerprint: str
+    cost_kernel: str = DEFAULT_COST
 
     @property
     def budget(self) -> int:
@@ -180,13 +187,30 @@ class GatherTable:
         """Optimal utilization ``X_r(1, budget)`` — a pure table lookup."""
         return self.result.cost_for_budget(self.effective_budget(budget))
 
+    def cost_model(self) -> FlatCostModel | None:
+        """The artifact's :class:`~repro.core.flat.FlatCostModel`, built lazily.
+
+        ``None`` for a table bound to the reference cost kernel (the
+        per-node walk needs no metadata).  Flat-engine tables derive the
+        model zero-copy from their :class:`~repro.core.flat.FlatTables`;
+        reference-engine tables pay one metadata pass.  Cached on the
+        underlying :class:`~repro.core.gather.GatherResult`, so every
+        budget of a sweep shares it.
+        """
+        if self.cost_kernel != FLAT_COST:
+            return None
+        if self.result.cost_model is None:
+            self.result.cost_model = cost_model_for(self.tree, self.result.flat)
+        return self.result.cost_model
+
     def place(self, budget: int | None = None, color: str | None = None) -> Placement:
         """Trace an optimal placement for ``budget`` out of the tables.
 
         This is the whole cost of answering a query from a cached table:
         the colour trace (batched by default) plus the verification
-        recompute of the achieved cost.  ``color`` overrides the table's
-        default kernel (e.g. ``"reference"`` for differential runs).
+        recompute of the achieved cost (flat cost kernel by default).
+        ``color`` overrides the table's default kernel (e.g.
+        ``"reference"`` for differential runs).
         """
         effective = self.effective_budget(budget)
         blue = trace_color(
@@ -194,7 +218,9 @@ class GatherTable:
         )
         return Placement(
             blue_nodes=blue,
-            cost=utilization_cost(self.tree, blue),
+            cost=evaluate_cost(
+                self.tree, blue, cost=self.cost_kernel, model=self.cost_model()
+            ),
             predicted_cost=self.result.cost_for_budget(effective),
             budget=effective,
             table=self,
@@ -235,6 +261,10 @@ class Solver:
     color:
         Colour kernel placements are traced with (``"batched"`` default,
         ``"reference"`` ground truth); see :mod:`repro.core.color`.
+    cost_kernel:
+        Cost kernel the achieved utilization is recomputed with
+        (``"flat"`` default, ``"reference"`` ground truth); see
+        :data:`repro.core.cost.COST_KERNELS`.
 
     The solver is stateless and immutable — share one per configuration.
     """
@@ -242,6 +272,7 @@ class Solver:
     engine: str = DEFAULT_ENGINE
     exact_k: bool = False
     color: str = DEFAULT_COLOR
+    cost_kernel: str = DEFAULT_COST
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -253,6 +284,11 @@ class Solver:
             known = ", ".join(sorted(COLOR_KERNELS))
             raise ValueError(
                 f"unknown colour kernel {self.color!r}; expected one of: {known}"
+            )
+        if self.cost_kernel not in COST_KERNELS:
+            known = ", ".join(sorted(COST_KERNELS))
+            raise ValueError(
+                f"unknown cost kernel {self.cost_kernel!r}; expected one of: {known}"
             )
 
     def with_semantics(self, exact_k: bool) -> "Solver":
@@ -280,6 +316,7 @@ class Solver:
             exact_k=self.exact_k,
             color=self.color,
             fingerprint=tree.fingerprint(),
+            cost_kernel=self.cost_kernel,
         )
 
     def solve(self, tree: TreeNetwork, budget: int) -> Placement:

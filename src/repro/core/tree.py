@@ -53,6 +53,67 @@ def _digest(parts: Iterable[str]) -> str:
     return hasher.hexdigest()
 
 
+#: Modulus of the :class:`IncrementalDigest` additive combine (256 bits).
+_COMBINE_BITS: int = 256
+_COMBINE_MODULUS: int = 1 << _COMBINE_BITS
+
+
+def _entry_digest(part: str) -> int:
+    """256-bit digest of one canonical entry string (see IncrementalDigest)."""
+    return int.from_bytes(
+        hashlib.blake2b(part.encode(), digest_size=_COMBINE_BITS // 8).digest(), "big"
+    )
+
+
+class IncrementalDigest:
+    """Order-independent digest of a set of canonical strings, maintainable
+    under point updates.
+
+    Entries combine by *addition modulo 2**256* of their individual
+    blake2b digests (the AdHash multiset-hash construction), so the
+    combined value is independent of insertion order and every ``add``
+    has an exact inverse ``remove``.  This is what lets the placement
+    service keep the Λ fingerprint current across admit/release/drain
+    churn in O(changed switches) instead of re-digesting the whole set —
+    while :func:`fingerprint_nodes` (defined on top of the same combine)
+    remains the ground truth a maintained digest can be checked against
+    at any time.
+
+    Any incrementally-maintainable combine is necessarily homomorphic,
+    which is weaker against *adversarially constructed* collisions than a
+    chained hash over the sorted entries; the wide 256-bit additive group
+    is the standard mitigation (finding colliding subsets is a hard
+    lattice problem rather than GF(2) Gaussian elimination).  The inputs
+    here are the operator's own switch ids, not attacker-chosen strings —
+    digests that *are* fed attacker-adjacent data (request load mappings,
+    :func:`fingerprint_loads`) stay on the chained construction.
+    """
+
+    __slots__ = ("_combined",)
+
+    def __init__(self, parts: Iterable[str] = ()) -> None:
+        self._combined = 0
+        for part in parts:
+            self.add(part)
+
+    def add(self, part: str) -> None:
+        """Fold one entry into the digest."""
+        self._combined = (self._combined + _entry_digest(part)) % _COMBINE_MODULUS
+
+    def remove(self, part: str) -> None:
+        """Fold one entry out of the digest (the exact inverse of ``add``)."""
+        self._combined = (self._combined - _entry_digest(part)) % _COMBINE_MODULUS
+
+    def copy(self) -> "IncrementalDigest":
+        clone = IncrementalDigest()
+        clone._combined = self._combined
+        return clone
+
+    def hexdigest(self) -> str:
+        """Current combined digest (64 hex chars)."""
+        return format(self._combined, f"0{_COMBINE_BITS // 4}x")
+
+
 def fingerprint_loads(loads: Mapping[NodeId, int]) -> str:
     """Order-independent digest of a load function.
 
@@ -61,6 +122,11 @@ def fingerprint_loads(loads: Mapping[NodeId, int]) -> str:
     to the full load function of a tree built from it — which is what lets
     the placement service key its cache on a request's loads without
     constructing the :class:`TreeNetwork` first.
+
+    Loads arrive from requests, so this stays a chained blake2b over the
+    sorted entries (full collision resistance); services avoid repeated
+    recomputes by *memoizing* the value (tenant records carry theirs from
+    admission), not by maintaining it incrementally.
     """
     return _digest(
         sorted(f"{node!r}={int(value)}" for node, value in loads.items() if int(value) != 0)
@@ -68,8 +134,15 @@ def fingerprint_loads(loads: Mapping[NodeId, int]) -> str:
 
 
 def fingerprint_nodes(nodes: Iterable[NodeId]) -> str:
-    """Order-independent digest of a set of node identifiers (e.g. Λ)."""
-    return _digest(sorted(repr(node) for node in nodes))
+    """Order-independent digest of a set of node identifiers (e.g. Λ).
+
+    Defined as the :class:`IncrementalDigest` combine over the node
+    reprs, so a digest maintained incrementally across set churn equals
+    this full recompute entry for entry.  The input is treated as a
+    *set*: duplicates are collapsed before combining (a multiset combine
+    would otherwise distinguish multiplicities).
+    """
+    return IncrementalDigest({repr(node) for node in nodes}).hexdigest()
 
 
 #: Sentinel distinguishing "keep the current Λ" from an explicit ``None``

@@ -24,6 +24,7 @@ from repro.experiments.fig7_online import run_fig7_capacity_sweep, run_fig7_work
 from repro.experiments.fig8_applications import run_fig8
 from repro.experiments.fig9_runtime import (
     run_color_comparison,
+    run_cost_comparison,
     run_engine_comparison,
     run_fig9,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "repetition_seeds",
     "run_budget_sweep",
     "run_color_comparison",
+    "run_cost_comparison",
     "run_engine_comparison",
     "run_fig10_required_fraction",
     "run_fig10_utilization",

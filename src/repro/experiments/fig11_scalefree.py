@@ -17,8 +17,9 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.baselines.strategies import max_degree_strategy
-from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
+from repro.core.cost import all_blue_cost, all_red_cost, evaluate_cost
 from repro.core.engine import gather
+from repro.core.flat import cost_model_for
 from repro.core.solver import Solver
 from repro.experiments.fig10_scaling import BUDGET_RULES
 from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
@@ -54,8 +55,13 @@ def run_fig11_example(
         tree = sf_network(size, rng=sample_seed)
         if not first_degrees:
             first_degrees = ",".join(map(str, degree_sequence(tree)[:9]))
-        all_red_values.append(utilization_cost(tree, frozenset()))
-        max_values.append(utilization_cost(tree, max_degree_strategy(tree, budget)))
+        model = cost_model_for(tree)
+        all_red_values.append(
+            evaluate_cost(tree, frozenset(), validate=False, model=model)
+        )
+        max_values.append(
+            evaluate_cost(tree, max_degree_strategy(tree, budget), model=model)
+        )
         soar_values.append(Solver().solve(tree, budget).cost)
 
     mean_all_red = sum(all_red_values) / len(all_red_values)

@@ -17,7 +17,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.baselines.strategies import PAPER_STRATEGIES
-from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
+from repro.core.cost import all_blue_cost, all_red_cost, evaluate_cost
+from repro.core.flat import cost_model_for
 from repro.core.solver import Solver
 from repro.experiments.harness import (
     DISTRIBUTION_NAMES,
@@ -46,7 +47,7 @@ def run_fig6(
     error — exactly the series of the corresponding sub-plot.
     """
     strategies = dict(strategies or PAPER_STRATEGIES)
-    solver = Solver(engine=config.engine, color=config.color)
+    solver = Solver(engine=config.engine, color=config.color, cost_kernel=config.cost)
     rows: list[dict] = []
 
     for distribution in distributions:
@@ -63,13 +64,21 @@ def run_fig6(
                 baseline = all_red_cost(tree)
                 blue_reference = all_blue_cost(tree) / baseline if baseline else 0.0
 
+                # One structural cost model evaluates every heuristic
+                # placement of this repetition's network.
+                model = cost_model_for(tree)
                 soar_solutions = solver.sweep(tree, effective_budgets)
                 for budget in effective_budgets:
                     for name, strategy in strategies.items():
                         if name == "SOAR":
                             cost = soar_solutions[budget].cost
                         else:
-                            cost = utilization_cost(tree, strategy(tree, budget))
+                            cost = evaluate_cost(
+                                tree,
+                                strategy(tree, budget),
+                                cost=config.cost,
+                                model=model,
+                            )
                         value = cost / baseline if baseline else 0.0
                         normalized[name].setdefault(budget, []).append(value)
                     normalized["All blue"].setdefault(budget, []).append(blue_reference)

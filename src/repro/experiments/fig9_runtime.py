@@ -21,7 +21,10 @@ from repro.core.color import (
     REFERENCE_COLOR,
     trace_color,
 )
+from repro.core.cost import COST_KERNELS, FLAT_COST, REFERENCE_COST, evaluate_cost
 from repro.core.engine import ENGINES, FLAT_ENGINE, REFERENCE_ENGINE, gather
+from repro.core.flat import cost_model_for
+from repro.core.solver import Solver
 from repro.experiments.harness import ExperimentConfig, PAPER_CONFIG
 from repro.topology.binary_tree import bt_network
 from repro.utils.stats import mean_and_stderr
@@ -207,6 +210,80 @@ def run_color_comparison(
             row[f"{color}_seconds"] = best[color]
             row[f"{color}_speedup"] = (
                 best[baseline_color] / best[color] if best[color] else float("inf")
+            )
+        rows.append(row)
+    return rows
+
+
+def run_cost_comparison(
+    sizes: Sequence[int] = FIG9_SIZES,
+    budget: int = 32,
+    config: ExperimentConfig = PAPER_CONFIG,
+    costs: Sequence[str] = (REFERENCE_COST, FLAT_COST),
+) -> list[dict]:
+    """Time every cost kernel evaluating the same placement.
+
+    The cost-phase counterpart of :func:`run_color_comparison`: one row
+    per network size with, for each kernel of
+    :data:`repro.core.cost.COST_KERNELS`, the best wall-clock Eq. (1)
+    evaluation time over ``config.repetitions`` runs and the speedup
+    relative to the first kernel listed (the per-node reference walk by
+    default).  The flat kernel runs with a prebuilt
+    :class:`~repro.core.flat.FlatCostModel`, matching the warm-hit path
+    where a gather artifact already carries the metadata.  Every kernel
+    is verified to return the *identical* float before its time is
+    trusted — the cost recompute is half of a warm table hit in the
+    placement service, so this table is the measured justification for
+    the flat kernel.
+    """
+    distribution = PowerLawLoadDistribution()
+    rows: list[dict] = []
+
+    for size in sizes:
+        rng = np.random.default_rng(np.random.SeedSequence(config.seed))
+        tree = bt_network(size)
+        tree = tree.with_loads(sample_leaf_loads(tree, distribution, rng=rng))
+        effective = min(budget, len(tree.available))
+        blue = Solver(engine=config.engine, color=config.color).solve(
+            tree, effective
+        ).blue_nodes
+        model = cost_model_for(tree)
+
+        best: dict[str, float] = {}
+        values: dict[str, float] = {}
+        for cost in costs:
+            if cost not in COST_KERNELS:
+                raise KeyError(
+                    f"unknown cost kernel {cost!r}; expected one of {sorted(COST_KERNELS)}"
+                )
+            times = []
+            for _ in range(max(1, config.repetitions)):
+                start = time.perf_counter()
+                value = evaluate_cost(tree, blue, cost=cost, model=model)
+                times.append(time.perf_counter() - start)
+            best[cost] = min(times)
+            values[cost] = value
+
+        baseline_cost = costs[0]
+        for cost in costs:
+            if values[cost] != values[baseline_cost]:
+                raise AssertionError(
+                    f"cost kernel {cost!r} value {values[cost]} differs from "
+                    f"{baseline_cost!r} value {values[baseline_cost]} on BT({size})"
+                )
+        row = {
+            "figure": "fig9-costs",
+            "network_size": size,
+            "k": effective,
+            "engine": config.engine,
+            "utilization": values[baseline_cost],
+            "blue_nodes": len(blue),
+            "repetitions": config.repetitions,
+        }
+        for cost in costs:
+            row[f"{cost}_seconds"] = best[cost]
+            row[f"{cost}_speedup"] = (
+                best[baseline_cost] / best[cost] if best[cost] else float("inf")
             )
         rows.append(row)
     return rows

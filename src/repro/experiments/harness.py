@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.color import DEFAULT_COLOR
+from repro.core.cost import DEFAULT_COST
 from repro.core.engine import DEFAULT_ENGINE
 from repro.core.tree import TreeNetwork
 from repro.exceptions import ExperimentError
@@ -56,6 +57,9 @@ class ExperimentConfig:
     color:
         SOAR-Color kernel used by the experiments (``"batched"`` or
         ``"reference"``; see :mod:`repro.core.color`).
+    cost:
+        Cost kernel used by the experiments (``"flat"`` or
+        ``"reference"``; see :data:`repro.core.cost.COST_KERNELS`).
     """
 
     network_size: int = 256
@@ -63,6 +67,7 @@ class ExperimentConfig:
     seed: int = 2021
     engine: str = DEFAULT_ENGINE
     color: str = DEFAULT_COLOR
+    cost: str = DEFAULT_COST
     extra: dict = field(default_factory=dict)
 
     def scaled(self, network_size: int | None = None, repetitions: int | None = None):

@@ -15,7 +15,8 @@ from repro.baselines.strategies import (
     soar_strategy,
     top_strategy,
 )
-from repro.core.cost import all_blue_cost, all_red_cost, utilization_cost
+from repro.core.cost import all_blue_cost, all_red_cost, evaluate_cost
+from repro.core.flat import cost_model_for
 from repro.core.solver import Solver
 from repro.core.tree import TreeNetwork
 from repro.topology.binary_tree import complete_binary_tree
@@ -42,6 +43,7 @@ def run_strategy_comparison(budget: int = 2) -> list[dict]:
         "Level": level_strategy,
         "SOAR": soar_strategy,
     }
+    model = cost_model_for(tree)
     rows: list[dict] = []
     for name, strategy in strategies.items():
         blue = strategy(tree, budget)
@@ -50,7 +52,7 @@ def run_strategy_comparison(budget: int = 2) -> list[dict]:
                 "figure": "fig2",
                 "strategy": name,
                 "k": budget,
-                "utilization": utilization_cost(tree, blue),
+                "utilization": evaluate_cost(tree, blue, model=model),
                 "blue_nodes": ",".join(sorted(map(str, blue))),
                 "paper_value": FIGURE2_EXPECTED.get(name, float("nan")),
             }

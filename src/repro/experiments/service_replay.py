@@ -29,8 +29,16 @@ from repro.topology.binary_tree import bt_network
 from repro.workload.rates import apply_rate_scheme
 
 
-#: Unified column order of the service-replay rows (summary and per-kind
-#: rows share it, blank-filled, so text tables and CSVs stay aligned).
+#: Unified column order of the service-replay rows (summary, per-kind and
+#: warm-path rows share it, blank-filled, so text tables and CSVs stay
+#: aligned).  The trailing block is the warm table-hit latency split
+#: emitted by ``benchmarks/bench_service.py``: what one hit costs now
+#: (``table_hit_ms``: batched colour + flat cost), what the same hit cost
+#: on the PR 3 warm path (``pr3_warm_ms``: batched colour + per-node cost)
+#: and on the legacy PR 2 path (``legacy_warm_ms``), the isolated cost
+#: phase under each kernel (``cost_flat_ms`` / ``cost_reference_ms``), and
+#: the resulting multipliers (``cost_kernel_speedup``,
+#: ``warm_speedup_vs_pr3``, ``warm_path_speedup``).
 ROW_COLUMNS: tuple[str, ...] = (
     "network_size",
     "requests",
@@ -52,6 +60,14 @@ ROW_COLUMNS: tuple[str, ...] = (
     "table_hit_mean_ms",
     "memo_hit_mean_ms",
     "warm_speedup",
+    "table_hit_ms",
+    "pr3_warm_ms",
+    "legacy_warm_ms",
+    "cost_flat_ms",
+    "cost_reference_ms",
+    "cost_kernel_speedup",
+    "warm_speedup_vs_pr3",
+    "warm_path_speedup",
     "verified",
     "engine",
 )
@@ -115,6 +131,7 @@ def run_service_replay(
         capacity=capacity,
         engine=config.engine,
         color=config.color,
+        cost_kernel=config.cost,
         verify=verify,
     )
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
-from repro.core.tree import NodeId, TreeNetwork
+from repro.core.tree import IncrementalDigest, NodeId, TreeNetwork
 from repro.exceptions import CapacityError
 
 
@@ -57,6 +57,33 @@ class CapacityTracker:
         self._residual = dict(initial)
         self._assignments: list[frozenset[NodeId]] = []
         self._drained: set[NodeId] = set()
+        self._rebuild_availability()
+
+    # ------------------------------------------------------------------ #
+    # incrementally-maintained availability (set + digest)
+    # ------------------------------------------------------------------ #
+
+    def _rebuild_availability(self) -> None:
+        """Recompute the Λ set and its digest from scratch (init / reset)."""
+        self._available_set = {
+            switch for switch, remaining in self._residual.items() if remaining > 0
+        }
+        self._available_digest = IncrementalDigest(
+            repr(switch) for switch in self._available_set
+        )
+        self._available_cache: frozenset[NodeId] | None = None
+
+    def _switch_entered(self, switch: NodeId) -> None:
+        """A switch's residual went 0 -> positive: it (re)joins Λ."""
+        self._available_set.add(switch)
+        self._available_digest.add(repr(switch))
+        self._available_cache = None
+
+    def _switch_left(self, switch: NodeId) -> None:
+        """A switch's residual hit 0 (or it drained): it leaves Λ."""
+        self._available_set.discard(switch)
+        self._available_digest.remove(repr(switch))
+        self._available_cache = None
 
     @property
     def tree(self) -> TreeNetwork:
@@ -85,8 +112,26 @@ class CapacityTracker:
         return dict(self._residual)
 
     def available(self) -> frozenset[NodeId]:
-        """The availability set ``Λ_t`` for the next workload."""
-        return frozenset(s for s, remaining in self._residual.items() if remaining > 0)
+        """The availability set ``Λ_t`` for the next workload.
+
+        Maintained incrementally across consume/release/drain, so the
+        returned frozenset is cached: as long as Λ does not change, every
+        call returns the *same object* (callers may use an identity check
+        to detect churn cheaply).
+        """
+        if self._available_cache is None:
+            self._available_cache = frozenset(self._available_set)
+        return self._available_cache
+
+    def availability_fingerprint(self) -> str:
+        """Digest of ``Λ_t``, equal to ``fingerprint_nodes(self.available())``.
+
+        Maintained incrementally: admit/release/drain churn updates it in
+        O(switches whose availability changed) rather than re-digesting
+        the whole fleet (``tests/test_cost_kernels.py`` pins the
+        incremental-vs-full equivalence across churn traces).
+        """
+        return self._available_digest.hexdigest()
 
     def available_tree(self) -> TreeNetwork:
         """The network restricted to the currently available switches.
@@ -116,6 +161,8 @@ class CapacityTracker:
             )
         for switch in blue:
             self._residual[switch] -= 1
+            if self._residual[switch] == 0:
+                self._switch_left(switch)
         self._assignments.append(blue)
         return blue
 
@@ -155,6 +202,8 @@ class CapacityTracker:
         restored = blue - self._drained
         for switch in restored:
             self._residual[switch] += 1
+            if self._residual[switch] == 1:
+                self._switch_entered(switch)
         return restored
 
     def drain(self, switch: NodeId) -> int:
@@ -176,6 +225,8 @@ class CapacityTracker:
         forfeited = self._residual[switch]
         self._residual[switch] = 0
         self._drained.add(switch)
+        if forfeited > 0:
+            self._switch_left(switch)
         return forfeited
 
     def reset(self) -> None:
@@ -183,6 +234,7 @@ class CapacityTracker:
         self._residual = dict(self._initial)
         self._assignments = []
         self._drained = set()
+        self._rebuild_availability()
 
     def utilization_of_capacity(self) -> float:
         """Fraction of the in-service aggregation capacity consumed so far.

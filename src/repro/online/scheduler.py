@@ -10,6 +10,23 @@ The paper's headline observation — that SOAR remains the best performer in
 the online setting even though it is only proven optimal per-workload — is
 reproduced by :func:`run_online_sequence` over a mixed stream of uniform and
 power-law workloads.
+
+Batched arrivals
+----------------
+When the strategy is SOAR, the arrival loop no longer places one workload
+at a time: arrivals are chunked through
+:meth:`repro.core.solver.Solver.solve_many` *speculatively* against the
+availability set at the chunk's start.  The speculation is sound because
+``Λ_t`` only changes when an assignment exhausts some switch's residual
+capacity — the common case (capacity to spare) keeps Λ fixed across many
+consecutive arrivals.  Before committing each speculative placement, the
+loop re-checks Λ (an O(1) identity check, the tracker caches the frozen
+set); on the first mismatch the rest of the chunk is discarded and
+re-solved against the new Λ, so every recorded placement is **bit-identical**
+to the one-at-a-time loop.  Per-arrival costs and all-red baselines are
+evaluated by the flat cost kernel over one structural
+:class:`~repro.core.flat.FlatCostModel` shared across the whole sequence
+(the topology never changes; loads arrive per workload).
 """
 
 from __future__ import annotations
@@ -19,8 +36,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines.strategies import PlacementStrategy
-from repro.core.cost import all_red_cost, utilization_cost
+from repro.baselines.strategies import PlacementStrategy, soar_strategy
+from repro.core.cost import evaluate_cost
+from repro.core.flat import cost_model_for
+from repro.core.solver import Solver
 from repro.core.tree import NodeId, TreeNetwork
 from repro.online.capacity import CapacityTracker
 from repro.workload.distributions import (
@@ -28,6 +47,11 @@ from repro.workload.distributions import (
     UniformLoadDistribution,
     sample_leaf_loads,
 )
+
+#: Arrivals speculatively solved per :meth:`Solver.solve_many` chunk when
+#: the strategy is SOAR.  Modest on purpose: a chunk is wasted work beyond
+#: the first Λ change, and bounded capacity changes Λ every few arrivals.
+DEFAULT_ARRIVAL_BATCH: int = 4
 
 
 @dataclass
@@ -100,6 +124,58 @@ def generate_workload_sequence(
     return sequence
 
 
+def _run_soar_batched(
+    tree: TreeNetwork,
+    workloads: Sequence[Mapping[NodeId, int]],
+    solver: Solver,
+    budget: int,
+    result: OnlineRunResult,
+    tracker: CapacityTracker,
+    batch_size: int,
+) -> OnlineRunResult:
+    """The SOAR arrival loop, chunked through :meth:`Solver.solve_many`.
+
+    Each chunk is solved speculatively against the Λ at its start; a
+    placement only commits while Λ is still that very set (the tracker
+    returns the identical frozenset object until availability changes, so
+    the guard is O(1)).  On the first Λ change the remaining speculative
+    answers are discarded and the chunk restarts there — recorded results
+    are therefore bit-identical to the serial loop.
+    """
+    model = cost_model_for(tree)
+    sequence = list(workloads)
+    index = 0
+    while index < len(sequence):
+        available = tracker.available()
+        chunk = sequence[index : index + batch_size]
+        chunk_trees = [
+            tree.with_loads(loads, available=available) for loads in chunk
+        ]
+        placements = solver.solve_many(
+            (workload_tree, budget) for workload_tree in chunk_trees
+        )
+        for loads, workload_tree, placement in zip(chunk, chunk_trees, placements):
+            current = tracker.available()
+            if current is not available and current != available:
+                break  # Λ churned mid-chunk: the rest was solved for a stale Λ
+            blue = placement.blue_nodes  # ⊆ Λ and |blue| <= budget by construction
+            tracker.consume(blue)
+            baseline = evaluate_cost(
+                workload_tree, frozenset(), loads=loads, validate=False, model=model
+            )
+            result.workloads.append(
+                WorkloadResult(
+                    index=index,
+                    blue_nodes=blue,
+                    cost=placement.cost,
+                    all_red_cost=baseline,
+                    available_switches=len(available),
+                )
+            )
+            index += 1
+    return result
+
+
 def run_online_sequence(
     tree: TreeNetwork,
     workloads: Sequence[Mapping[NodeId, int]],
@@ -107,6 +183,7 @@ def run_online_sequence(
     budget: int,
     capacity: int | Mapping[NodeId, int],
     strategy_name: str = "strategy",
+    batch_size: int = DEFAULT_ARRIVAL_BATCH,
 ) -> OnlineRunResult:
     """Run a placement strategy over an online sequence of workloads.
 
@@ -121,12 +198,18 @@ def run_online_sequence(
         Any :data:`~repro.baselines.strategies.PlacementStrategy`
         (SOAR included).  The strategy sees a tree whose loads are the
         current workload and whose availability set is the residual Λ_t.
+        The SOAR strategy is recognized and routed through the batched
+        :meth:`~repro.core.solver.Solver.solve_many` arrival loop (see
+        the module docstring); results are bit-identical either way.
     budget:
         Per-workload bound ``k`` on the number of aggregation switches.
     capacity:
         Per-switch aggregation capacity ``a(s)`` (scalar or mapping).
     strategy_name:
         Label recorded in the result (used by the experiment harness).
+    batch_size:
+        Chunk size of the speculative SOAR batching (ignored for other
+        strategies); ``1`` restores the strictly serial loop.
 
     Returns
     -------
@@ -143,15 +226,26 @@ def run_online_sequence(
         capacity=scalar_capacity,
     )
 
+    if strategy is soar_strategy and batch_size > 1:
+        return _run_soar_batched(
+            tree, workloads, Solver(), budget, result, tracker, batch_size
+        )
+
+    # Serial loop for arbitrary strategies; the per-arrival cost and
+    # baseline are still evaluated by the flat cost kernel over one
+    # structural model shared across the sequence.
+    model = cost_model_for(tree)
     for index, loads in enumerate(workloads):
         available = tracker.available()
-        workload_tree = tree.with_loads(loads).with_available(available)
+        workload_tree = tree.with_loads(loads, available=available)
         blue = frozenset(strategy(workload_tree, budget)) & available
         if len(blue) > budget:
             blue = frozenset(sorted(blue, key=repr)[:budget])
         tracker.consume(blue)
-        cost = utilization_cost(workload_tree, blue)
-        baseline = all_red_cost(workload_tree)
+        cost = evaluate_cost(workload_tree, blue, loads=loads, model=model)
+        baseline = evaluate_cost(
+            workload_tree, frozenset(), loads=loads, validate=False, model=model
+        )
         result.workloads.append(
             WorkloadResult(
                 index=index,

@@ -19,12 +19,20 @@ Module tour
     :class:`repro.GatherTable` artifacts keyed by (structure fingerprint,
     Λ fingerprint, loads digest, budget semantics, engine).  A table
     gathered at budget ``k`` answers every budget ``k' <= k`` through
-    ``table.place(k')`` (*budget upcasting*) — a batched colour trace and
-    nothing else, since the artifact owns its workload network — and a
-    per-budget solution memo answers exact repeats without even a colour
-    trace.  Keys digest everything a gather depends on, so hits are always
-    bitwise-correct; invalidation (after drains) only reclaims entries that
-    can never be looked up again.
+    ``table.place(k')`` (*budget upcasting*) — a batched colour trace plus
+    the flat cost-kernel recompute (:data:`repro.core.cost.COST_KERNELS`),
+    both over tensors the artifact already carries, since it owns its
+    workload network — and a per-budget solution memo answers exact
+    repeats without even a colour trace.  Keys digest everything a gather
+    depends on, so hits are always bitwise-correct; the digests themselves
+    stay warm too (the Λ fingerprint is maintained incrementally by the
+    capacity tracker, admitted tenants carry their loads digest), and
+    invalidation (after drains) only reclaims entries that can never be
+    looked up again.  The warm-hit latency split —
+    ``table_hit_ms`` / ``pr3_warm_ms`` / ``legacy_warm_ms`` /
+    ``cost_flat_ms`` / ``cost_reference_ms`` / ``cost_kernel_speedup`` —
+    is published by ``benchmarks/bench_service.py`` into
+    ``benchmarks/results/service_throughput.csv``.
 
 :mod:`repro.service.api`
     The typed request surface — ``Solve``, ``Sweep``, ``Admit``,

@@ -29,6 +29,22 @@ bit-identical to cold calls of :meth:`repro.core.solver.Solver.solve` /
 :meth:`~repro.core.solver.Solver.sweep` on the equivalent instance;
 ``tests/test_service.py`` enforces this across seeded churn traces.
 
+The warm path
+-------------
+A gather-table cache hit is served by ``table.place()`` alone: the
+level-batched colour trace plus the flat cost-kernel recompute
+(:data:`repro.core.cost.COST_KERNELS`), both running over tensors the
+artifact already carries — no tree reconstruction, no per-node Python walk.
+The digests feeding the cache key are kept warm the same way: the Λ
+fingerprint is maintained *incrementally* by the capacity tracker across
+admit/release/drain (O(changed switches) per mutation instead of a full
+re-digest), and each admitted tenant's loads digest is computed once and
+carried on its :class:`~repro.service.state.TenantRecord`, so drain
+re-placement never re-digests a displaced workload.  The resulting latency
+split is reported by ``benchmarks/bench_service.py`` as the
+``table_hit_ms`` / ``cost_flat_ms`` / ``cost_kernel_speedup`` columns of
+``benchmarks/results/service_throughput.csv``.
+
 Batching
 --------
 :meth:`PlacementService.submit_batch` is the request loop: it scans each
@@ -47,13 +63,13 @@ from dataclasses import dataclass, field
 from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.color import DEFAULT_COLOR
+from repro.core.cost import COST_KERNELS, DEFAULT_COST
 from repro.core.engine import DEFAULT_ENGINE, ENGINES
 from repro.core.solver import Solver
 from repro.core.tree import (
     NodeId,
     TreeNetwork,
     fingerprint_loads,
-    fingerprint_nodes,
 )
 from repro.exceptions import InvalidBudgetError, WorkloadError
 from repro.service.cache import CachedSolution, CacheKey, GatherTableCache
@@ -295,6 +311,10 @@ class PlacementService:
         Colour kernel placements are traced with (see
         :mod:`repro.core.color`); the batched default is what keeps warm
         table hits cheap.
+    cost_kernel:
+        Cost kernel placements' achieved utilization is recomputed with
+        (see :data:`repro.core.cost.COST_KERNELS`); the flat default is
+        the other half of the cheap warm hit.
     """
 
     def __init__(
@@ -304,19 +324,28 @@ class PlacementService:
         engine: str = DEFAULT_ENGINE,
         cache_entries: int = 64,
         color: str = DEFAULT_COLOR,
+        cost_kernel: str = DEFAULT_COST,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
             )
+        if cost_kernel not in COST_KERNELS:
+            raise ValueError(
+                f"unknown cost kernel {cost_kernel!r}; "
+                f"expected one of {sorted(COST_KERNELS)}"
+            )
         self._state = FleetState(tree, capacity)
         self._cache = GatherTableCache(max_entries=cache_entries)
         self._engine = engine
         self._color = color
+        self._cost_kernel = cost_kernel
         # One immutable solver per budget semantics, bound to the service's
-        # engine and colour kernel once.
+        # engine, colour kernel, and cost kernel once.
         self._solvers = {
-            exact_k: Solver(engine=engine, exact_k=exact_k, color=color)
+            exact_k: Solver(
+                engine=engine, exact_k=exact_k, color=color, cost_kernel=cost_kernel
+            )
             for exact_k in (False, True)
         }
         self._structure_fp = tree.structure_fingerprint()
@@ -328,11 +357,6 @@ class PlacementService:
         # Digests computed while planning, reused when the same request
         # object is served (keyed by identity; cleared with the plan).
         self._planned_loads_fp: dict[int, str] = {}
-        # Λ and its fingerprint change only on admit/release/drain; caching
-        # them keeps the solution-memo fast path free of per-request
-        # O(n log n) digesting.
-        self._cached_available: frozenset[NodeId] | None = None
-        self._cached_availability_fp: str | None = None
 
     # ------------------------------------------------------------------ #
     # views
@@ -356,29 +380,26 @@ class PlacementService:
     def color(self) -> str:
         return self._color
 
+    @property
+    def cost_kernel(self) -> str:
+        return self._cost_kernel
+
     def solver(self, exact_k: bool = False) -> Solver:
         """The service's bound :class:`~repro.core.solver.Solver` for the semantics."""
         return self._solvers[bool(exact_k)]
 
     def available(self) -> frozenset[NodeId]:
-        """Current availability set Λ_t (cached between fleet mutations)."""
-        if self._cached_available is None:
-            self._cached_available = self._state.available()
-            self._cached_availability_fp = fingerprint_nodes(self._cached_available)
-        return self._cached_available
-
-    def _fleet_mutated(self) -> None:
-        """Drop the Λ caches after any capacity-changing operation."""
-        self._cached_available = None
-        self._cached_availability_fp = None
+        """Current availability set Λ_t (maintained by the capacity tracker)."""
+        return self._state.available()
 
     # ------------------------------------------------------------------ #
     # cached solving
     # ------------------------------------------------------------------ #
 
     def _availability_fingerprint(self) -> str:
-        self.available()
-        return self._cached_availability_fp
+        # The tracker maintains the digest incrementally across
+        # admit/release/drain, so this is O(1) on every request.
+        return self._state.availability_fingerprint()
 
     def _key(self, loads_fp: str, exact_k: bool) -> CacheKey:
         return CacheKey(
@@ -540,7 +561,13 @@ class PlacementService:
     def _handle_admit(self, request: AdmitRequest) -> AdmitResponse:
         start = time.perf_counter()
         loads = _freeze_loads(request.loads)
-        placement = self._solve_cached(loads, request.budget, request.exact_k)
+        # Digest the workload once: the solve keys the cache with it and
+        # the record carries it, so a later drain re-places this tenant
+        # without recomputing the full loads digest.
+        loads_fp = fingerprint_loads(loads)
+        placement = self._solve_cached(
+            loads, request.budget, request.exact_k, loads_fp=loads_fp
+        )
         record = TenantRecord(
             tenant_id=request.tenant_id,
             loads=loads,
@@ -549,9 +576,9 @@ class PlacementService:
             blue_nodes=placement.blue_nodes,
             cost=placement.cost,
             predicted_cost=placement.predicted_cost,
+            loads_fp=loads_fp,
         )
         self._state.register(record)
-        self._fleet_mutated()
         return AdmitResponse(
             tenant_id=request.tenant_id,
             blue_nodes=placement.blue_nodes,
@@ -566,7 +593,6 @@ class PlacementService:
     def _handle_release(self, request: ReleaseRequest) -> ReleaseResponse:
         start = time.perf_counter()
         _, restored = self._state.withdraw(request.tenant_id)
-        self._fleet_mutated()
         return ReleaseResponse(
             tenant_id=request.tenant_id,
             restored=restored,
@@ -576,11 +602,14 @@ class PlacementService:
     def _handle_drain(self, request: DrainRequest) -> DrainResponse:
         start = time.perf_counter()
         displaced = self._state.drain(request.switch)
-        self._fleet_mutated()
         invalidated = self._cache.invalidate_switches({request.switch})
         replacements: list[Replacement] = []
         for record in displaced:
-            placement = self._solve_cached(record.loads, record.budget, record.exact_k)
+            # The record carries the loads digest from admission time, so
+            # re-placing a displaced tenant skips the full recompute.
+            placement = self._solve_cached(
+                record.loads, record.budget, record.exact_k, loads_fp=record.loads_fp
+            )
             self._state.register(
                 TenantRecord(
                     tenant_id=record.tenant_id,
@@ -590,10 +619,10 @@ class PlacementService:
                     blue_nodes=placement.blue_nodes,
                     cost=placement.cost,
                     predicted_cost=placement.predicted_cost,
+                    loads_fp=record.loads_fp,
                 ),
                 new_admission=False,
             )
-            self._fleet_mutated()
             replacements.append(
                 Replacement(
                     tenant_id=record.tenant_id,

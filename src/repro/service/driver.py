@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
 from repro.core.color import DEFAULT_COLOR
+from repro.core.cost import DEFAULT_COST
 from repro.core.engine import DEFAULT_ENGINE
 from repro.core.solver import Solver
 from repro.core.tree import NodeId, TreeNetwork
@@ -243,6 +244,7 @@ def replay_trace(
     verify: bool = False,
     service: PlacementService | None = None,
     color: str | None = None,
+    cost_kernel: str | None = None,
 ) -> ReplayReport:
     """Replay a trace against a (fresh or supplied) service and measure it.
 
@@ -271,6 +273,10 @@ def replay_trace(
         Colour kernel for a fresh service (default: the library default);
         ``"reference"`` replays with the per-node trace, which is how the
         colour-phase benchmark isolates the batched kernel's contribution.
+    cost_kernel:
+        Cost kernel for a fresh service (default: the library default);
+        ``"reference"`` replays with the per-node Eq. (1) walk, isolating
+        the flat cost kernel's contribution the same way.
     """
     if service is None:
         service = PlacementService(
@@ -279,6 +285,7 @@ def replay_trace(
             engine=engine or DEFAULT_ENGINE,
             cache_entries=cache_entries,
             color=color or DEFAULT_COLOR,
+            cost_kernel=cost_kernel or DEFAULT_COST,
         )
     node_index = _node_index(tree)
     records: list[ReplayRecord] = []

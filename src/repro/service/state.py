@@ -45,6 +45,12 @@ class TenantRecord:
         Utilization complexity of the placement at admission time.
     predicted_cost:
         The gather-table optimum ``X_r(1, k)`` for the same solve.
+    loads_fp:
+        Digest of ``loads`` (:func:`repro.core.tree.fingerprint_loads`),
+        computed once at admission and carried with the record so drain
+        re-placement keys the cache without re-digesting the workload.
+        ``None`` for records built by callers that never digested the
+        loads (the service recomputes on demand).
     """
 
     tenant_id: str
@@ -54,6 +60,7 @@ class TenantRecord:
     blue_nodes: frozenset[NodeId]
     cost: float
     predicted_cost: float
+    loads_fp: str | None = None
 
 
 class FleetState:
@@ -123,8 +130,16 @@ class FleetState:
             raise WorkloadError(f"no active tenant with id {tenant_id!r}") from exc
 
     def available(self) -> frozenset[NodeId]:
-        """The availability set ``Λ_t`` for the next placement."""
+        """The availability set ``Λ_t`` for the next placement.
+
+        The tracker maintains the set incrementally, so repeated calls
+        between mutations return the same cached frozenset object.
+        """
         return self._tracker.available()
+
+    def availability_fingerprint(self) -> str:
+        """Digest of ``Λ_t``, maintained incrementally by the tracker."""
+        return self._tracker.availability_fingerprint()
 
     def tenants_using(self, switch: NodeId) -> tuple[TenantRecord, ...]:
         """Active tenants whose placement occupies ``switch`` (arrival order)."""

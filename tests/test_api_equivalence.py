@@ -1,13 +1,7 @@
-"""API-equivalence suite: deprecated shims vs the staged ``Solver`` path.
+"""API-equivalence suite for the staged ``Solver`` path and its kernels.
 
 Three contracts, each enforced on hundreds of seeded random instances:
 
-* the deprecated free functions (:func:`repro.core.soar.solve`,
-  :func:`~repro.core.soar.solve_budget_sweep`,
-  :func:`~repro.core.soar.optimal_cost`) return **bit-identical**
-  placements, costs, and predicted costs to the staged
-  ``Solver`` / ``GatherTable`` / ``Placement`` path — same floats, not
-  approximately-equal floats;
 * the level-batched colour kernel traces exactly the same blue set as the
   per-node reference trace, out of both engines' tables, at every budget a
   table carries — including on adversarial near-tie instances where every
@@ -15,8 +9,11 @@ Three contracts, each enforced on hundreds of seeded random instances:
 * reusing a gather artifact under the wrong provenance raises
   (:class:`~repro.exceptions.SemanticsMismatchError` /
   :class:`~repro.exceptions.EngineMismatchError`) instead of silently
-  tracing answers for a different problem — the regression tests pin the
-  historical ``solve(..., gathered=...)`` hole.
+  tracing answers for a different problem;
+* no internal path emits a ``DeprecationWarning`` — the pre-``Solver``
+  free-function shims (``solve`` / ``solve_budget_sweep`` /
+  ``optimal_cost``) completed their deprecation cycle and were removed,
+  and nothing may quietly grow a replacement.
 """
 
 from __future__ import annotations
@@ -28,7 +25,6 @@ import pytest
 from repro.core.color import soar_color, soar_color_batched
 from repro.core.engine import flat_gather, gather
 from repro.core.gather import soar_gather
-from repro.core.soar import optimal_cost, solve, solve_budget_sweep
 from repro.core.solver import GatherTable, Solver
 from repro.exceptions import (
     EngineMismatchError,
@@ -37,66 +33,19 @@ from repro.exceptions import (
 )
 from repro.testing import instance_stream, near_tie_stream
 
-# The shims are exercised on purpose throughout this module.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
+class TestRemovedShims:
+    """The deprecated free functions are gone, not just quietly broken."""
 
-def _assert_same_solution(legacy, placement) -> None:
-    """Bitwise agreement between a legacy SoarSolution and a Placement."""
-    assert legacy.cost == placement.cost
-    assert legacy.predicted_cost == placement.predicted_cost
-    assert legacy.blue_nodes == placement.blue_nodes
-    assert legacy.budget == placement.budget
+    def test_free_functions_removed(self):
+        import repro
+        import repro.core
 
-
-class TestShimEquivalence:
-    """Deprecated entry points are bit-identical to the staged path."""
-
-    @pytest.mark.parametrize("exact_k", [False, True])
-    def test_two_hundred_instances_solve(self, exact_k):
-        count = 0
-        for tree, budget in instance_stream(seed=31337, count=200, max_switches=12):
-            solver = Solver(exact_k=exact_k)
-            _assert_same_solution(
-                solve(tree, budget, exact_k=exact_k), solver.solve(tree, budget)
-            )
-            count += 1
-        assert count == 200
-
-    def test_sweep_and_cost_equivalence(self):
-        for tree, budget in instance_stream(seed=4242, count=40, max_switches=12):
-            budgets = range(min(budget, len(tree.available)) + 1)
-            legacy = solve_budget_sweep(tree, budgets)
-            staged = Solver().sweep(tree, budgets)
-            assert set(legacy) == set(staged)
-            for k in legacy:
-                _assert_same_solution(legacy[k], staged[k])
-            assert optimal_cost(tree, budget) == Solver().cost(tree, budget)
-
-    def test_shim_table_reuse_is_identical(self, paper_tree):
-        solver = Solver()
-        table = solver.gather(paper_tree, 4)
-        for budget in range(5):
-            _assert_same_solution(
-                solve(paper_tree, budget, gathered=table), table.place(budget)
-            )
-
-    def test_shim_regathers_when_table_too_narrow(self, paper_tree):
-        narrow = Solver().gather(paper_tree, 1)
-        solution = solve(paper_tree, 3, gathered=narrow)
-        # The shim's historical contract: honour the larger budget by
-        # re-gathering rather than clamping to the narrow table.
-        assert solution.budget == 3
-        assert solution.gather.budget >= 3
-        _assert_same_solution(solution, Solver().solve(paper_tree, 3))
-
-    def test_every_shim_warns(self, paper_tree):
-        with pytest.warns(DeprecationWarning, match="solve.*deprecated"):
-            solve(paper_tree, 2)
-        with pytest.warns(DeprecationWarning, match="solve_budget_sweep.*deprecated"):
-            solve_budget_sweep(paper_tree, [1, 2])
-        with pytest.warns(DeprecationWarning, match="optimal_cost.*deprecated"):
-            optimal_cost(paper_tree, 2)
+        for name in ("solve", "solve_budget_sweep", "optimal_cost", "SoarSolution"):
+            assert not hasattr(repro, name), name
+            assert not hasattr(repro.core, name), name
+        with pytest.raises(ModuleNotFoundError):
+            import repro.core.soar  # noqa: F401
 
 
 class TestBatchedColorExactness:
@@ -145,13 +94,45 @@ class TestBatchedColorExactness:
         assert batched.cost == reference.cost
 
 
-class TestReuseMismatchRegression:
-    """Regression: mismatched ``gathered=`` reuse raises instead of lying.
+class TestSolverKernelEquivalence:
+    """Every (engine, color, cost_kernel) combination is bit-identical."""
 
-    Historically ``solve(tree, k, exact_k=True, gathered=g)`` with tables
-    gathered under ``exact_k=False`` silently traced the at-most-k optimum
-    and reported it as the exactly-k answer (and vice versa), corrupting
-    whole sweeps.  The artifact now carries its semantics and engine.
+    def test_kernel_grid_on_seeded_instances(self):
+        configurations = [
+            Solver(),
+            Solver(engine="reference"),
+            Solver(color="reference"),
+            Solver(cost_kernel="reference"),
+            Solver(engine="reference", color="reference", cost_kernel="reference"),
+        ]
+        for tree, budget in instance_stream(seed=31337, count=40, max_switches=12):
+            baseline = configurations[0].solve(tree, budget)
+            for solver in configurations[1:]:
+                other = solver.solve(tree, budget)
+                assert other.blue_nodes == baseline.blue_nodes
+                assert other.cost == baseline.cost
+                assert other.predicted_cost == baseline.predicted_cost
+                assert other.budget == baseline.budget
+
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_semantics_produce_distinct_tables_but_stable_answers(self, exact_k):
+        for tree, budget in instance_stream(seed=4242, count=20, max_switches=10):
+            solver = Solver(exact_k=exact_k)
+            table = solver.gather(tree, budget)
+            sweep = table.sweep(range(table.budget + 1))
+            for k, placement in sweep.items():
+                again = table.place(k)
+                assert again.blue_nodes == placement.blue_nodes
+                assert again.cost == placement.cost
+
+
+class TestReuseMismatchRegression:
+    """Mismatched artifact reuse raises instead of lying.
+
+    Historically the free-function API silently traced tables gathered
+    under one budget semantics as answers for the other (and engine
+    provenance was unchecked), corrupting whole sweeps.  The artifact
+    carries its semantics and engine and refuses the mismatch.
     """
 
     def _zero_load_tree(self):
@@ -165,26 +146,24 @@ class TestReuseMismatchRegression:
             loads={"a": 5, "b": 0},
         )
 
-    def test_semantics_mismatch_via_shim(self):
+    def test_semantics_mismatch_raises_and_honest_reuse_differs(self):
         tree = self._zero_load_tree()
-        exact_tables = gather(tree, 3, exact_k=True)
+        exact_table = Solver(exact_k=True).gather(tree, 3)
+        at_most_table = Solver().gather(tree, 3)
         with pytest.raises(SemanticsMismatchError):
-            solve(tree, 3, gathered=exact_tables)  # exact_k defaults to False
-        at_most_tables = gather(tree, 3)
+            exact_table.require(exact_k=False)
         with pytest.raises(SemanticsMismatchError):
-            solve(tree, 3, exact_k=True, gathered=at_most_tables)
+            at_most_table.require(exact_k=True)
         # The honest reuses still work and differ from each other — which is
         # exactly why the silent mix-up used to corrupt sweeps.
-        exact = solve(tree, 3, exact_k=True, gathered=exact_tables)
-        at_most = solve(tree, 3, gathered=at_most_tables)
-        assert exact.cost != at_most.cost
+        assert exact_table.place(3).cost != at_most_table.place(3).cost
 
-    def test_engine_mismatch_via_shim(self, paper_tree):
-        reference_tables = soar_gather(paper_tree, 2)
+    def test_engine_mismatch_on_the_artifact(self, paper_tree):
+        reference_table = Solver(engine="reference").gather(paper_tree, 2)
         with pytest.raises(EngineMismatchError):
-            solve(paper_tree, 2, gathered=reference_tables)  # engine="flat"
-        matched = solve(paper_tree, 2, gathered=reference_tables, engine="reference")
-        assert matched.cost == 20.0
+            reference_table.require(engine="flat")
+        reference_table.require(engine="reference")  # matching: no raise
+        assert reference_table.place(2).cost == 20.0
 
     def test_require_on_the_artifact(self, paper_tree):
         table = Solver(engine="flat", exact_k=True).gather(paper_tree, 2)
@@ -201,19 +180,15 @@ class TestReuseMismatchRegression:
         assert issubclass(EngineMismatchError, TableMismatchError)
         assert issubclass(SemanticsMismatchError, TableMismatchError)
 
-    def test_gather_table_shim_interop(self, paper_tree):
-        # A GatherTable artifact can be passed where legacy code expects
-        # ``gathered=`` and keeps its provenance checks.
+    def test_artifact_provenance_fields(self, paper_tree):
         table = Solver(engine="reference").gather(paper_tree, 3)
         assert isinstance(table, GatherTable)
-        with pytest.raises(EngineMismatchError):
-            solve(paper_tree, 2, gathered=table)  # engine="flat" default
-        solution = solve(paper_tree, 2, gathered=table, engine="reference")
-        _assert_same_solution(solution, table.place(2))
+        assert table.engine == "reference"
+        assert table.fingerprint == paper_tree.fingerprint()
 
 
 class TestWarningHygiene:
-    """The library itself never routes through its own deprecated shims."""
+    """No internal path emits a DeprecationWarning."""
 
     def test_internal_paths_warn_free(self, paper_tree):
         with warnings.catch_warnings():

@@ -169,3 +169,28 @@ class TestOnlineRun:
         top_baseline = [item.all_red_cost for item in outcomes["Top"].workloads]
         soar_baseline = [item.all_red_cost for item in outcomes["SOAR"].workloads]
         assert top_baseline == soar_baseline
+
+    @pytest.mark.parametrize(
+        "capacity,budget,batch_size",
+        [(1, 8, 4), (2, 6, 4), (3, 4, 8), (4, 3, 2)],
+    )
+    def test_batched_soar_bit_identical_to_serial(self, capacity, budget, batch_size):
+        # The speculative solve_many batching must replicate the serial
+        # greedy order exactly — tight capacities force Λ to churn inside
+        # chunks, exercising the mid-chunk discard-and-resolve path.
+        tree = complete_binary_tree(16)
+        workloads = generate_workload_sequence(tree, 18, rng=13)
+        serial = run_online_sequence(
+            tree, workloads, soar_strategy, budget, capacity, "SOAR", batch_size=1
+        )
+        batched = run_online_sequence(
+            tree, workloads, soar_strategy, budget, capacity, "SOAR",
+            batch_size=batch_size,
+        )
+        assert len(serial.workloads) == len(batched.workloads) == len(workloads)
+        for left, right in zip(serial.workloads, batched.workloads):
+            assert left.index == right.index
+            assert left.blue_nodes == right.blue_nodes
+            assert left.cost == right.cost
+            assert left.all_red_cost == right.all_red_cost
+            assert left.available_switches == right.available_switches

@@ -16,7 +16,7 @@ PUBLIC_MODULES = [
     "repro.core.cost",
     "repro.core.gather",
     "repro.core.color",
-    "repro.core.soar",
+    "repro.core.flat",
     "repro.core.bruteforce",
     "repro.baselines",
     "repro.baselines.strategies",
@@ -74,9 +74,16 @@ def test_package_all_exports_resolve(package_name):
 
 
 def test_public_callables_have_docstrings():
-    from repro.core import soar, tree
+    from repro.core import cost, solver, tree
 
-    for obj in (soar.solve, soar.solve_budget_sweep, tree.TreeNetwork, tree.TreeNetwork.with_loads):
+    for obj in (
+        solver.Solver.solve,
+        solver.GatherTable.place,
+        cost.evaluate_cost,
+        cost.utilization_cost_flat,
+        tree.TreeNetwork,
+        tree.TreeNetwork.with_loads,
+    ):
         assert obj.__doc__
 
 

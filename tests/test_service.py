@@ -579,10 +579,13 @@ class TestServiceAcceptance:
         assert "table_hit_mean_ms" in summary and "memo_hit_mean_ms" in summary
 
     def test_bt1024_table_hit_beats_legacy_warm_path_3x(self):
-        # The colour-only warm hit: GatherTable.place (batched trace + cost
-        # recompute on the artifact's own network) versus what PR 2's warm
-        # path did for the same hit (rebuild the workload network, per-node
-        # reference trace, cost recompute).  Same bits out, ≥ 3x faster.
+        # The warm hit, three generations deep: GatherTable.place (batched
+        # trace + flat cost kernel) versus the PR 3 path (batched trace +
+        # per-node cost recompute) versus what PR 2's warm path did for the
+        # same hit (rebuild the workload network, per-node reference trace,
+        # per-node cost).  Same bits out of all three; ≥ 2x over PR 3 and
+        # ≥ 3x over legacy, with the flat cost kernel itself ahead of the
+        # per-node walk.
         from benchmarks.bench_service import warm_path_rows
 
         rows = warm_path_rows(1024)
@@ -590,6 +593,11 @@ class TestServiceAcceptance:
             f"table-hit path only {rows[0]['warm_path_speedup']:.2f}x faster "
             "than the legacy warm path"
         )
+        assert rows[0]["warm_speedup_vs_pr3"] >= 2.0, (
+            f"table-hit path only {rows[0]['warm_speedup_vs_pr3']:.2f}x faster "
+            "than the PR 3 warm path"
+        )
+        assert rows[0]["cost_kernel_speedup"] > 1.0
 
     def test_long_churn_differential_sweep(self):
         rng = np.random.default_rng(77)
