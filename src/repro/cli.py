@@ -22,6 +22,13 @@ and cache hit-rate::
     soar-repro serve-replay --requests 200 --network-size 1024
     soar-repro serve-replay --record /tmp/churn.jsonl
     soar-repro serve-replay --trace /tmp/churn.jsonl --verify
+
+Drive it concurrently, journal the churn, snapshot the final fleet, and
+later resume from the snapshot (the journal tail is replayed on restore)::
+
+    soar-repro serve-replay --workers 4 --verify
+    soar-repro serve-replay --journal /tmp/fleet.jsonl --snapshot /tmp/fleet.json
+    soar-repro serve-replay --restore /tmp/fleet.json --journal /tmp/fleet.jsonl --requests 50
 """
 
 from __future__ import annotations
@@ -176,11 +183,23 @@ def _cmd_serve_replay(args: argparse.Namespace) -> list[dict]:
         config=_config(args),
         trace_path=args.trace,
         record_path=args.record,
+        workers=args.workers,
+        journal_path=args.journal,
+        restore_path=args.restore,
+        snapshot_path=args.snapshot,
     )
     if args.trace:
         print(f"replayed {report.num_requests} recorded requests from {args.trace}")
     if args.record:
         print(f"recorded {report.num_requests} requests to {args.record}")
+    if args.restore:
+        print(f"restored the service from snapshot {args.restore}")
+    if args.journal:
+        print(f"journaled mutating requests to {args.journal}")
+    if args.snapshot:
+        print(f"wrote the final fleet snapshot to {args.snapshot}")
+    if args.workers > 1:
+        print(f"drove the replay with {args.workers} worker threads")
     return rows
 
 
@@ -271,6 +290,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="differentially verify every response against a cold solve",
+    )
+    sub_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads driving the replay (mutating requests stay "
+        "barriers; payloads are bit-identical to --workers 1)",
+    )
+    sub_serve.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        help="append mutating requests to this write-ahead journal (JSON-lines)",
+    )
+    sub_serve.add_argument(
+        "--snapshot",
+        type=str,
+        default=None,
+        help="write a versioned snapshot of the final fleet state to this file",
+    )
+    sub_serve.add_argument(
+        "--restore",
+        type=str,
+        default=None,
+        help="restore the service from this snapshot before replaying "
+        "(with --journal, the journal tail is replayed and appends resume)",
     )
 
     sub_all = subparsers.add_parser("all", help="run every figure in sequence")

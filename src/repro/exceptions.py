@@ -89,6 +89,16 @@ class WorkloadError(ReproError):
     """A workload description is malformed (e.g. negative loads, unknown switches)."""
 
 
+class PersistenceError(ReproError):
+    """A fleet snapshot or write-ahead journal cannot be used.
+
+    Raised when a snapshot's format version is unknown, when a snapshot or
+    journal was recorded for a different network (structure fingerprints
+    disagree), or when a journal is attached to a service whose mutation
+    history it does not describe.
+    """
+
+
 class SimulationError(ReproError):
     """The event-driven dataplane simulation reached an inconsistent state."""
 

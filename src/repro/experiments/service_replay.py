@@ -44,6 +44,7 @@ ROW_COLUMNS: tuple[str, ...] = (
     "requests",
     "budget",
     "capacity",
+    "workers",
     "row",
     "kind",
     "count",
@@ -68,6 +69,7 @@ ROW_COLUMNS: tuple[str, ...] = (
     "cost_kernel_speedup",
     "warm_speedup_vs_pr3",
     "warm_path_speedup",
+    "concurrent_speedup",
     "verified",
     "engine",
 )
@@ -95,6 +97,10 @@ def run_service_replay(
     config: ExperimentConfig = QUICK_CONFIG,
     trace_path: str | Path | None = None,
     record_path: str | Path | None = None,
+    workers: int = 1,
+    journal_path: str | Path | None = None,
+    restore_path: str | Path | None = None,
+    snapshot_path: str | Path | None = None,
 ) -> tuple[ReplayReport, list[dict]]:
     """Replay a churn trace (generated or recorded) and return (report, rows).
 
@@ -102,6 +108,15 @@ def run_service_replay(
     (after validating its network-identity header against this scenario's
     tree); otherwise a seeded trace is generated.  ``record_path``
     optionally writes the replayed trace (with header) for later replays.
+
+    Crash-safety plumbing: ``journal_path`` attaches a write-ahead
+    :class:`~repro.service.persistence.Journal` to the service (mutating
+    requests are appended as they are applied), ``restore_path`` rebuilds
+    the service from a snapshot file first (replaying the journal's tail
+    when ``journal_path`` is also given), and ``snapshot_path`` writes a
+    snapshot of the final fleet after the replay.  ``workers`` drives the
+    replay from a thread pool (see
+    :func:`repro.service.driver.replay_trace`).
 
     The rows contain one ``summary`` row (throughput, hit rate, warm
     speedup) followed by one row per request kind (count, hits, latency
@@ -111,7 +126,29 @@ def run_service_replay(
     solve/admit budget; ``"mixed"`` when they disagree), so generated and
     recorded replays of the same trace label their rows identically.
     """
+    from repro.service.api import PlacementService
+    from repro.service.persistence import Journal, write_snapshot
+
     tree = apply_rate_scheme(bt_network(config.network_size), rate_scheme)
+    journal = Journal(journal_path, tree=tree) if journal_path is not None else None
+    if restore_path is not None:
+        service = PlacementService.restore(
+            tree,
+            restore_path,
+            journal,
+            engine=config.engine,
+            color=config.color,
+            cost_kernel=config.cost,
+        )
+    else:
+        service = PlacementService(
+            tree,
+            capacity,
+            engine=config.engine,
+            color=config.color,
+            cost_kernel=config.cost,
+            journal=journal,
+        )
     if trace_path is not None:
         check_trace_compatible(tree, trace_header(trace_path))
         trace = read_trace(trace_path)
@@ -122,18 +159,24 @@ def run_service_replay(
             seed=config.seed,
             budget=budget,
             workload_pool=workload_pool,
+            # A restored registry may still hold tenants from its previous
+            # life; start the generated tenant numbering past every id the
+            # service has ever admitted so the trace cannot collide.
+            tenant_offset=service.state.admitted_total,
         )
     if record_path is not None:
         write_trace(trace, record_path, tree=tree)
     report = replay_trace(
         tree,
         trace,
-        capacity=capacity,
-        engine=config.engine,
-        color=config.color,
-        cost_kernel=config.cost,
         verify=verify,
+        service=service,
+        workers=workers,
     )
+    if snapshot_path is not None:
+        write_snapshot(service.snapshot(), snapshot_path)
+    if journal is not None:
+        journal.close()
 
     solve_budgets = {
         event.budget
@@ -151,6 +194,7 @@ def run_service_replay(
         "requests": len(trace),
         "budget": budget_label,
         "capacity": capacity,
+        "workers": workers,
     }
     return report, report_rows(report, scenario)
 

@@ -236,6 +236,62 @@ class CapacityTracker:
         self._drained = set()
         self._rebuild_availability()
 
+    # ------------------------------------------------------------------ #
+    # serialization hooks (fleet snapshots, :mod:`repro.service.persistence`)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-serializable view of the tracker's mutable state.
+
+        Switches are stringified (``str(switch)``, the same convention as
+        trace events) so the payload survives JSON round-trips regardless
+        of the node-id type; :meth:`load_state` resolves the names back
+        against a caller-supplied index.  Captures everything
+        :meth:`load_state` needs to resume bit-identically: initial and
+        residual capacities, the drained set, and the consumed blue sets
+        in arrival order.
+        """
+        return {
+            "initial": {str(s): int(v) for s, v in self._initial.items()},
+            "residual": {str(s): int(v) for s, v in self._residual.items()},
+            "drained": sorted(str(s) for s in self._drained),
+            "assignments": [
+                sorted(str(s) for s in blue) for blue in self._assignments
+            ],
+        }
+
+    def load_state(self, state: Mapping, node_index: Mapping[str, NodeId]) -> None:
+        """Restore a :meth:`state_dict` payload onto this tracker.
+
+        ``node_index`` maps ``str(switch)`` back to node ids (see
+        :func:`repro.service.events.node_index`).  The incremental Λ digest
+        is rebuilt from the restored residuals; the additive multiset
+        construction guarantees it equals the digest an uninterrupted
+        tracker would carry after the same churn.
+
+        Raises
+        ------
+        CapacityError
+            If the payload references switches unknown to this network.
+        """
+
+        def resolve(name: str) -> NodeId:
+            try:
+                return node_index[name]
+            except KeyError as exc:
+                raise CapacityError(
+                    f"capacity snapshot references unknown switch {name!r}"
+                ) from exc
+
+        self._initial = {resolve(n): int(v) for n, v in state["initial"].items()}
+        self._residual = {resolve(n): int(v) for n, v in state["residual"].items()}
+        self._drained = {resolve(n) for n in state.get("drained", [])}
+        self._assignments = [
+            frozenset(resolve(n) for n in blue)
+            for blue in state.get("assignments", [])
+        ]
+        self._rebuild_availability()
+
     def utilization_of_capacity(self) -> float:
         """Fraction of the in-service aggregation capacity consumed so far.
 

@@ -52,7 +52,48 @@ Module tour
     request, report throughput / per-kind latency / hit rate, and (with
     ``verify=True``) assert every placement response is bit-identical to a
     direct cold solve — the differential harness behind
-    ``tests/test_service.py`` and ``soar-repro serve-replay``.
+    ``tests/test_service.py`` and ``soar-repro serve-replay``.  With
+    ``workers=N`` the replay drives the service from a thread pool
+    (mutating requests stay barriers), payload-identical to the serial
+    replay.
+
+:mod:`repro.service.persistence`
+    Crash safety: versioned fleet snapshots
+    (:meth:`PlacementService.snapshot` /
+    :meth:`PlacementService.restore`) and the append-only write-ahead
+    :class:`Journal` of mutating requests (JSON-lines, the same
+    :class:`TraceEvent` format as churn traces).  A restore loads the
+    snapshot, replays the journal tail, and optionally pre-warms the
+    cache from the snapshot's hot workloads; the restored service then
+    answers everything with the same placements, costs, and counters as
+    a service that never went down.
+
+Concurrency guarantees
+----------------------
+:meth:`PlacementService.submit` is thread-safe.  A writer-preferring
+read/write lock serializes mutating requests (admit / release / drain)
+against everything else, while read-only requests (solve / sweep / stats)
+run concurrently: the gather-table cache is internally synchronized and
+the :class:`repro.GatherTable` artifacts it serves are immutable, so warm
+hits trace placements without holding any lock.  Two readers racing to
+gather the same cold key both compute (bit-identical) tables and the
+cache keeps the widest — answers never depend on the interleaving, only
+``cache_hit`` / ``cache_source`` diagnostics do.  ``submit_batch``'s
+gather planning is not synchronized; drive a service either through one
+batching loop or through concurrent ``submit`` calls, not both at once.
+
+Snapshot format
+---------------
+A snapshot is a single JSON object (``kind: "fleet-snapshot"``,
+``version: 1``) carrying the structure fingerprint of the network, the
+engine/colour/cost provenance, the journal position ``seq``, the fleet
+state (initial + residual capacities, drained switches, consumed
+assignments, lifetime counters, and the tenant registry with each
+tenant's loads, budget, semantics, blue set, costs, and loads digest —
+switches stringified exactly like trace events), the incremental Λ digest
+(re-derived and checked on restore), and the cache's hot workloads in LRU
+order.  Unknown versions and foreign structure fingerprints are refused
+with :class:`repro.exceptions.PersistenceError`.
 
 Quickstart
 ----------
@@ -69,9 +110,11 @@ Quickstart
 from repro.service.api import (
     AdmitRequest,
     AdmitResponse,
+    DrainFailure,
     DrainRequest,
     DrainResponse,
     PlacementService,
+    ReadWriteLock,
     ReleaseRequest,
     ReleaseResponse,
     Replacement,
@@ -85,7 +128,12 @@ from repro.service.api import (
     SweepResponse,
 )
 from repro.service.cache import CachedSolution, CacheKey, CacheStats, GatherTableCache
-from repro.service.driver import ReplayRecord, ReplayReport, replay_trace
+from repro.service.driver import (
+    ReplayRecord,
+    ReplayReport,
+    replay_trace,
+    response_payload,
+)
 from repro.service.events import (
     ChurnProfile,
     EVENT_KINDS,
@@ -94,10 +142,20 @@ from repro.service.events import (
     check_trace_compatible,
     event_to_request,
     generate_churn_trace,
+    node_index,
     read_trace,
+    request_to_event,
     resolve_loads,
     trace_header,
     write_trace,
+)
+from repro.service.persistence import (
+    Journal,
+    MUTATING_KINDS,
+    SNAPSHOT_KIND,
+    SNAPSHOT_VERSION,
+    read_snapshot,
+    write_snapshot,
 )
 from repro.service.state import FleetState, TenantRecord
 
@@ -108,12 +166,16 @@ __all__ = [
     "CacheKey",
     "CacheStats",
     "ChurnProfile",
+    "DrainFailure",
     "DrainRequest",
     "DrainResponse",
     "EVENT_KINDS",
     "FleetState",
     "GatherTableCache",
+    "Journal",
+    "MUTATING_KINDS",
     "PlacementService",
+    "ReadWriteLock",
     "ReleaseRequest",
     "ReleaseResponse",
     "Replacement",
@@ -121,6 +183,8 @@ __all__ = [
     "ReplayReport",
     "Request",
     "Response",
+    "SNAPSHOT_KIND",
+    "SNAPSHOT_VERSION",
     "SolveRequest",
     "SolveResponse",
     "StatsRequest",
@@ -133,9 +197,14 @@ __all__ = [
     "check_trace_compatible",
     "event_to_request",
     "generate_churn_trace",
+    "node_index",
+    "read_snapshot",
     "read_trace",
     "replay_trace",
+    "request_to_event",
+    "response_payload",
     "resolve_loads",
     "trace_header",
+    "write_snapshot",
     "write_trace",
 ]

@@ -54,13 +54,41 @@ anyone in the run needs, so the first miss gathers once at the run-wide
 budget and every later request in the group upcasts for free.  Mutating
 requests (admit / release / drain) act as barriers, preserving program
 order of the fleet state.
+
+Concurrency
+-----------
+:meth:`PlacementService.submit` is thread-safe: a writer-preferring
+:class:`ReadWriteLock` lets read-only requests run concurrently while
+mutating requests hold the fleet alone.  The gather-table cache carries
+its own mutex and serves immutable artifacts, so a warm hit traces its
+placement without any lock held; racing cold misses each gather
+(bit-identical) tables and the cache keeps the widest.  Response
+*payloads* never depend on thread interleaving — only the ``cache_hit`` /
+``cache_source`` diagnostics do.  ``submit_batch``'s gather planning is
+the one unsynchronized structure: run it from a single thread.
+
+Failure semantics
+-----------------
+Mutating handlers are atomic-or-reported.  An admit against an empty Λ
+raises a typed :class:`~repro.exceptions.CapacityError` *before* touching
+any state (it would otherwise "succeed" with an empty placement).  A drain
+never unwinds mid-loop: each displaced tenant is re-placed independently,
+failures land in :attr:`DrainResponse.failed` (the tenant is evicted and
+counted as released), and the lifetime invariant
+``num_tenants == admitted_total - released_total`` holds on every path.
+Only applied mutations reach the write-ahead journal, which is what makes
+:meth:`PlacementService.restore` (snapshot + journal tail, see
+:mod:`repro.service.persistence`) resume bit-identically.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.color import DEFAULT_COLOR
 from repro.core.cost import COST_KERNELS, DEFAULT_COST
@@ -71,16 +99,27 @@ from repro.core.tree import (
     TreeNetwork,
     fingerprint_loads,
 )
-from repro.exceptions import InvalidBudgetError, WorkloadError
+from repro.exceptions import (
+    CapacityError,
+    InvalidBudgetError,
+    PersistenceError,
+    ReproError,
+    WorkloadError,
+)
 from repro.service.cache import CachedSolution, CacheKey, GatherTableCache
 from repro.service.state import FleetState, TenantRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (persistence imports api)
+    from repro.service.persistence import Journal
 
 __all__ = [
     "AdmitRequest",
     "AdmitResponse",
+    "DrainFailure",
     "DrainRequest",
     "DrainResponse",
     "PlacementService",
+    "ReadWriteLock",
     "ReleaseRequest",
     "ReleaseResponse",
     "Request",
@@ -171,6 +210,10 @@ Request = (
 #: Request types that do not mutate fleet state (batchable together).
 READ_ONLY_REQUESTS = (SolveRequest, SweepRequest, StatsRequest)
 
+#: Request types that mutate fleet state (journaled, serialized by the
+#: write side of the service's read/write lock).
+MUTATING_REQUESTS = (AdmitRequest, ReleaseRequest, DrainRequest)
+
 
 # --------------------------------------------------------------------------- #
 # responses
@@ -247,13 +290,39 @@ class Replacement:
 
 
 @dataclass(frozen=True)
+class DrainFailure:
+    """One displaced tenant whose re-placement failed during a drain.
+
+    The tenant's old placement was already torn down when the drain
+    displaced it; a failed re-placement therefore means the tenant has
+    left the fleet (counted as a release, so the lifetime invariant
+    ``num_tenants == admitted_total - released_total`` holds).  ``error``
+    carries the library failure that stopped the re-placement — typically
+    a :class:`~repro.exceptions.CapacityError` because the drain emptied Λ.
+    """
+
+    tenant_id: str
+    old_blue_nodes: frozenset[NodeId]
+    old_cost: float
+    error: str
+
+
+@dataclass(frozen=True)
 class DrainResponse:
-    """Answer to a :class:`DrainRequest`."""
+    """Answer to a :class:`DrainRequest`.
+
+    ``displaced`` lists the tenants that were successfully re-placed;
+    ``failed`` the tenants whose re-placement failed (evicted, with the
+    failure recorded).  A drain never raises halfway: whatever happens to
+    the individual re-placements, the registry and the lifetime counters
+    are consistent when the response returns.
+    """
 
     switch: NodeId
     displaced: tuple[Replacement, ...]
     invalidated_entries: int
     elapsed_s: float
+    failed: tuple[DrainFailure, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -279,6 +348,54 @@ Response = (
 # --------------------------------------------------------------------------- #
 # the service
 # --------------------------------------------------------------------------- #
+
+
+class ReadWriteLock:
+    """A writer-preferring read/write lock for the service's fleet state.
+
+    Many readers may hold the lock at once; a writer holds it alone.
+    Arriving writers block new readers (writer preference), so a steady
+    stream of read-only requests cannot starve churn.  Not reentrant —
+    the service only acquires it at the ``submit`` boundary, never from
+    inside a handler.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
 
 
 @dataclass
@@ -325,6 +442,7 @@ class PlacementService:
         cache_entries: int = 64,
         color: str = DEFAULT_COLOR,
         cost_kernel: str = DEFAULT_COST,
+        journal: "Journal | None" = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -350,6 +468,17 @@ class PlacementService:
         }
         self._structure_fp = tree.structure_fingerprint()
         self._request_counts: dict[str, int] = {}
+        self._counts_lock = threading.Lock()
+        # Read/write lock at the submit boundary: read-only requests share
+        # it, mutating requests hold it alone.  Handlers never acquire it
+        # themselves (it is not reentrant).
+        self._fleet_lock = ReadWriteLock()
+        # Write-ahead journal: number of mutating requests applied over the
+        # service lifetime, and the (optional) journal they are appended to.
+        self._mutation_seq = 0
+        self._journal: "Journal | None" = None
+        if journal is not None:
+            self.attach_journal(journal)
         # Batch plan: (loads_fp, exact_k) -> largest effective budget any
         # request in the current read-only run needs.  A miss consults this
         # so the first gather of a run is already wide enough for the rest.
@@ -391,6 +520,50 @@ class PlacementService:
     def available(self) -> frozenset[NodeId]:
         """Current availability set Λ_t (maintained by the capacity tracker)."""
         return self._state.available()
+
+    @property
+    def mutation_seq(self) -> int:
+        """Number of mutating requests applied over the service lifetime.
+
+        This is the journal position: a snapshot taken now records this
+        value as ``seq``, and :meth:`restore` replays journal events
+        ``seq ..`` to catch the fleet up.
+        """
+        return self._mutation_seq
+
+    @property
+    def journal(self) -> "Journal | None":
+        """The attached write-ahead journal, if any."""
+        return self._journal
+
+    def attach_journal(self, journal: "Journal") -> None:
+        """Start appending mutating requests to ``journal``.
+
+        The journal must describe exactly this service's mutation history:
+        its event count has to equal :attr:`mutation_seq` (zero for a
+        fresh service and an empty journal; after :meth:`restore` with the
+        same journal, the replayed tail).  Anything else would interleave
+        two histories in one file and make the tail un-replayable.
+
+        Raises
+        ------
+        PersistenceError
+            On an event-count mismatch, or when the journal was recorded
+            for a different network.
+        """
+        if journal.structure is not None and journal.structure != self._structure_fp:
+            raise PersistenceError(
+                "journal was recorded for a different network "
+                f"(structure {journal.structure[:12]}…)"
+            )
+        if journal.event_count != self._mutation_seq:
+            raise PersistenceError(
+                f"journal holds {journal.event_count} mutating events but the "
+                f"service has applied {self._mutation_seq}; a journal must "
+                "describe exactly this service's history (restore from it, "
+                "or start a fresh journal file)"
+            )
+        self._journal = journal
 
     # ------------------------------------------------------------------ #
     # cached solving
@@ -558,8 +731,27 @@ class PlacementService:
             cache_source=source,
         )
 
+    def _require_capacity(self, what: str) -> None:
+        """Typed boundary check: committing placements needs a non-empty Λ.
+
+        Without it, an admit against a fully drained/saturated fleet clamps
+        the effective budget to 0 and "succeeds" with an *empty* placement
+        — a tenant registered while holding no aggregation switch at all,
+        paying the no-aggregation cost.  Raising
+        :class:`~repro.exceptions.CapacityError` here keeps that failure
+        typed, early, and at the service boundary.  Read-only queries are
+        deliberately exempt: asking what a workload would cost on an empty
+        fleet is a legitimate question with a well-defined answer.
+        """
+        if not self.available():
+            raise CapacityError(
+                f"cannot {what}: no aggregation capacity available "
+                "(every switch is drained or saturated)"
+            )
+
     def _handle_admit(self, request: AdmitRequest) -> AdmitResponse:
         start = time.perf_counter()
+        self._require_capacity(f"admit tenant {request.tenant_id!r}")
         loads = _freeze_loads(request.loads)
         # Digest the workload once: the solve keys the cache with it and
         # the record carries it, so a later drain re-places this tenant
@@ -600,29 +792,56 @@ class PlacementService:
         )
 
     def _handle_drain(self, request: DrainRequest) -> DrainResponse:
+        """Drain a switch, re-placing (or failing over) its displaced tenants.
+
+        The loop is exception-safe per tenant: a re-placement that fails
+        with a library error (e.g. the drain emptied Λ, so re-admission
+        would violate the capacity boundary) is recorded in the response's
+        ``failed`` tuple and counted as a forced release — it never
+        unwinds the handler mid-loop.  Earlier re-placements stay
+        registered, later displaced tenants are still processed, and
+        ``num_tenants == admitted_total - released_total`` holds on every
+        exit path.
+        """
         start = time.perf_counter()
         displaced = self._state.drain(request.switch)
         invalidated = self._cache.invalidate_switches({request.switch})
         replacements: list[Replacement] = []
+        failures: list[DrainFailure] = []
         for record in displaced:
-            # The record carries the loads digest from admission time, so
-            # re-placing a displaced tenant skips the full recompute.
-            placement = self._solve_cached(
-                record.loads, record.budget, record.exact_k, loads_fp=record.loads_fp
-            )
-            self._state.register(
-                TenantRecord(
-                    tenant_id=record.tenant_id,
-                    loads=record.loads,
-                    budget=record.budget,
-                    exact_k=record.exact_k,
-                    blue_nodes=placement.blue_nodes,
-                    cost=placement.cost,
-                    predicted_cost=placement.predicted_cost,
-                    loads_fp=record.loads_fp,
-                ),
-                new_admission=False,
-            )
+            try:
+                self._require_capacity(f"re-place displaced tenant {record.tenant_id!r}")
+                # The record carries the loads digest from admission time,
+                # so re-placing a displaced tenant skips the full recompute.
+                placement = self._solve_cached(
+                    record.loads, record.budget, record.exact_k, loads_fp=record.loads_fp
+                )
+                self._state.register(
+                    TenantRecord(
+                        tenant_id=record.tenant_id,
+                        loads=record.loads,
+                        budget=record.budget,
+                        exact_k=record.exact_k,
+                        blue_nodes=placement.blue_nodes,
+                        cost=placement.cost,
+                        predicted_cost=placement.predicted_cost,
+                        loads_fp=record.loads_fp,
+                    ),
+                    new_admission=False,
+                )
+            except ReproError as exc:
+                # The tenant's old placement is already torn down; evicting
+                # it (and saying so) is the consistent outcome.
+                self._state.note_forced_release()
+                failures.append(
+                    DrainFailure(
+                        tenant_id=record.tenant_id,
+                        old_blue_nodes=record.blue_nodes,
+                        old_cost=record.cost,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
             replacements.append(
                 Replacement(
                     tenant_id=record.tenant_id,
@@ -637,14 +856,17 @@ class PlacementService:
             displaced=tuple(replacements),
             invalidated_entries=invalidated,
             elapsed_s=time.perf_counter() - start,
+            failed=tuple(failures),
         )
 
     def _handle_stats(self, request: StatsRequest) -> StatsResponse:
         start = time.perf_counter()
+        with self._counts_lock:
+            counts = dict(self._request_counts)
         return StatsResponse(
             fleet=self._state.residual_summary(),
             cache=self._cache.stats.snapshot(),
-            requests=dict(self._request_counts),
+            requests=counts,
             elapsed_s=time.perf_counter() - start,
         )
 
@@ -652,10 +874,11 @@ class PlacementService:
     # the request loop
     # ------------------------------------------------------------------ #
 
-    def submit(self, request: Request) -> Response:
-        """Serve one request and return its typed response."""
+    def _serve(self, request: Request) -> Response:
+        """Dispatch one request to its handler (no locking, no journal)."""
         kind = type(request).__name__
-        self._request_counts[kind] = self._request_counts.get(kind, 0) + 1
+        with self._counts_lock:
+            self._request_counts[kind] = self._request_counts.get(kind, 0) + 1
         if isinstance(request, SolveRequest):
             return self._handle_solve(request)
         if isinstance(request, SweepRequest):
@@ -669,6 +892,46 @@ class PlacementService:
         if isinstance(request, StatsRequest):
             return self._handle_stats(request)
         raise WorkloadError(f"unknown request type: {type(request).__name__}")
+
+    def submit(self, request: Request) -> Response:
+        """Serve one request and return its typed response.
+
+        Safe to call from multiple threads.  Read-only requests (solve /
+        sweep / stats) share the fleet lock and run concurrently — the
+        gather-table cache is internally synchronized, and the
+        :class:`~repro.core.solver.GatherTable` artifacts it serves are
+        immutable, so warm hits are effectively lock-free.  Mutating
+        requests (admit / release / drain) take the write side, run alone,
+        and are appended to the write-ahead journal (when one is attached)
+        *after* the handler returns — a request that raises is never
+        journaled, so a journal line always records an applied mutation.
+        """
+        if isinstance(request, MUTATING_REQUESTS):
+            with self._fleet_lock.write_locked():
+                response = self._serve(request)
+                self._mutation_seq += 1
+                if self._journal is not None:
+                    from repro.service.events import request_to_event
+
+                    try:
+                        self._journal.append(request_to_event(request))
+                    except Exception as exc:
+                        # The mutation is applied but not journaled: the
+                        # journal now has a hole and replaying it would
+                        # silently diverge.  Detach it so the hole cannot
+                        # grow, and surface the failure loudly — the
+                        # operator must take a fresh snapshot before
+                        # trusting this journal file again.
+                        self._journal = None
+                        raise PersistenceError(
+                            "write-ahead journal append failed after the "
+                            "mutation was applied; journaling is now "
+                            "disabled — take a fresh snapshot before "
+                            "relying on this journal"
+                        ) from exc
+                return response
+        with self._fleet_lock.read_locked():
+            return self._serve(request)
 
     def _plan_run(self, run: Sequence[Request]) -> None:
         """Record the widest budget each (loads, semantics) group needs.
@@ -731,3 +994,90 @@ class PlacementService:
                 responses.append(self.submit(pending[index]))
                 index += 1
         return responses
+
+    # ------------------------------------------------------------------ #
+    # persistence (see :mod:`repro.service.persistence`)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, include_cache: bool = True) -> dict:
+        """A versioned, JSON-serializable snapshot of the fleet state.
+
+        Captures the tenant registry, the capacity tracker's residuals and
+        drained set, the lifetime counters, and the journal position
+        (:attr:`mutation_seq`).  With ``include_cache`` (the default) it
+        also records the cache's *hot workloads* — the (loads, semantics,
+        budget) of every cached gather table, in LRU order — so
+        :meth:`restore` can pre-warm the cache by re-gathering them.  The
+        snapshot is taken under the write lock, so it is a consistent
+        point-in-time view even on a concurrently-serving service.
+
+        Serialize with :func:`repro.service.persistence.write_snapshot`.
+        """
+        from repro.service.persistence import build_snapshot
+
+        with self._fleet_lock.write_locked():
+            return build_snapshot(self, include_cache=include_cache)
+
+    @classmethod
+    def restore(
+        cls,
+        tree: TreeNetwork,
+        snapshot: "dict | str | None" = None,
+        journal: "Journal | str | Sequence | None" = None,
+        *,
+        capacity: int | Mapping[NodeId, int] | None = None,
+        engine: str | None = None,
+        cache_entries: int = 64,
+        color: str | None = None,
+        cost_kernel: str | None = None,
+        prewarm: bool = True,
+    ) -> "PlacementService":
+        """Rebuild a service from a snapshot and/or a write-ahead journal.
+
+        Loads the snapshot (a :meth:`snapshot` payload, or a path written
+        by :func:`repro.service.persistence.write_snapshot`), replays the
+        journal tail — the mutating events past the snapshot's ``seq`` —
+        and optionally pre-warms the gather-table cache from the
+        snapshot's hot workloads.  The restored service then answers every
+        request with the same placements, costs, and counters as a service
+        that never went down: mutating requests are deterministic given
+        the fleet state, so replaying the tail reproduces the exact
+        registry, residuals, and Λ digest (``tests/test_service_persistence.py``
+        pins this bit-for-bit).  What is *not* restored is diagnostics:
+        cache hit counters and per-kind request counts restart from the
+        journal replay, so ``Stats`` responses differ from an
+        uninterrupted run even though every placement answer agrees.
+
+        With ``snapshot=None`` the whole journal is replayed from an empty
+        fleet (journal-only recovery; ``capacity`` must then be given,
+        since only snapshots record the initial capacities).  Passing a
+        :class:`~repro.service.persistence.Journal` *instance* additionally
+        re-attaches it, so the restored service keeps appending where the
+        crashed one stopped.
+
+        ``engine`` / ``color`` / ``cost_kernel`` default to what the
+        snapshot recorded (the kernels are bit-identical, so overriding
+        them changes latency, never answers).
+
+        Raises
+        ------
+        PersistenceError
+            On an unknown snapshot version, a structure-fingerprint
+            mismatch (snapshot or journal recorded for a different
+            network), a journal shorter than the snapshot's ``seq``, or
+            non-mutating events in the journal.
+        """
+        from repro.service.persistence import restore_service
+
+        return restore_service(
+            cls,
+            tree,
+            snapshot,
+            journal,
+            capacity=capacity,
+            engine=engine,
+            cache_entries=cache_entries,
+            color=color,
+            cost_kernel=cost_kernel,
+            prewarm=prewarm,
+        )

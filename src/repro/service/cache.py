@@ -54,10 +54,22 @@ Entries evict in LRU order beyond ``max_entries``.  Invalidation exists for
 the drained switch, so every entry whose availability set mentions it is
 dead weight — :meth:`invalidate_switches` drops exactly those entries and
 leaves the rest untouched.
+
+Concurrency
+-----------
+Every public method is safe to call from multiple threads: one mutex
+guards the LRU order, the solution memos, and the stats counters.  The
+cached :class:`~repro.core.solver.GatherTable` artifacts are immutable, so
+a hit hands the table out and the (expensive) colour trace runs with no
+lock held — the lock only covers the dictionary book-keeping.  When two
+threads race to gather the same key, :meth:`store` keeps the *widest*
+table, so concurrent stores can never narrow what the cache answers; the
+engines are deterministic, so either racer's table serves identical bits.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import NamedTuple
@@ -155,12 +167,20 @@ class GatherTableCache:
         self._max_entries = int(max_entries)
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
         self.stats = CacheStats()
+        # One mutex over the LRU book-keeping and the stats counters.  The
+        # cached GatherTable artifacts themselves are immutable, so the
+        # service's concurrent read-only loop only needs this lock for the
+        # (cheap) dict operations around a hit — the returned table is then
+        # traced without any lock held.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def max_entries(self) -> int:
@@ -168,7 +188,18 @@ class GatherTableCache:
 
     def keys(self) -> tuple[CacheKey, ...]:
         """Current keys, least-recently-used first (for tests/diagnostics)."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
+
+    def tables(self) -> tuple[tuple[CacheKey, GatherTable], ...]:
+        """Current ``(key, table)`` pairs, least-recently-used first.
+
+        The snapshot path reads the hot workloads out of these artifacts
+        (each table owns the workload network it was gathered for), so a
+        restored service can pre-warm its cache by re-gathering them.
+        """
+        with self._lock:
+            return tuple((key, entry.table) for key, entry in self._entries.items())
 
     # ------------------------------------------------------------------ #
     # lookups
@@ -181,15 +212,16 @@ class GatherTableCache:
         position; a miss here is *not* counted (the caller falls through to
         :meth:`lookup`, which does the accounting).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        cached = entry.solutions.get(budget)
-        if cached is None:
-            return None
-        self._entries.move_to_end(key)
-        self.stats.solution_hits += 1
-        return cached
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            cached = entry.solutions.get(budget)
+            if cached is None:
+                return None
+            self._entries.move_to_end(key)
+            self.stats.solution_hits += 1
+            return cached
 
     def lookup(self, key: CacheKey, budget: int) -> GatherTable | None:
         """Gather table able to answer ``key`` at effective ``budget``.
@@ -198,39 +230,50 @@ class GatherTableCache:
         stored table was built for a smaller budget — the budget-upcast
         case, counted separately so the stats tell the two apart.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.table.budget < budget:
-            self.stats.misses += 1
-            self.stats.budget_upcasts += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.table_hits += 1
-        return entry.table
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.table.budget < budget:
+                self.stats.misses += 1
+                self.stats.budget_upcasts += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.table_hits += 1
+            return entry.table
 
     def stored_budget(self, key: CacheKey) -> int | None:
         """Budget of the stored table (no LRU touch, no stats) or ``None``."""
-        entry = self._entries.get(key)
-        return None if entry is None else entry.table.budget
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else entry.table.budget
 
     # ------------------------------------------------------------------ #
     # population
     # ------------------------------------------------------------------ #
 
     def store(self, key: CacheKey, table: GatherTable) -> None:
-        """Insert (or replace, on budget upcast) the table for ``key``."""
-        previous = self._entries.pop(key, None)
-        entry = _Entry(table=table)
-        if previous is not None:
-            # The wider table answers every budget the narrower one did, so
-            # the memoized traces stay valid.
-            entry.solutions.update(previous.solutions)
-        self._entries[key] = entry
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        """Insert (or replace, on budget upcast) the table for ``key``.
+
+        Concurrent gatherers may race to store the same key; keep whichever
+        table is *widest* so a store can never narrow what the cache
+        already answers (the tables are bit-identical per budget column,
+        so either winner serves the same answers).
+        """
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None and previous.table.budget > table.budget:
+                table = previous.table
+            entry = _Entry(table=table)
+            if previous is not None:
+                # The wider table answers every budget the narrower one did,
+                # so the memoized traces stay valid.
+                entry.solutions.update(previous.solutions)
+            self._entries[key] = entry
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def store_solution(
         self,
@@ -239,9 +282,10 @@ class GatherTableCache:
         solution: CachedSolution,
     ) -> None:
         """Memoize a traced placement for ``(key, effective budget)``."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            entry.solutions[budget] = solution
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.solutions[budget] = solution
 
     # ------------------------------------------------------------------ #
     # invalidation
@@ -255,19 +299,21 @@ class GatherTableCache:
         be looked up again.  Entries whose Λ already excluded the switches
         (gathered while they were saturated) are untouched and stay live.
         """
-        doomed = [
-            key
-            for key, entry in self._entries.items()
-            if entry.available & switches
-        ]
-        for key in doomed:
-            del self._entries[key]
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if entry.available & switches
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def invalidate_all(self) -> int:
         """Drop every entry (e.g. after a rate or topology change)."""
-        count = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += count
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += count
+            return count

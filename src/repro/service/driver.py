@@ -19,11 +19,27 @@ nothing else, the latency the batched colour kernel owns) versus
 ``memo_hit_mean_ms`` (solution-memo hits: a digest lookup) — so
 ``benchmarks/bench_service.py`` can track the colour-phase latency as its
 own column.
+
+Concurrent replay
+-----------------
+``workers > 1`` drives the service from a thread pool while preserving the
+trace's observable semantics: mutating requests are barriers (executed
+alone, in trace order, exactly as the service's write lock would force
+anyway), and each maximal run of read-only requests between two barriers is
+fanned out across the workers.  Within such a run the fleet state cannot
+change, so every request is independent and the *payload* of each response
+— blue set, costs, budgets (see :func:`response_payload`) — is bit-identical
+to a serial replay of the same trace.  What may differ is diagnostics:
+``cache_hit`` / ``cache_source`` flags depend on which racer gathered
+first.  ``tests/test_service_persistence.py`` pins the payload identity;
+the CI workflow diffs a 4-worker replay against the serial one on every
+push.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
@@ -33,17 +49,21 @@ from repro.core.engine import DEFAULT_ENGINE
 from repro.core.solver import Solver
 from repro.core.tree import NodeId, TreeNetwork
 from repro.service.api import (
+    READ_ONLY_REQUESTS,
     AdmitRequest,
     AdmitResponse,
+    DrainResponse,
     PlacementService,
+    ReleaseResponse,
     Request,
     Response,
     SolveRequest,
     SolveResponse,
+    StatsResponse,
     SweepRequest,
     SweepResponse,
 )
-from repro.service.events import TraceEvent, _node_index, event_to_request
+from repro.service.events import TraceEvent, event_to_request, node_index
 
 
 @dataclass(frozen=True)
@@ -65,6 +85,7 @@ class ReplayReport:
     wall_s: float
     verified: int
     engine: str
+    workers: int = 1
 
     @property
     def num_requests(self) -> int:
@@ -164,6 +185,7 @@ class ReplayReport:
         """One-row overall summary (throughput, hit rate, warm speedup)."""
         return {
             "requests": self.num_requests,
+            "workers": self.workers,
             "wall_s": self.wall_s,
             "throughput_rps": self.throughput_rps,
             "hit_rate": self.hit_rate,
@@ -183,6 +205,73 @@ def _percentile(ordered: Sequence[float], fraction: float) -> float:
         return 0.0
     rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
     return ordered[int(rank)]
+
+
+def response_payload(response: Response) -> tuple | None:
+    """Canonical *semantic* payload of a response, for differential diffs.
+
+    Two runs of the same trace "agree" when every response carries the
+    same payload: the placements, costs, budgets, restored switch sets,
+    and drain outcomes.  Deliberately excluded are the fields that honest
+    replays may legitimately differ in — latency (``elapsed_s``), cache
+    diagnostics (``cache_hit`` / ``cache_source`` / ``invalidated_entries``,
+    which depend on which thread gathered first or on what survived a
+    restart), and ``Stats`` responses entirely (their counters describe
+    the *process*, not the fleet decisions).  This is the equality the
+    snapshot-restore and concurrent-replay differential suites assert.
+    """
+    if isinstance(response, (SolveResponse, AdmitResponse)):
+        payload: tuple = (
+            tuple(sorted(map(repr, response.blue_nodes))),
+            response.cost,
+            response.predicted_cost,
+            response.budget,
+        )
+        if isinstance(response, AdmitResponse):
+            return ("admit", response.tenant_id, *payload)
+        return ("solve", *payload)
+    if isinstance(response, SweepResponse):
+        return (
+            "sweep",
+            tuple(sorted(response.costs.items())),
+            tuple(
+                (budget, tuple(sorted(map(repr, blue))))
+                for budget, blue in sorted(response.placements.items())
+            ),
+        )
+    if isinstance(response, ReleaseResponse):
+        return (
+            "release",
+            response.tenant_id,
+            tuple(sorted(map(repr, response.restored))),
+        )
+    if isinstance(response, DrainResponse):
+        return (
+            "drain",
+            repr(response.switch),
+            tuple(
+                (
+                    item.tenant_id,
+                    tuple(sorted(map(repr, item.old_blue_nodes))),
+                    tuple(sorted(map(repr, item.new_blue_nodes))),
+                    item.old_cost,
+                    item.new_cost,
+                )
+                for item in response.displaced
+            ),
+            tuple(
+                (
+                    failure.tenant_id,
+                    tuple(sorted(map(repr, failure.old_blue_nodes))),
+                    failure.old_cost,
+                    failure.error,
+                )
+                for failure in response.failed
+            ),
+        )
+    if isinstance(response, StatsResponse):
+        return None
+    return None
 
 
 def _verify_response(
@@ -235,6 +324,14 @@ def _verify_response(
     return False
 
 
+def _timed_submit(
+    service: PlacementService, request: Request
+) -> tuple[Response, float]:
+    start = time.perf_counter()
+    response = service.submit(request)
+    return response, time.perf_counter() - start
+
+
 def replay_trace(
     tree: TreeNetwork,
     events: Sequence[TraceEvent],
@@ -245,6 +342,7 @@ def replay_trace(
     service: PlacementService | None = None,
     color: str | None = None,
     cost_kernel: str | None = None,
+    workers: int = 1,
 ) -> ReplayReport:
     """Replay a trace against a (fresh or supplied) service and measure it.
 
@@ -277,6 +375,14 @@ def replay_trace(
         Cost kernel for a fresh service (default: the library default);
         ``"reference"`` replays with the per-node Eq. (1) walk, isolating
         the flat cost kernel's contribution the same way.
+    workers:
+        Number of threads driving the service.  ``1`` (default) is the
+        serial replay.  With more, read-only runs between mutating
+        barriers are fanned out over a thread pool; the response payloads
+        (:func:`response_payload`) are bit-identical to the serial replay,
+        per-request latencies overlap, and ``wall_s`` measures the actual
+        elapsed time of each segment (so ``throughput_rps`` reflects the
+        concurrency).
     """
     if service is None:
         service = PlacementService(
@@ -287,33 +393,80 @@ def replay_trace(
             color=color or DEFAULT_COLOR,
             cost_kernel=cost_kernel or DEFAULT_COST,
         )
-    node_index = _node_index(tree)
+    index_map = node_index(tree)
+    workers = max(1, int(workers))
+    requests = [event_to_request(tree, event, index_map) for event in events]
     records: list[ReplayRecord] = []
     verified = 0
     wall = 0.0
-    for index, event in enumerate(events):
-        request = event_to_request(tree, event, node_index)
-        # Read Λ from the fleet state, not service.available(): the latter
-        # would prime the service's memoized Λ fingerprint outside the
-        # timer and flatter the measured latencies.
-        available = service.state.available() if verify else frozenset()
-        start = time.perf_counter()
-        response = service.submit(request)
-        elapsed = time.perf_counter() - start
-        wall += elapsed
-        if verify and _verify_response(
-            tree, available, request, response, service.engine
-        ):
-            verified += 1
+
+    def record(position: int, response: Response, elapsed: float) -> None:
         records.append(
             ReplayRecord(
-                index=index,
-                event=event,
-                request=request,
+                index=position,
+                event=events[position],
+                request=requests[position],
                 response=response,
                 elapsed_s=elapsed,
             )
         )
+
+    if workers == 1:
+        for position, request in enumerate(requests):
+            # Read Λ from the fleet state, not service.available(): the
+            # latter would prime the service's memoized Λ fingerprint
+            # outside the timer and flatter the measured latencies.
+            available = service.state.available() if verify else frozenset()
+            response, elapsed = _timed_submit(service, request)
+            wall += elapsed
+            if verify and _verify_response(
+                tree, available, request, response, service.engine
+            ):
+                verified += 1
+            record(position, response, elapsed)
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            position = 0
+            while position < len(requests):
+                if isinstance(requests[position], READ_ONLY_REQUESTS):
+                    end = position
+                    while end < len(requests) and isinstance(
+                        requests[end], READ_ONLY_REQUESTS
+                    ):
+                        end += 1
+                    # Λ cannot change inside a read-only run, so one
+                    # capture verifies the whole segment.
+                    available = service.state.available() if verify else frozenset()
+                    start = time.perf_counter()
+                    outcomes = list(
+                        executor.map(
+                            lambda request: _timed_submit(service, request),
+                            requests[position:end],
+                        )
+                    )
+                    wall += time.perf_counter() - start
+                    for offset, (response, elapsed) in enumerate(outcomes):
+                        at = position + offset
+                        if verify and _verify_response(
+                            tree, available, requests[at], response, service.engine
+                        ):
+                            verified += 1
+                        record(at, response, elapsed)
+                    position = end
+                else:
+                    available = service.state.available() if verify else frozenset()
+                    response, elapsed = _timed_submit(service, requests[position])
+                    wall += elapsed
+                    if verify and _verify_response(
+                        tree, available, requests[position], response, service.engine
+                    ):
+                        verified += 1
+                    record(position, response, elapsed)
+                    position += 1
     return ReplayReport(
-        records=records, wall_s=wall, verified=verified, engine=service.engine
+        records=records,
+        wall_s=wall,
+        verified=verified,
+        engine=service.engine,
+        workers=workers,
     )

@@ -17,6 +17,11 @@ Workload loads are stored inline in each event (as ``str(node) -> load``
 pairs); :func:`event_to_request` resolves them against the target network
 when the trace is replayed, so a trace file is self-contained and portable
 across processes.
+
+The same format backs the service's write-ahead journal
+(:class:`repro.service.persistence.Journal`): a journal is a trace file
+restricted to the mutating kinds, produced by :func:`request_to_event` —
+the inverse of :func:`event_to_request` — as each mutation is applied.
 """
 
 from __future__ import annotations
@@ -104,8 +109,14 @@ class TraceEvent:
         )
 
 
-def _node_index(tree: TreeNetwork) -> dict[str, NodeId]:
-    """Map ``str(node)`` back to node ids, rejecting ambiguous networks."""
+def node_index(tree: TreeNetwork) -> dict[str, NodeId]:
+    """Map ``str(node)`` back to node ids, rejecting ambiguous networks.
+
+    The shared resolution convention of every serialized artifact in the
+    service layer: trace events, write-ahead journals, and fleet snapshots
+    all store switches as ``str(node)`` and resolve them through this
+    index when loaded.
+    """
     index: dict[str, NodeId] = {}
     for node in tree.switches:
         name = str(node)
@@ -116,6 +127,10 @@ def _node_index(tree: TreeNetwork) -> dict[str, NodeId]:
             )
         index[name] = node
     return index
+
+
+#: Backwards-compatible alias (pre-persistence name).
+_node_index = node_index
 
 
 def resolve_loads(
@@ -180,6 +195,47 @@ def event_to_request(
     if event.kind == "stats":
         return StatsRequest()
     raise WorkloadError(f"unknown trace event kind: {event.kind!r}")
+
+
+def request_to_event(request: Request) -> TraceEvent:
+    """Convert a typed service request back into a serializable trace event.
+
+    The exact inverse of :func:`event_to_request` (modulo load ordering,
+    which both sides treat as a mapping): replaying the produced event
+    against the same network yields an equal request.  This is how the
+    write-ahead journal records mutating requests — the journal *is* a
+    trace file, so every trace tool (:func:`read_trace`,
+    :func:`trace_header`, the replay driver) works on journals unchanged.
+    """
+    if isinstance(request, SolveRequest):
+        return TraceEvent(
+            kind="solve",
+            budget=int(request.budget),
+            loads=tuple(sorted((str(n), int(v)) for n, v in request.loads.items())),
+            exact_k=request.exact_k,
+        )
+    if isinstance(request, SweepRequest):
+        return TraceEvent(
+            kind="sweep",
+            budgets=tuple(int(b) for b in request.budgets),
+            loads=tuple(sorted((str(n), int(v)) for n, v in request.loads.items())),
+            exact_k=request.exact_k,
+        )
+    if isinstance(request, AdmitRequest):
+        return TraceEvent(
+            kind="admit",
+            tenant=request.tenant_id,
+            budget=int(request.budget),
+            loads=tuple(sorted((str(n), int(v)) for n, v in request.loads.items())),
+            exact_k=request.exact_k,
+        )
+    if isinstance(request, ReleaseRequest):
+        return TraceEvent(kind="release", tenant=request.tenant_id)
+    if isinstance(request, DrainRequest):
+        return TraceEvent(kind="drain", switch=str(request.switch))
+    if isinstance(request, StatsRequest):
+        return TraceEvent(kind="stats")
+    raise WorkloadError(f"unknown request type: {type(request).__name__}")
 
 
 def write_trace(
@@ -303,6 +359,7 @@ def generate_churn_trace(
     max_drains: int = 2,
     profile: ChurnProfile | None = None,
     mix_probability: float = 0.5,
+    tenant_offset: int = 0,
 ) -> list[TraceEvent]:
     """Generate a seeded synthetic churn trace over ``tree``.
 
@@ -313,7 +370,13 @@ def generate_churn_trace(
     tenants and drains pick random not-yet-drained switches, so every
     generated trace is valid to replay from a fresh service.
 
-    The stream is fully determined by ``seed`` (or the supplied generator).
+    ``tenant_offset`` starts the ``tenant-<n>`` numbering there instead of
+    at zero, so a trace generated for a *restored* service (which may
+    still hold tenants from its previous life) cannot collide with the
+    restored registry — pass the service's lifetime ``admitted_total``.
+
+    The stream is fully determined by ``seed`` (or the supplied generator)
+    together with ``tenant_offset``.
     """
     if num_requests < 0:
         raise WorkloadError(f"num_requests must be non-negative, got {num_requests}")
@@ -333,7 +396,7 @@ def generate_churn_trace(
     active: list[str] = []
     drained: list[str] = []
     events: list[TraceEvent] = []
-    next_tenant = 0
+    next_tenant = max(0, int(tenant_offset))
 
     for _ in range(int(num_requests)):
         kind = EVENT_KINDS[int(rng.choice(len(EVENT_KINDS), p=weights))]

@@ -62,6 +62,53 @@ class TenantRecord:
     predicted_cost: float
     loads_fp: str | None = None
 
+    def state_dict(self) -> dict:
+        """JSON-serializable view (switches stringified like trace events)."""
+        return {
+            "tenant_id": self.tenant_id,
+            "loads": sorted(
+                [str(node), int(load)] for node, load in self.loads.items()
+            ),
+            "budget": int(self.budget),
+            "exact_k": bool(self.exact_k),
+            "blue_nodes": sorted(str(node) for node in self.blue_nodes),
+            "cost": float(self.cost),
+            "predicted_cost": float(self.predicted_cost),
+            "loads_fp": self.loads_fp,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping, node_index: Mapping[str, NodeId]
+    ) -> "TenantRecord":
+        """Rebuild a record from a :meth:`state_dict` payload.
+
+        Raises
+        ------
+        WorkloadError
+            If the payload references switches unknown to the network the
+            index was built for.
+        """
+
+        def resolve(name: str) -> NodeId:
+            try:
+                return node_index[name]
+            except KeyError as exc:
+                raise WorkloadError(
+                    f"tenant snapshot references unknown switch {name!r}"
+                ) from exc
+
+        return cls(
+            tenant_id=state["tenant_id"],
+            loads={resolve(name): int(load) for name, load in state["loads"]},
+            budget=int(state["budget"]),
+            exact_k=bool(state["exact_k"]),
+            blue_nodes=frozenset(resolve(name) for name in state["blue_nodes"]),
+            cost=float(state["cost"]),
+            predicted_cost=float(state["predicted_cost"]),
+            loads_fp=state.get("loads_fp"),
+        )
+
 
 class FleetState:
     """Mutable fleet: the shared network, residual capacity, active tenants.
@@ -187,6 +234,17 @@ class FleetState:
         self._released_total += 1
         return record, restored
 
+    def note_forced_release(self) -> None:
+        """Count a tenant evicted outside :meth:`withdraw`.
+
+        A drain tears displaced tenants out of the registry before the
+        service re-places them; when a re-placement fails, the tenant has
+        effectively departed without a ``Release`` request.  Counting that
+        departure here keeps the lifetime invariant
+        ``num_tenants == admitted_total - released_total`` intact.
+        """
+        self._released_total += 1
+
     def drain(self, switch: NodeId) -> tuple[TenantRecord, ...]:
         """Take ``switch`` out of service and evict the tenants using it.
 
@@ -208,6 +266,48 @@ class FleetState:
             self._tracker.release(record.blue_nodes)
             del self._tenants[record.tenant_id]
         return displaced
+
+    # ------------------------------------------------------------------ #
+    # serialization hooks (fleet snapshots, :mod:`repro.service.persistence`)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-serializable view of the whole mutable fleet.
+
+        Bundles the capacity tracker's state, the lifetime counters, and
+        the active-tenant registry (in admission order).  Everything is
+        stringified the way trace events are, so the payload is portable
+        across processes and node-id types.
+        """
+        return {
+            "capacity": self._tracker.state_dict(),
+            "counters": {
+                "admitted_total": int(self._admitted_total),
+                "released_total": int(self._released_total),
+            },
+            "tenants": [record.state_dict() for record in self._tenants.values()],
+        }
+
+    def load_state(self, state: Mapping, node_index: Mapping[str, NodeId]) -> None:
+        """Restore a :meth:`state_dict` payload onto this fleet.
+
+        The tracker state (residuals, drained set, Λ digest) is restored
+        first, then the tenant registry is rebuilt record by record — the
+        records' capacity charges are already part of the restored
+        residuals, so registration does **not** re-consume capacity.
+        """
+        self._tracker.load_state(state["capacity"], node_index)
+        counters = state.get("counters", {})
+        self._admitted_total = int(counters.get("admitted_total", 0))
+        self._released_total = int(counters.get("released_total", 0))
+        self._tenants = {}
+        for payload in state.get("tenants", []):
+            record = TenantRecord.from_state(payload, node_index)
+            if record.tenant_id in self._tenants:
+                raise WorkloadError(
+                    f"fleet snapshot lists tenant {record.tenant_id!r} twice"
+                )
+            self._tenants[record.tenant_id] = record
 
     def residual_summary(self) -> dict[str, int | float]:
         """Aggregate capacity counters for the ``Stats`` endpoint."""

@@ -372,6 +372,193 @@ class TestPlacementService:
         follow_up = service.submit(DrainRequest(switch="s3_1"))
         assert follow_up.invalidated_entries == 1  # Λ did contain s3_1
 
+    def test_admit_on_saturated_fleet_raises_typed_error(self):
+        # Drive the fleet to full saturation through ordinary admits, then
+        # check the boundary: the next admit must fail with a typed
+        # CapacityError instead of silently registering a tenant with an
+        # empty placement (the pre-fix behaviour: Λ = {} clamped the
+        # effective budget to 0 and the "admission" held zero switches).
+        service = small_service(num_leaves=4, capacity=1)
+        tree = service.state.tree
+        # Strictly >1 load per leaf: aggregation then always pays at every
+        # switch, so each admit consumes capacity and saturation is
+        # reachable in at most |switches| admissions.
+        loads = {leaf: 3 for leaf in tree.leaves()}
+        count = 0
+        for _ in range(2 * len(tree.switches)):
+            if not service.available():
+                break
+            service.submit(
+                AdmitRequest(tenant_id=f"t{count}", loads=loads, budget=len(tree.switches))
+            )
+            count += 1
+        assert not service.available(), "trace failed to saturate the fleet"
+        assert count > 0
+        with pytest.raises(CapacityError, match="no aggregation capacity"):
+            service.submit(AdmitRequest(tenant_id="overflow", loads=loads, budget=2))
+        # The failed admit mutated nothing: counters and registry agree.
+        assert "overflow" not in service.state.tenants()
+        assert service.state.num_tenants == count
+        assert service.state.admitted_total == count
+        assert service.state.released_total == 0
+
+    def test_drain_records_failed_replacement_instead_of_raising(self):
+        # A tenant holding exactly the drained switch, with every other
+        # switch drained: re-placement is infeasible (Λ empties), which
+        # before the fix unwound _handle_drain mid-loop and corrupted the
+        # registry.  Now the drain completes, reports the failure, and
+        # keeps num_tenants == admitted_total - released_total.
+        service = small_service(num_leaves=4, capacity=1)
+        tree = service.state.tree
+        victim = sorted(tree.switches, key=repr)[0]
+        admitted = service.submit(
+            AdmitRequest(tenant_id="t", loads={victim: 2}, budget=1)
+        )
+        assert admitted.blue_nodes == {victim}
+        for switch in tree.switches:
+            if switch != victim:
+                service.submit(DrainRequest(switch=switch))
+        response = service.submit(DrainRequest(switch=victim))
+        assert response.displaced == ()
+        assert [failure.tenant_id for failure in response.failed] == ["t"]
+        assert "CapacityError" in response.failed[0].error
+        assert response.failed[0].old_blue_nodes == {victim}
+        state = service.state
+        assert state.num_tenants == 0
+        assert state.num_tenants == state.admitted_total - state.released_total
+        assert state.released_total == 1
+
+    def test_drain_partial_failure_keeps_earlier_replacements(self):
+        # Two tenants displaced by one drain; the first re-placement
+        # consumes the last capacity, so the second fails.  The response
+        # must carry both outcomes and the registry must stay consistent.
+        service = small_service(num_leaves=2, capacity=2)
+        tree = service.state.tree
+        switches = sorted(tree.switches, key=repr)
+        root = tree.root
+        # Both tenants hold only the root (budget 1 forces one switch).
+        first = service.submit(AdmitRequest(tenant_id="a", loads={root: 3}, budget=1))
+        second = service.submit(AdmitRequest(tenant_id="b", loads={root: 3}, budget=1))
+        assert first.blue_nodes == second.blue_nodes == {root}
+        # Leave exactly one slot of capacity elsewhere: drain nothing else,
+        # but shrink the pool by saturating the non-root switches with
+        # drains until a single re-placement can succeed.
+        others = [switch for switch in switches if switch != root]
+        for switch in others[1:]:
+            service.submit(DrainRequest(switch=switch))
+        survivor = others[0]
+        # Saturate the surviving switch with two fillers (load 3 makes the
+        # blue at the loaded switch strictly beneficial, so each filler
+        # really consumes one of its two capacity slots).
+        for name in ("filler", "filler2"):
+            admitted = service.submit(
+                AdmitRequest(tenant_id=name, loads={survivor: 3}, budget=1)
+            )
+            assert admitted.blue_nodes == {survivor}
+        response = service.submit(DrainRequest(switch=root))
+        # Both displaced; no capacity anywhere (survivor saturated by the
+        # fillers, everything else drained): every displaced tenant is
+        # accounted exactly once and the lifetime counters balance.
+        outcomes = {item.tenant_id for item in response.displaced} | {
+            failure.tenant_id for failure in response.failed
+        }
+        assert outcomes == {"a", "b"}
+        state = service.state
+        assert state.num_tenants == state.admitted_total - state.released_total
+        assert len(response.failed) == 2  # survivor is saturated: both fail
+        assert state.num_tenants == 2  # the fillers still stand
+
+    def test_drain_mixed_outcome_keeps_successful_replacement(self):
+        # The success-then-failure interleaving: two tenants displaced by
+        # one drain, the first re-placement consumes the last capacity,
+        # the second finds Λ empty.  The survivor's registration must
+        # stand, the failure must be reported, and the counters balance.
+        tree = complete_binary_tree(2)
+        leaf = sorted(tree.leaves(), key=repr)[0]
+        other_leaf = sorted(tree.leaves(), key=repr)[1]
+        root = tree.root
+        service = PlacementService(tree, capacity={leaf: 2, other_leaf: 0, root: 1})
+        for name in ("a", "b"):
+            admitted = service.submit(
+                AdmitRequest(tenant_id=name, loads={leaf: 3}, budget=2)
+            )
+            assert admitted.blue_nodes == {leaf}
+        response = service.submit(DrainRequest(switch=leaf))
+        # Tenant "a" (arrival order) re-places onto the root — the loaded
+        # leaf's messages pass through it, so the blue is beneficial and
+        # consumes the root's single slot; "b" then finds Λ empty.
+        assert [item.tenant_id for item in response.displaced] == ["a"]
+        assert response.displaced[0].new_blue_nodes == {root}
+        assert [failure.tenant_id for failure in response.failed] == ["b"]
+        state = service.state
+        assert sorted(state.tenants()) == ["a"]
+        assert state.tenant("a").blue_nodes == {root}
+        assert state.num_tenants == 1
+        assert state.admitted_total == 2 and state.released_total == 1
+        assert state.num_tenants == state.admitted_total - state.released_total
+
+    def test_churn_trace_draining_to_infeasibility_replays_cleanly(self):
+        # The trace-level pin of both fixes: a hand-written churn trace
+        # that admits, saturates, and drains the fleet to infeasibility
+        # must replay end-to-end (no mid-loop unwinding), with failures
+        # reported on the drain response and counters consistent.
+        tree = complete_binary_tree(4)
+        switches = sorted(tree.switches, key=repr)
+        root_name = str(tree.root)
+        events = [
+            TraceEvent(kind="admit", tenant="t0", budget=1, loads=((root_name, 2),)),
+        ]
+        events.extend(
+            TraceEvent(kind="drain", switch=name)
+            for name in map(str, switches)
+            if name != root_name
+        )
+        events.append(TraceEvent(kind="drain", switch=root_name))
+        events.append(TraceEvent(kind="stats"))
+        report = replay_trace(tree, events, capacity=1)
+        assert report.num_requests == len(events)
+        drain_responses = [
+            record.response
+            for record in report.records
+            if record.event.kind == "drain"
+        ]
+        assert [failure.tenant_id for failure in drain_responses[-1].failed] == ["t0"]
+        stats = report.records[-1].response
+        assert stats.fleet["active_tenants"] == 0
+        assert stats.fleet["admitted_total"] - stats.fleet["released_total"] == 0
+
+    def test_cache_stats_accounting_under_upcast_and_invalidation(self):
+        # The full counter story across one scripted request sequence:
+        # cold miss, memo hit, upcast (miss + budget_upcast), table hit,
+        # then a drain that invalidates exactly the entries whose Λ held
+        # the switch.
+        service = small_service(num_leaves=8, capacity=4)
+        tree = service.state.tree
+        loads = leaf_loads(tree)
+        service.submit(SolveRequest(loads=loads, budget=2))  # cold gather
+        service.submit(SolveRequest(loads=loads, budget=2))  # memo hit
+        service.submit(SolveRequest(loads=loads, budget=4))  # upcast re-gather
+        service.submit(SolveRequest(loads=loads, budget=3))  # table hit
+        stats = service.cache.stats
+        assert stats.misses == 2
+        assert stats.budget_upcasts == 1
+        assert stats.solution_hits == 1
+        assert stats.table_hits == 1
+        assert stats.hits == 2
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.5
+        before = len(service.cache)
+        assert before == 1
+        response = service.submit(DrainRequest(switch=sorted(tree.switches, key=repr)[0]))
+        assert response.invalidated_entries == 1
+        assert stats.invalidations == 1
+        assert len(service.cache) == 0
+        # The upcast preserved the memo: a repeat of the small budget after
+        # re-gathering hits the memo layer again, not the gather.
+        service.submit(SolveRequest(loads=loads, budget=2))  # cold (new Λ)
+        service.submit(SolveRequest(loads=loads, budget=2))  # memo hit
+        assert stats.misses == 3 and stats.solution_hits == 2
+
     def test_stats_snapshot(self):
         service = small_service()
         loads = leaf_loads(service.state.tree)
