@@ -15,7 +15,15 @@ from __future__ import annotations
 import pytest
 
 from repro.core.color import COLOR_KERNELS
-from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather
+from repro.core.engine import (
+    COMPILED_ENGINE,
+    DEFAULT_ENGINE,
+    ENGINES,
+    FLAT_ENGINE,
+    REFERENCE_ENGINE,
+    gather,
+)
+from repro.core.engine_compiled import HAVE_COMPILED
 from repro.experiments.fig9_runtime import (
     run_color_comparison,
     run_engine_comparison,
@@ -78,19 +86,33 @@ def test_color_comparison(benchmark, emit_rows):
 
 @pytest.mark.benchmark(group="fig9 engine comparison")
 def test_engine_comparison(benchmark, emit_rows):
-    """Flat vs reference gather on the Figure 9 sizes (comparison mode)."""
+    """Reference vs flat vs compiled gather on the Figure 9 sizes."""
     config = ExperimentConfig(network_size=256, repetitions=3, seed=2021)
     rows = benchmark.pedantic(
         run_engine_comparison,
-        kwargs={"sizes": (256, 512, 1024, 2048), "budget": 32, "config": config},
+        kwargs={
+            "sizes": (256, 512, 1024, 2048),
+            "budget": 32,
+            "config": config,
+            "engines": (REFERENCE_ENGINE, FLAT_ENGINE, COMPILED_ENGINE),
+        },
         rounds=1,
         iterations=1,
     )
-    emit_rows(rows, "fig9_engines", "Gather engines: flat vs reference (best-of-3)")
+    emit_rows(
+        rows, "fig9_engines", "Gather engines: reference vs flat vs compiled (best-of-3)"
+    )
     for row in rows:
         # run_engine_comparison already asserts identical costs; the flat
-        # engine must never be slower than the reference it replaces.
+        # engine must never be slower than the reference it replaces, and
+        # the C kernels (when a compiler exists — otherwise "compiled" is
+        # the numpy fallback and only has to hold flat's ground) must beat
+        # the numpy kernels they replace.
         assert row["flat_speedup"] > 1.0
+        if HAVE_COMPILED:
+            assert row["compiled_speedup"] > row["flat_speedup"]
+        else:
+            assert row["compiled_speedup"] > 1.0
 
 
 @pytest.mark.benchmark(group="fig9 full grid")

@@ -1,10 +1,20 @@
 """Setuptools shim.
 
-All project metadata lives in ``pyproject.toml``; this file exists only so
-that legacy editable installs (``pip install -e . --no-use-pep517``) work in
-offline environments where the ``wheel`` package is unavailable.
+This file exists only so that legacy editable installs
+(``pip install -e . --no-use-pep517``) work in offline environments where
+the ``wheel`` package is unavailable.
+
+Packaging note for the compiled gather backend: the ``"compiled"`` engine
+(:mod:`repro.core.engine_compiled`) adds **no Python dependency** — it
+compiles ``src/repro/core/_gather_kernels.c`` at import time with whatever
+system C compiler is on PATH (``$CC``, ``cc``, ``gcc``, or ``clang``),
+caches the shared object under the platform cache directory, and loads it
+via :mod:`ctypes`.  Distributions must ship that ``.c`` file as package
+data alongside the Python sources; when it is missing, no compiler exists,
+or ``REPRO_NO_COMPILED=1`` is set, every ``"compiled"`` registry entry
+transparently falls back to the bit-identical numpy kernels.
 """
 
 from setuptools import setup
 
-setup()
+setup(package_data={"repro.core": ["_gather_kernels.c"]})

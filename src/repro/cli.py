@@ -27,6 +27,7 @@ Drive it concurrently, journal the churn, snapshot the final fleet, and
 later resume from the snapshot (the journal tail is replayed on restore)::
 
     soar-repro serve-replay --workers 4 --verify
+    soar-repro serve-replay --workers 4 --mode process
     soar-repro serve-replay --journal /tmp/fleet.jsonl --snapshot /tmp/fleet.json
     soar-repro serve-replay --restore /tmp/fleet.json --journal /tmp/fleet.jsonl --requests 50
 """
@@ -184,6 +185,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> list[dict]:
         trace_path=args.trace,
         record_path=args.record,
         workers=args.workers,
+        mode=args.mode,
         journal_path=args.journal,
         restore_path=args.restore,
         snapshot_path=args.snapshot,
@@ -199,7 +201,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> list[dict]:
     if args.snapshot:
         print(f"wrote the final fleet snapshot to {args.snapshot}")
     if args.workers > 1:
-        print(f"drove the replay with {args.workers} worker threads")
+        print(f"drove the replay with {args.workers} {report.mode} workers")
     return rows
 
 
@@ -295,8 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker threads driving the replay (mutating requests stay "
+        help="workers driving the replay (mutating requests stay "
         "barriers; payloads are bit-identical to --workers 1)",
+    )
+    sub_serve.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="concurrency mode with --workers > 1: a thread pool sharing "
+        "one service, or a Λ-epoch pool of replica processes (GIL-free)",
     )
     sub_serve.add_argument(
         "--journal",

@@ -46,6 +46,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.engine_compiled import strict_less
 from repro.core.flat import flat_tables_for
 from repro.core.gather import GatherResult
 from repro.core.tree import NodeId, TreeNetwork
@@ -193,6 +194,7 @@ def soar_color_batched(
     tree: TreeNetwork,
     gathered: GatherResult,
     budget: int | None = None,
+    _decide: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
 ) -> frozenset[NodeId]:
     """Level-batched colour trace over the flat ``(l, i, node)`` tensors.
 
@@ -205,8 +207,14 @@ def soar_color_batched(
     the reference does — highest child first, running remainder — but
     vectorized across every node of the level that still has an ``m``-th
     child.
+
+    ``_decide`` optionally replaces the elementwise strict-``<`` used for
+    the per-level colour decisions (the compiled kernel routes it through
+    the C comparison); any substitute must implement exactly
+    :func:`np.less` over float64.
     """
     budget = _validated_budget(tree, gathered, budget)
+    decide = np.less if _decide is None else _decide
     flat = flat_tables_for(tree, gathered)
     n = len(flat.order)
 
@@ -246,9 +254,9 @@ def soar_color_batched(
             continue
         l_params = dist_vec[internal]
         budgets = budget_vec[internal]
-        node_blue = (
-            flat.y_blue[l_params, budgets, internal]
-            < flat.y_red[l_params, budgets, internal]
+        node_blue = decide(
+            flat.y_blue[l_params, budgets, internal],
+            flat.y_red[l_params, budgets, internal],
         )
         chosen.append(internal[node_blue])
         child_distance = np.where(node_blue, 1, l_params + 1)
@@ -302,10 +310,30 @@ def soar_color_batched(
     return blue
 
 
+def soar_color_compiled(
+    tree: TreeNetwork,
+    gathered: GatherResult,
+    budget: int | None = None,
+) -> frozenset[NodeId]:
+    """The batched trace with its colour decisions in the C backend.
+
+    Identical traversal (and identical placements) as
+    :func:`soar_color_batched`; the per-level ``y_blue < y_red``
+    comparisons run through the compiled ``strict_less`` kernel of
+    :mod:`repro.core.engine_compiled`, falling back to :func:`np.less`
+    when the C backend is unavailable.  Registered as ``"compiled"`` so a
+    ``Solver(engine="compiled", color="compiled")`` configuration is
+    uniformly valid.
+    """
+    return soar_color_batched(tree, gathered, budget=budget, _decide=strict_less)
+
+
 #: Name of the level-batched colour kernel (the default).
 BATCHED_COLOR: str = "batched"
 #: Name of the per-node reference trace of Algorithm 4.
 REFERENCE_COLOR: str = "reference"
+#: Name of the batched kernel with C-backend decisions.
+COMPILED_COLOR: str = "compiled"
 #: Kernel used when callers do not ask for a specific one.
 DEFAULT_COLOR: str = BATCHED_COLOR
 
@@ -314,6 +342,7 @@ DEFAULT_COLOR: str = BATCHED_COLOR
 COLOR_KERNELS: dict[str, Callable[..., frozenset[NodeId]]] = {
     BATCHED_COLOR: soar_color_batched,
     REFERENCE_COLOR: soar_color,
+    COMPILED_COLOR: soar_color_compiled,
 }
 
 
@@ -325,9 +354,10 @@ def trace_color(
 ) -> frozenset[NodeId]:
     """Trace a placement with the named colour kernel.
 
-    ``"batched"`` (default) or ``"reference"``; both produce identical
-    placements, the reference kernel is retained as ground truth for
-    differential testing — mirroring :func:`repro.core.engine.gather`.
+    ``"batched"`` (default), ``"compiled"``, or ``"reference"``; all
+    produce identical placements, the reference kernel is retained as
+    ground truth for differential testing — mirroring
+    :func:`repro.core.engine.gather`.
     """
     try:
         kernel = COLOR_KERNELS[color]

@@ -46,6 +46,7 @@ from collections.abc import Callable, Iterable, Mapping
 
 import numpy as np
 
+from repro.core.engine_compiled import sequential_sum
 from repro.core.flat import FlatCostModel, cost_model_for
 from repro.core.reduce_op import link_message_counts, validate_placement
 from repro.core.tree import NodeId, TreeNetwork
@@ -297,10 +298,35 @@ def _reference_cost_kernel(
     return utilization_cost(tree, blue_nodes, loads=loads, validate=validate)
 
 
+def utilization_cost_compiled(
+    tree: TreeNetwork,
+    blue_nodes: Iterable[NodeId],
+    loads: Mapping[NodeId, int] | None = None,
+    validate: bool = True,
+    model: FlatCostModel | None = None,
+) -> float:
+    """Eq. (1) by the flat passes with the reduction in the C backend.
+
+    Identical per-link contributions as :func:`utilization_cost_flat`;
+    the final left-to-right reduction runs through the compiled
+    ``sequential_sum`` kernel of :mod:`repro.core.engine_compiled` (one C
+    loop instead of a Python-list walk), which accumulates the same
+    doubles in the same order and therefore returns the bit-identical
+    float — with a pure-Python fallback when the C backend is absent.
+    Registered as ``"compiled"`` so a fully compiled
+    ``Solver(engine="compiled", color="compiled", cost_kernel="compiled")``
+    configuration is uniformly valid.
+    """
+    _, contributions = _flat_contributions(tree, blue_nodes, loads, validate, model)
+    return sequential_sum(contributions)
+
+
 #: Name of the level-batched flat cost kernel (the solver-path default).
 FLAT_COST: str = "flat"
 #: Name of the per-node reference evaluation of Eq. (1).
 REFERENCE_COST: str = "reference"
+#: Name of the flat kernel with the C-backend reduction.
+COMPILED_COST: str = "compiled"
 #: Kernel used when callers do not ask for a specific one.
 DEFAULT_COST: str = FLAT_COST
 
@@ -311,6 +337,7 @@ DEFAULT_COST: str = FLAT_COST
 COST_KERNELS: dict[str, Callable[..., float]] = {
     FLAT_COST: utilization_cost_flat,
     REFERENCE_COST: _reference_cost_kernel,
+    COMPILED_COST: utilization_cost_compiled,
 }
 
 
@@ -324,10 +351,10 @@ def evaluate_cost(
 ) -> float:
     """Evaluate ``phi(T, L, U)`` with the named cost kernel.
 
-    ``"flat"`` (default) or ``"reference"``; both produce identical
-    floats, the reference kernel is retained as ground truth for
+    ``"flat"`` (default), ``"compiled"``, or ``"reference"``; all produce
+    identical floats, the reference kernel is retained as ground truth for
     differential testing — mirroring :func:`repro.core.color.trace_color`.
-    ``model`` is forwarded to the flat kernel (ignored by the reference).
+    ``model`` is forwarded to the flat kernels (ignored by the reference).
     """
     try:
         kernel = COST_KERNELS[cost]

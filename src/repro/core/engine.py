@@ -23,22 +23,42 @@ convolution streams over long same-shaped runs — this is where the engine
 gets its speed; see ``benchmarks/bench_fig9_runtime.py`` (comparison mode)
 and ``benchmarks/bench_fig10_scaling.py`` for the measured speedups.
 
-Per element the arithmetic (and its floating-point evaluation order) is
-identical to the reference, including the ascending-``j`` tie-breaking of
-the convolution argmin, so the two engines produce **bit-identical** tables,
-costs, and traceback breadcrumbs.  The flat engine materializes its output
-as ordinary :class:`~repro.core.gather.NodeTables` whose arrays are views
-into the flat tensors, so :func:`repro.core.color.soar_color` traces the
-result unchanged.
+The registry holds **three** engines:
 
-Use :func:`gather` to pick an engine by name (``"flat"`` is the default
-everywhere; ``"reference"`` is retained for differential testing — see
-:mod:`repro.testing` and ``tests/test_engine_differential.py``).
+``"flat"`` (the default)
+    The numpy implementation described above.
+
+``"reference"``
+    The per-node Algorithm 3 walk of :mod:`repro.core.gather`, retained as
+    ground truth for differential testing (see :mod:`repro.testing` and
+    ``tests/test_engine_differential.py``).
+
+``"compiled"``
+    The same flat orchestration with its three hot blocks — the leaf
+    broadcast, the batched convolution, and the colour decision — swapped
+    for C kernels built on demand from ``_gather_kernels.c`` and called
+    through ``ctypes``, which releases the GIL around every kernel call
+    (:mod:`repro.core.engine_compiled`).  When no C compiler is available
+    (or ``REPRO_NO_COMPILED`` is set) the entry stays registered and
+    **falls back to the numpy kernels**: same name, same results, no
+    consumer changes — ``repro.core.engine_compiled.HAVE_COMPILED`` tells
+    you which path is active, and the compiled-specific tests skip.
+
+Per element the arithmetic (and its floating-point evaluation order) is
+identical across all three, including the ascending-``j`` tie-breaking of
+the convolution argmin, so the engines produce **bit-identical** tables,
+costs, and traceback breadcrumbs.  The flat engines materialize their
+output as ordinary :class:`~repro.core.gather.NodeTables` whose arrays are
+views into the flat tensors, so :func:`repro.core.color.soar_color` traces
+the result unchanged.
+
+Use :func:`gather` to pick an engine by name.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -57,8 +77,31 @@ from repro.core.tree import TreeNetwork
 FLAT_ENGINE: str = "flat"
 #: Name of the per-node reference engine of :mod:`repro.core.gather`.
 REFERENCE_ENGINE: str = "reference"
+#: Name of the C-kernel engine of :mod:`repro.core.engine_compiled`.
+COMPILED_ENGINE: str = "compiled"
 #: Engine used when callers do not ask for a specific one.
 DEFAULT_ENGINE: str = FLAT_ENGINE
+
+
+@dataclass(frozen=True)
+class GatherKernels:
+    """The three swappable hot blocks of the flat gather driver.
+
+    ``combine(previous, child_row, budget, blue, j_max) -> (best, split)``
+        The batched ``mCost`` convolution.
+    ``leaf_init(x, y_blue, y_red, path_rho, load, leaves, avail, exact_k, k)``
+        The leaf-frontier broadcast, writing the three tables in place.
+    ``color_choice(y_blue, y_red) -> uint8 tensor``
+        The elementwise strict ``y_blue < y_red`` decision.
+
+    Every implementation must perform the identical per-element IEEE-754
+    operations in the identical order — the differential suite holds all
+    kernel sets to bit-identical outputs.
+    """
+
+    combine: Callable[..., tuple[np.ndarray, np.ndarray]]
+    leaf_init: Callable[..., None]
+    color_choice: Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 def _batched_combine(
@@ -133,17 +176,88 @@ def _batched_combine(
     return best, best_split
 
 
-def flat_gather(
+def _leaf_init_numpy(
+    x_flat: np.ndarray,
+    y_blue_flat: np.ndarray,
+    y_red_flat: np.ndarray,
+    path_rho: np.ndarray,
+    load: np.ndarray,
+    leaves: np.ndarray,
+    avail: np.ndarray,
+    exact_k: bool,
+    k: int,
+) -> None:
+    """Initialize the whole leaf frontier in one numpy broadcast."""
+    leaf_paths = path_rho[:, leaves]  # (height + 1, m)
+    red_columns = leaf_paths * load[leaves]
+    blue_leaves = leaves[avail[leaves]]
+    y_blue_flat[:, :, leaves] = np.inf
+    if exact_k:
+        y_red_flat[:, :, leaves] = np.inf
+        y_red_flat[:, 0, leaves] = red_columns
+        if k >= 1 and blue_leaves.size:
+            y_blue_flat[:, 1, blue_leaves] = path_rho[:, blue_leaves]
+    else:
+        y_red_flat[:, :, leaves] = red_columns[:, None, :]
+        if k >= 1 and blue_leaves.size:
+            y_blue_flat[:, 1:, blue_leaves] = path_rho[:, blue_leaves][:, None, :]
+    x_flat[:, :, leaves] = np.minimum(
+        y_red_flat[:, :, leaves], y_blue_flat[:, :, leaves]
+    )
+
+
+def _color_choice_numpy(y_blue: np.ndarray, y_red: np.ndarray) -> np.ndarray:
+    """The blue/red decision tensor: strict ``y_blue < y_red`` as uint8."""
+    # BLUE == 1 == True and RED == 0 == False, so the boolean comparison
+    # reinterpreted as uint8 is exactly the choice table.
+    return np.less(y_blue, y_red).view(np.uint8)
+
+
+#: The pure-numpy kernel set of the ``"flat"`` engine (and the fallback of
+#: the ``"compiled"`` one).
+NUMPY_KERNELS = GatherKernels(
+    combine=_batched_combine,
+    leaf_init=_leaf_init_numpy,
+    color_choice=_color_choice_numpy,
+)
+
+
+def subtree_available_counts(
+    depth: np.ndarray,
+    parent: np.ndarray,
+    avail: np.ndarray,
+    height: int,
+) -> np.ndarray:
+    """``|Λ ∩ T_v|`` for every node, in the flat node order.
+
+    Accumulated child -> parent level by level, walking every level down
+    to 1 with nodes whose parent is the destination (``parent == -1``)
+    masked out: an unguarded walk would wrap the destination's ``-1``
+    onto the *last* flat-order position — the root, in the canonical
+    deepest-level-first order — and silently double its count.  The
+    convolution cap only ever reads non-root entries (the root is never a
+    convolution child), but kernels that reuse this array — the compiled
+    backend, subtree diagnostics — rely on every entry being the true
+    count, the root's being exactly ``|Λ|``.
+    """
+    counts = avail.astype(np.int64)
+    for level in range(height, 0, -1):
+        members = np.nonzero(depth == level)[0]
+        targets = parent[members]
+        in_tree = targets >= 0
+        if in_tree.any():
+            np.add.at(counts, targets[in_tree], counts[members[in_tree]])
+    return counts
+
+
+def _gather_flat_tensors(
     tree: TreeNetwork,
     budget: int,
-    exact_k: bool = False,
+    exact_k: bool,
+    kernels: GatherKernels,
+    engine: str,
 ) -> GatherResult:
-    """Run SOAR-Gather on flat ``(l, i, node)`` tensors.
-
-    Drop-in replacement for :func:`repro.core.gather.soar_gather`: same
-    parameters, same :class:`~repro.core.gather.GatherResult` (the per-node
-    tables are numpy views into the contiguous tensors).
-    """
+    """The shared flat-tensor gather driver, parameterized by kernel set."""
     k = normalize_budget(tree, budget)
     n = tree.num_switches
     height = tree.height
@@ -196,30 +310,13 @@ def flat_gather(
     leaf_rows = np.fromiter((len(c) == 0 for c in children_idx), dtype=bool, count=n)
     leaves = np.nonzero(leaf_rows)[0]
     if leaves.size:
-        leaf_paths = path_rho[:, leaves]  # (height + 1, m)
-        red_columns = leaf_paths * load[leaves]
-        blue_leaves = leaves[avail[leaves]]
-        y_blue_flat[:, :, leaves] = np.inf
-        if exact_k:
-            y_red_flat[:, :, leaves] = np.inf
-            y_red_flat[:, 0, leaves] = red_columns
-            if k >= 1 and blue_leaves.size:
-                y_blue_flat[:, 1, blue_leaves] = path_rho[:, blue_leaves]
-        else:
-            y_red_flat[:, :, leaves] = red_columns[:, None, :]
-            if k >= 1 and blue_leaves.size:
-                y_blue_flat[:, 1:, blue_leaves] = path_rho[:, blue_leaves][:, None, :]
-        x_flat[:, :, leaves] = np.minimum(
-            y_red_flat[:, :, leaves], y_blue_flat[:, :, leaves]
+        kernels.leaf_init(
+            x_flat, y_blue_flat, y_red_flat, path_rho, load, leaves, avail, exact_k, k
         )
 
-    # |Λ ∩ T_v| for every node, accumulated child -> parent level by level;
-    # it caps the convolution split range (see _batched_combine).
-    subtree_avail = avail.astype(np.int64)
-    for level in range(height, 1, -1):
-        members = np.nonzero(depth == level)[0]
-        if members.size:
-            np.add.at(subtree_avail, parent[members], subtree_avail[members])
+    # |Λ ∩ T_v| for every node; it caps the convolution split range (see
+    # _batched_combine).
+    subtree_avail = subtree_available_counts(depth, parent, avail, height)
 
     # ---- internal nodes, level-batched from the deepest level up ----------
     internal_by_depth: dict[int, list[int]] = {}
@@ -260,7 +357,7 @@ def flat_gather(
             j_cap = int(subtree_avail[child].max())
 
             child_red = x_flat[1 : rows + 1, :, child]
-            merged_red, split_red = _batched_combine(
+            merged_red, split_red = kernels.combine(
                 y_red[:, :, active], child_red, k, blue=False, j_max=j_cap
             )
             y_red[:, :, active] = merged_red
@@ -269,7 +366,7 @@ def flat_gather(
             blue_active = np.nonzero(can_blue[active])[0]
             if blue_active.size:
                 child_blue = x_flat[1][:, child[blue_active]][None, :, :]
-                merged_blue, split_blue = _batched_combine(
+                merged_blue, split_blue = kernels.combine(
                     y_blue[:, :, active[blue_active]], child_blue, k, blue=True, j_max=j_cap
                 )
                 y_blue[:, :, active[blue_active]] = merged_blue
@@ -279,9 +376,7 @@ def flat_gather(
         y_red_flat[:rows, :, group] = y_red
         y_blue_flat[:rows, :, group] = y_blue
 
-    # BLUE == 1 == True and RED == 0 == False, so the boolean comparison
-    # reinterpreted as uint8 is exactly the choice table.
-    choice_flat = np.less(y_blue_flat, y_red_flat).view(np.uint8)
+    choice_flat = kernels.color_choice(y_blue_flat, y_red_flat)
 
     # ---- materialize the reference breadcrumb format as views -------------
     tables: dict = {}
@@ -332,12 +427,30 @@ def flat_gather(
         budget=k,
         requested_budget=int(budget),
         exact_k=exact_k,
-        engine=FLAT_ENGINE,
+        engine=engine,
         flat=flat,
     )
 
 
-#: Registry of gather engines, keyed by their public name.
+def flat_gather(
+    tree: TreeNetwork,
+    budget: int,
+    exact_k: bool = False,
+) -> GatherResult:
+    """Run SOAR-Gather on flat ``(l, i, node)`` tensors.
+
+    Drop-in replacement for :func:`repro.core.gather.soar_gather`: same
+    parameters, same :class:`~repro.core.gather.GatherResult` (the per-node
+    tables are numpy views into the contiguous tensors).
+    """
+    return _gather_flat_tensors(
+        tree, budget, exact_k, kernels=NUMPY_KERNELS, engine=FLAT_ENGINE
+    )
+
+
+#: Registry of gather engines, keyed by their public name.  The
+#: ``"compiled"`` entry is appended by :mod:`repro.core.engine_compiled`
+#: at the bottom of this module (it needs the driver defined first).
 ENGINES: dict[str, Callable[..., GatherResult]] = {
     FLAT_ENGINE: flat_gather,
     REFERENCE_ENGINE: soar_gather,
@@ -350,10 +463,19 @@ def gather(
     exact_k: bool = False,
     engine: str = DEFAULT_ENGINE,
 ) -> GatherResult:
-    """Run SOAR-Gather with the named engine (``"flat"`` or ``"reference"``)."""
+    """Run SOAR-Gather with the named engine.
+
+    ``"flat"`` (default), ``"compiled"``, or ``"reference"``; all three
+    produce bit-identical results — see the module docstring.
+    """
     try:
         implementation = ENGINES[engine]
     except KeyError:
         known = ", ".join(sorted(ENGINES))
         raise ValueError(f"unknown gather engine {engine!r}; expected one of: {known}")
     return implementation(tree, budget, exact_k=exact_k)
+
+
+# Registers the "compiled" engine (self-registration keeps the import
+# order safe whichever module is imported first).
+import repro.core.engine_compiled  # noqa: E402,F401  (registration side effect)

@@ -45,6 +45,8 @@ ROW_COLUMNS: tuple[str, ...] = (
     "budget",
     "capacity",
     "workers",
+    "mode",
+    "cpu_cores",
     "row",
     "kind",
     "count",
@@ -98,6 +100,7 @@ def run_service_replay(
     trace_path: str | Path | None = None,
     record_path: str | Path | None = None,
     workers: int = 1,
+    mode: str = "thread",
     journal_path: str | Path | None = None,
     restore_path: str | Path | None = None,
     snapshot_path: str | Path | None = None,
@@ -114,9 +117,9 @@ def run_service_replay(
     requests are appended as they are applied), ``restore_path`` rebuilds
     the service from a snapshot file first (replaying the journal's tail
     when ``journal_path`` is also given), and ``snapshot_path`` writes a
-    snapshot of the final fleet after the replay.  ``workers`` drives the
-    replay from a thread pool (see
-    :func:`repro.service.driver.replay_trace`).
+    snapshot of the final fleet after the replay.  ``workers`` / ``mode``
+    drive the replay concurrently — a thread pool or a Λ-epoch process
+    pool (see :func:`repro.service.driver.replay_trace`).
 
     The rows contain one ``summary`` row (throughput, hit rate, warm
     speedup) followed by one row per request kind (count, hits, latency
@@ -172,6 +175,7 @@ def run_service_replay(
         verify=verify,
         service=service,
         workers=workers,
+        mode=mode,
     )
     if snapshot_path is not None:
         write_snapshot(service.snapshot(), snapshot_path)
@@ -195,6 +199,7 @@ def run_service_replay(
         "budget": budget_label,
         "capacity": capacity,
         "workers": workers,
+        "mode": report.mode,
     }
     return report, report_rows(report, scenario)
 

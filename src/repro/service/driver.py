@@ -22,24 +22,46 @@ own column.
 
 Concurrent replay
 -----------------
-``workers > 1`` drives the service from a thread pool while preserving the
-trace's observable semantics: mutating requests are barriers (executed
-alone, in trace order, exactly as the service's write lock would force
-anyway), and each maximal run of read-only requests between two barriers is
-fanned out across the workers.  Within such a run the fleet state cannot
-change, so every request is independent and the *payload* of each response
-— blue set, costs, budgets (see :func:`response_payload`) — is bit-identical
-to a serial replay of the same trace.  What may differ is diagnostics:
-``cache_hit`` / ``cache_source`` flags depend on which racer gathered
-first.  ``tests/test_service_persistence.py`` pins the payload identity;
-the CI workflow diffs a 4-worker replay against the serial one on every
-push.
+``workers > 1`` drives the service concurrently while preserving the
+trace's observable semantics; two modes exist.
+
+``mode="thread"`` (the default) drives one shared service from a thread
+pool: mutating requests are barriers (executed alone, in trace order,
+exactly as the service's write lock would force anyway), and each maximal
+run of read-only requests between two barriers is fanned out across the
+workers.  Within such a run the fleet state cannot change, so every
+request is independent and the *payload* of each response — blue set,
+costs, budgets (see :func:`response_payload`) — is bit-identical to a
+serial replay of the same trace.  Threads share the GIL, though, so with
+the numpy engine the fan-out buys nothing (the measured
+``concurrent_speedup`` was 0.78 on BT(256)); the compiled engine releases
+the GIL inside its kernels, and ``mode="process"`` sidesteps it entirely.
+
+``mode="process"`` replays with true process parallelism.  The parent
+applies every mutating request serially to the authoritative service; a
+read-only request's payload is a pure function of its own
+``(loads, budget, exact_k)`` and the availability set ``Λ`` — nothing
+else — so reads are batched per **Λ-epoch** (a maximal trace span over
+which the availability fingerprint is constant), partitioned across the
+pool with workload affinity (requests sharing a loads fingerprint go to
+the same batch, so one worker pays the cold gather and its siblings ride
+that worker's cache), and dispatched as the epoch closes, overlapping
+with the parent's continuing mutation stream.  Each worker process holds
+a persistent replica service, resyncing its fleet snapshot once per
+epoch (the gather-table cache keys include the Λ fingerprint, so the
+cache survives resyncs and stale entries are unreachable).  Response
+payloads are bit-identical to the serial replay; diagnostics
+(``cache_hit`` / ``cache_source``, ``Stats`` counters) may differ, as in
+thread mode.  ``tests/test_service_persistence.py`` pins the payload
+identity for both modes; the CI workflow diffs 4-worker replays against
+the serial one on every push.
 """
 
 from __future__ import annotations
 
+import math
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
@@ -47,7 +69,7 @@ from repro.core.color import DEFAULT_COLOR
 from repro.core.cost import DEFAULT_COST
 from repro.core.engine import DEFAULT_ENGINE
 from repro.core.solver import Solver
-from repro.core.tree import NodeId, TreeNetwork
+from repro.core.tree import NodeId, TreeNetwork, fingerprint_loads
 from repro.service.api import (
     READ_ONLY_REQUESTS,
     AdmitRequest,
@@ -86,6 +108,7 @@ class ReplayReport:
     verified: int
     engine: str
     workers: int = 1
+    mode: str = "serial"
 
     @property
     def num_requests(self) -> int:
@@ -186,6 +209,7 @@ class ReplayReport:
         return {
             "requests": self.num_requests,
             "workers": self.workers,
+            "mode": self.mode,
             "wall_s": self.wall_s,
             "throughput_rps": self.throughput_rps,
             "hit_rate": self.hit_rate,
@@ -200,11 +224,19 @@ class ReplayReport:
 
 
 def _percentile(ordered: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sequence."""
+    """Nearest-rank percentile of an already-sorted sequence.
+
+    The standard ceil-based definition: the value at 1-based rank
+    ``ceil(fraction * n)``.  The previous implementation rounded
+    ``fraction * (n - 1)`` with Python's banker's ``round()``, whose
+    round-half-to-even makes even-length samples pick inconsistent ranks
+    (p50 of 2 rounds *down*, p50 of 4 rounds *up*) — the small per-kind
+    samples of :meth:`ReplayReport.kind_rows` hit exactly those cases.
+    """
     if not ordered:
         return 0.0
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[int(rank)]
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
 
 def response_payload(response: Response) -> tuple | None:
@@ -332,6 +364,230 @@ def _timed_submit(
     return response, time.perf_counter() - start
 
 
+# --------------------------------------------------------------------------- #
+# process-mode replica workers
+# --------------------------------------------------------------------------- #
+
+#: Per-process replica state of the process-mode workers: the replica
+#: service (built once by :func:`_process_worker_init`), the str -> node-id
+#: index for fleet-snapshot resolution, and the Λ-epoch the replica's fleet
+#: state was last synced to.
+_PROCESS_REPLICA: dict = {}
+
+
+def _process_worker_init(
+    tree: TreeNetwork,
+    capacity: int | Mapping[NodeId, int],
+    engine: str,
+    cache_entries: int,
+    color: str,
+    cost_kernel: str,
+) -> None:
+    """Build this worker process's persistent replica service.
+
+    The replica's fleet state is a placeholder until the first batch
+    arrives — every batch carries its epoch's fleet snapshot, and
+    :meth:`~repro.service.state.FleetState.load_state` fully overwrites
+    residuals, drains, tenants, and the Λ digest.  The gather-table cache
+    is *not* reset on resync: its keys include the availability
+    fingerprint, so entries from earlier epochs are simply unreachable
+    until (and unless) that exact Λ returns.
+    """
+    _PROCESS_REPLICA["service"] = PlacementService(
+        tree,
+        capacity,
+        engine=engine,
+        cache_entries=cache_entries,
+        color=color,
+        cost_kernel=cost_kernel,
+    )
+    _PROCESS_REPLICA["index"] = node_index(tree)
+    _PROCESS_REPLICA["epoch"] = None
+
+
+def _process_worker_ping() -> bool:
+    """No-op task used to force worker spawn before the wall clock starts."""
+    return True
+
+
+def _process_worker_serve(
+    epoch: int,
+    fleet_state: Mapping,
+    batch: Sequence[tuple[int, Request]],
+) -> list[tuple[int, Response, float]]:
+    """Serve one epoch batch of read-only requests on the replica.
+
+    Returns ``(trace position, response, elapsed seconds)`` triples; the
+    parent reassembles them into trace order.
+    """
+    service = _PROCESS_REPLICA["service"]
+    if epoch != _PROCESS_REPLICA["epoch"]:
+        service.state.load_state(fleet_state, _PROCESS_REPLICA["index"])
+        _PROCESS_REPLICA["epoch"] = epoch
+    results = []
+    for position, request in batch:
+        start = time.perf_counter()
+        response = service.submit(request)
+        results.append((position, response, time.perf_counter() - start))
+    return results
+
+
+def _partition_epoch(
+    pending: Sequence[tuple[int, Request, tuple]],
+    workers: int,
+) -> list[list[tuple[int, Request]]]:
+    """Partition one Λ-epoch's reads into at most ``workers`` batches.
+
+    Workload affinity first: every request keyed by the same
+    ``(loads fingerprint, exact_k)`` lands in the same batch, so exactly
+    one worker pays that workload's cold gather and the rest of its
+    requests hit that worker's cache.  New workloads go to the batch with
+    the least estimated work, where a workload's first request weighs a
+    cold gather (~4x) and repeats weigh a warm trace (1x) — the ratio
+    measured on the BT(256) churn mix.
+    """
+    assignment: dict[tuple, int] = {}
+    weights = [0.0] * workers
+    batches: list[list[tuple[int, Request]]] = [[] for _ in range(workers)]
+    for position, request, key in pending:
+        batch = assignment.get(key)
+        if batch is None:
+            batch = min(range(workers), key=weights.__getitem__)
+            assignment[key] = batch
+            weights[batch] += 4.0
+        else:
+            weights[batch] += 1.0
+        batches[batch].append((position, request))
+    return [batch for batch in batches if batch]
+
+
+def _replay_process(
+    service: PlacementService,
+    tree: TreeNetwork,
+    events: Sequence[TraceEvent],
+    requests: Sequence[Request],
+    workers: int,
+    cache_entries: int,
+    verify: bool,
+) -> tuple[list[ReplayRecord], float, int]:
+    """The ``mode="process"`` replay loop (see the module docstring).
+
+    The parent walks the trace once: mutations apply serially to the
+    authoritative ``service`` (their responses are the serial ones by
+    construction), ``Stats`` reads run inline on the parent, and
+    solve/sweep reads buffer until their Λ-epoch closes — at which point
+    the epoch's reads are partitioned by workload affinity and submitted
+    to the pool, overlapping with the parent's continuing walk.  The wall
+    clock covers the walk plus the drain of all worker batches, but not
+    pool spawn/replica construction (a long-lived daemon pays those once)
+    or verification.
+    """
+    state = service.state
+    total = len(requests)
+    responses: list[Response | None] = [None] * total
+    elapsed_by_position = [0.0] * total
+    available_at: list[frozenset[NodeId] | None] = [None] * total
+    futures: list[Future] = []
+    pending: list[tuple[int, Request, tuple]] = []
+    epoch = 0
+    epoch_fleet: dict | None = None
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_process_worker_init,
+        initargs=(
+            tree,
+            1,  # placeholder capacity; every batch resyncs the real fleet
+            service.engine,
+            cache_entries,
+            service.color,
+            service.cost_kernel,
+        ),
+    ) as executor:
+
+        def flush() -> None:
+            nonlocal pending
+            if pending:
+                for batch in _partition_epoch(pending, workers):
+                    futures.append(
+                        executor.submit(
+                            _process_worker_serve, epoch, epoch_fleet, batch
+                        )
+                    )
+                pending = []
+
+        # Force the worker processes (and their replica services) to exist
+        # before timing starts.
+        for ping in [executor.submit(_process_worker_ping) for _ in range(workers)]:
+            ping.result()
+
+        wall_start = time.perf_counter()
+        fingerprint = state.availability_fingerprint()
+        for position, request in enumerate(requests):
+            if isinstance(request, (SolveRequest, SweepRequest)):
+                if epoch_fleet is None:
+                    # First read of this epoch: capture the fleet once.
+                    # Mutations that did not change Λ may follow inside
+                    # the same epoch — harmless, the read path depends on
+                    # Λ and the request only.
+                    epoch_fleet = state.state_dict()
+                if verify:
+                    available_at[position] = state.available()
+                pending.append(
+                    (
+                        position,
+                        request,
+                        (fingerprint_loads(request.loads), request.exact_k),
+                    )
+                )
+                continue
+            # Stats and every mutating request run on the authoritative
+            # service, in trace order.
+            if verify:
+                available_at[position] = state.available()
+            response, elapsed = _timed_submit(service, request)
+            responses[position] = response
+            elapsed_by_position[position] = elapsed
+            current = state.availability_fingerprint()
+            if current != fingerprint:
+                # Λ changed: the epoch closes, its reads dispatch now and
+                # overlap with the rest of the walk.
+                flush()
+                epoch += 1
+                epoch_fleet = None
+                fingerprint = current
+        flush()
+        for future in futures:
+            for position, response, elapsed in future.result():
+                responses[position] = response
+                elapsed_by_position[position] = elapsed
+        wall = time.perf_counter() - wall_start
+
+    verified = 0
+    if verify:
+        for position, request in enumerate(requests):
+            if _verify_response(
+                tree,
+                available_at[position] or frozenset(),
+                request,
+                responses[position],
+                service.engine,
+            ):
+                verified += 1
+
+    records = [
+        ReplayRecord(
+            index=position,
+            event=events[position],
+            request=requests[position],
+            response=responses[position],
+            elapsed_s=elapsed_by_position[position],
+        )
+        for position in range(total)
+    ]
+    return records, wall, verified
+
+
 def replay_trace(
     tree: TreeNetwork,
     events: Sequence[TraceEvent],
@@ -343,6 +599,7 @@ def replay_trace(
     color: str | None = None,
     cost_kernel: str | None = None,
     workers: int = 1,
+    mode: str = "thread",
 ) -> ReplayReport:
     """Replay a trace against a (fresh or supplied) service and measure it.
 
@@ -376,14 +633,20 @@ def replay_trace(
         ``"reference"`` replays with the per-node Eq. (1) walk, isolating
         the flat cost kernel's contribution the same way.
     workers:
-        Number of threads driving the service.  ``1`` (default) is the
-        serial replay.  With more, read-only runs between mutating
-        barriers are fanned out over a thread pool; the response payloads
-        (:func:`response_payload`) are bit-identical to the serial replay,
-        per-request latencies overlap, and ``wall_s`` measures the actual
-        elapsed time of each segment (so ``throughput_rps`` reflects the
-        concurrency).
+        Number of workers driving the service.  ``1`` (default) is the
+        serial replay.  With more, read-only requests are fanned out per
+        ``mode``; the response payloads (:func:`response_payload`) are
+        bit-identical to the serial replay, per-request latencies
+        overlap, and ``wall_s`` measures the actual elapsed time (so
+        ``throughput_rps`` reflects the concurrency).
+    mode:
+        Concurrency mode when ``workers > 1`` (ignored at ``workers=1``).
+        ``"thread"`` (default) fans read-only runs over a thread pool
+        sharing the one service; ``"process"`` batches reads per Λ-epoch
+        across a pool of replica processes (see the module docstring).
     """
+    if mode not in ("thread", "process"):
+        raise ValueError(f"unknown replay mode {mode!r}: expected 'thread' or 'process'")
     if service is None:
         service = PlacementService(
             tree,
@@ -396,6 +659,20 @@ def replay_trace(
     index_map = node_index(tree)
     workers = max(1, int(workers))
     requests = [event_to_request(tree, event, index_map) for event in events]
+
+    if workers > 1 and mode == "process":
+        records, wall, verified = _replay_process(
+            service, tree, events, requests, workers, cache_entries, verify
+        )
+        return ReplayReport(
+            records=records,
+            wall_s=wall,
+            verified=verified,
+            engine=service.engine,
+            workers=workers,
+            mode="process",
+        )
+
     records: list[ReplayRecord] = []
     verified = 0
     wall = 0.0
@@ -469,4 +746,5 @@ def replay_trace(
         verified=verified,
         engine=service.engine,
         workers=workers,
+        mode="serial" if workers == 1 else "thread",
     )

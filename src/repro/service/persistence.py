@@ -49,6 +49,8 @@ a request that raised is never journaled.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from collections.abc import Mapping, Sequence
 
@@ -285,12 +287,33 @@ def build_snapshot(service, include_cache: bool = True) -> dict:
 
 
 def write_snapshot(payload: Mapping, path: str | Path) -> Path:
-    """Write a snapshot payload as JSON; returns the path written."""
+    """Write a snapshot payload as JSON, atomically; returns the path.
+
+    The snapshot is the file :func:`restore_service` starts from, so a
+    crash mid-write must never leave a truncated JSON in its place.  The
+    payload is written to a same-directory temporary file, flushed and
+    fsynced, then published over ``path`` with :func:`os.replace` — on a
+    POSIX filesystem readers see either the previous complete snapshot or
+    the new complete one, never a partial write.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    handle_fd, staging = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle_fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, target)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
     return target
 
 
@@ -467,8 +490,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     journal running to the kill point, service rebuilt from snapshot +
     journal tail — and asserts the post-restore responses are
     payload-identical to the uninterrupted run.  With ``--workers N > 1``
-    it additionally drives a concurrent replay of the full trace and diffs
-    it against the serial one.  Exits non-zero on any divergence; run by
+    it additionally drives a concurrent replay of the full trace
+    (``--mode thread`` or ``--mode process``) and diffs it against the
+    serial one.  Exits non-zero on any divergence; run by
     ``.github/workflows/ci.yml`` as the snapshot round-trip smoke.
     """
     import argparse
@@ -490,6 +514,13 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         type=int,
         default=1,
         help="also diff an N-worker concurrent replay against the serial one",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="concurrency mode of the --workers diff (thread pool, or the "
+        "Λ-epoch process pool)",
     )
     args = parser.parse_args(argv)
 
@@ -545,7 +576,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if args.workers > 1:
         serial = replay_trace(tree, trace, capacity=args.capacity)
         concurrent = replay_trace(
-            tree, trace, capacity=args.capacity, workers=args.workers
+            tree, trace, capacity=args.capacity, workers=args.workers, mode=args.mode
         )
         divergent = sum(
             1
@@ -553,7 +584,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             if response_payload(left.response) != response_payload(right.response)
         )
         print(
-            f"concurrent replay: {args.workers} workers over "
+            f"concurrent replay: {args.workers} {concurrent.mode} workers over "
             f"{concurrent.num_requests} requests, {divergent} payload mismatches "
             f"(serial {serial.wall_s:.3f}s, concurrent {concurrent.wall_s:.3f}s)"
         )

@@ -22,6 +22,7 @@ import numpy as np
 import pytest
 
 from repro.core.cost import (
+    COMPILED_COST,
     COST_KERNELS,
     FLAT_COST,
     REFERENCE_COST,
@@ -63,7 +64,7 @@ class TestCostKernelDifferential:
     """Every COST_KERNELS entry == utilization_cost, bit for bit."""
 
     def test_registry_shape(self):
-        assert set(COST_KERNELS) == {FLAT_COST, REFERENCE_COST}
+        assert set(COST_KERNELS) == {FLAT_COST, REFERENCE_COST, COMPILED_COST}
 
     def test_random_instances_all_kernels(self):
         rng = np.random.default_rng(0xC057)

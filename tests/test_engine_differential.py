@@ -17,8 +17,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.color import soar_color, soar_color_batched
-from repro.core.engine import ENGINES, flat_gather, gather
+from repro.core.color import soar_color, soar_color_batched, soar_color_compiled
+from repro.core.engine import (
+    ENGINES,
+    NUMPY_KERNELS,
+    flat_gather,
+    gather,
+    subtree_available_counts,
+)
+from repro.core.flat import flat_order
+from repro.core.engine_compiled import (
+    COMPILED_KERNELS,
+    HAVE_COMPILED,
+    compiled_gather,
+)
 from repro.core.gather import soar_gather
 from repro.core.solver import Solver
 from repro.experiments.motivating import motivating_tree
@@ -27,8 +39,13 @@ from repro.testing import (
     assert_tables_equal,
     check_instance,
     instance_stream,
+    near_tie_stream,
     random_budget,
     random_instance,
+)
+
+requires_compiled = pytest.mark.skipif(
+    not HAVE_COMPILED, reason="C backend unavailable (no compiler); numpy fallback active"
 )
 
 
@@ -36,12 +53,17 @@ def _assert_engines_identical(tree, budget, exact_k):
     """Tables, placements, and costs must match bit for bit."""
     reference = soar_gather(tree, budget, exact_k=exact_k)
     flat = flat_gather(tree, budget, exact_k=exact_k)
+    compiled = compiled_gather(tree, budget, exact_k=exact_k)
     assert_tables_equal(reference, flat)
+    assert_tables_equal(reference, compiled)
     traced = soar_color(tree, reference)
     assert traced == soar_color(tree, flat)
-    # ... and the batched colour kernel traces the same set out of both.
+    assert traced == soar_color(tree, compiled)
+    # ... and the batched/compiled colour kernels trace the same set out of
+    # every engine's tables.
     assert soar_color_batched(tree, reference) == traced
     assert soar_color_batched(tree, flat) == traced
+    assert soar_color_compiled(tree, compiled) == traced
 
 
 class TestEngineDispatch:
@@ -51,8 +73,8 @@ class TestEngineDispatch:
         with pytest.raises(ValueError, match="unknown gather engine"):
             Solver(engine="warp")
 
-    def test_registry_contains_both_engines(self):
-        assert set(ENGINES) == {"flat", "reference"}
+    def test_registry_contains_all_engines(self):
+        assert set(ENGINES) == {"flat", "reference", "compiled"}
 
     def test_results_record_their_engine(self, paper_tree):
         for engine in ENGINES:
@@ -66,6 +88,100 @@ class TestEngineDispatch:
         for engine in ENGINES:
             sweep = Solver(engine=engine).sweep(paper_tree, range(1, 5))
             assert [sweep[k].cost for k in (1, 2, 3, 4)] == [35.0, 20.0, 15.0, 11.0]
+
+
+class TestSubtreeAvailability:
+    """Regression for the level walk stopping at level 2 (issue 6).
+
+    The accumulation used to iterate ``range(height, 1, -1)``, so depth-1
+    counts never folded into the root — unobservable through the
+    convolution cap (the root is never a convolution child) but a landmine
+    for any kernel that reuses the array.  The root entry must be exactly
+    ``|Λ|``, and every entry the true subtree count.
+    """
+
+    def _counts_for(self, tree):
+        order = flat_order(tree)
+        index = {node: i for i, node in enumerate(order)}
+        n = len(order)
+        depth = np.fromiter((tree.depth(v) for v in order), dtype=np.int64, count=n)
+        parent = np.fromiter(
+            (index.get(tree.parent(v), -1) for v in order), dtype=np.int64, count=n
+        )
+        avail = np.fromiter((v in tree.available for v in order), dtype=bool, count=n)
+        counts = subtree_available_counts(depth, parent, avail, tree.height)
+        return order, index, counts
+
+    def test_root_count_is_full_availability(self, paper_tree):
+        _, index, counts = self._counts_for(paper_tree)
+        assert counts[index[paper_tree.root]] == len(paper_tree.available)
+
+    def test_every_entry_is_the_true_subtree_count(self, session_rng):
+        for _ in range(10):
+            tree = random_instance(
+                session_rng, restrict_availability=True, max_switches=12
+            )
+            order, index, counts = self._counts_for(tree)
+            assert counts[index[tree.root]] == len(tree.available)
+
+            def subtree_count(node):
+                total = int(node in tree.available)
+                for child in tree.children(node):
+                    total += subtree_count(child)
+                return total
+
+            for node in order:
+                assert counts[index[node]] == subtree_count(node), node
+
+
+class TestCompiledBackend:
+    """The compiled engine specifically: activation, fallback, near-ties."""
+
+    @requires_compiled
+    def test_c_kernels_are_active(self):
+        # When a compiler exists the "compiled" entry must run the C
+        # kernel set, not silently fall back to numpy.
+        assert COMPILED_KERNELS is not NUMPY_KERNELS
+
+    def test_disable_env_forces_numpy_fallback(self):
+        # A fresh interpreter with REPRO_NO_COMPILED set must keep the
+        # "compiled" registry entry callable and bit-identical.
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_NO_COMPILED="1")
+        script = (
+            "from repro.core.engine_compiled import HAVE_COMPILED\n"
+            "from repro.core.engine import ENGINES, flat_gather, gather\n"
+            "from repro.experiments.motivating import motivating_tree\n"
+            "from repro.testing import assert_tables_equal\n"
+            "assert not HAVE_COMPILED\n"
+            "assert 'compiled' in ENGINES\n"
+            "tree = motivating_tree()\n"
+            "result = gather(tree, 2, engine='compiled')\n"
+            "assert result.engine == 'compiled'\n"
+            "assert_tables_equal(flat_gather(tree, 2), result)\n"
+        )
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_near_tie_instances_bit_identical(self, exact_k):
+        # Symmetric rates and loads make every convolution argmin and
+        # colour decision a tie-break — exactly where a compiled kernel
+        # with a subtly different scan order would diverge first.
+        count = 0
+        for tree, budget in near_tie_stream(
+            seed=20260807 + int(exact_k), count=25, max_switches=12
+        ):
+            flat = flat_gather(tree, budget, exact_k=exact_k)
+            compiled = compiled_gather(tree, budget, exact_k=exact_k)
+            assert_tables_equal(flat, compiled)
+            traced = soar_color_batched(tree, flat)
+            assert soar_color_compiled(tree, compiled) == traced
+            assert soar_color(tree, compiled) == traced
+            count += 1
+        assert count == 25
 
 
 class TestPaperExample:

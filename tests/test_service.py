@@ -697,6 +697,53 @@ class TestTraces:
                 active.remove(event.tenant)
 
 
+class TestPercentile:
+    """Nearest-rank percentile of the replay report (issue 6 regression).
+
+    The old implementation indexed at ``round(fraction * (n - 1))`` —
+    Python's banker's rounding, so p50 of a 2-sample rounded *down* to the
+    min while p50 of a 4-sample rounded *up*: inconsistent ranks exactly
+    in the small per-kind samples ``kind_rows`` produces.  The ceil-based
+    nearest-rank definition is monotone in n.
+    """
+
+    def test_empty_sample_is_zero(self):
+        from repro.service.driver import _percentile
+
+        assert _percentile([], 0.50) == 0.0
+
+    @pytest.mark.parametrize(
+        "values, expected",
+        [
+            ([7.0], 7.0),
+            ([1.0, 2.0], 1.0),
+            ([1.0, 2.0, 3.0], 2.0),
+            ([1.0, 2.0, 3.0, 4.0], 2.0),  # round(1.5) rounded *up* to 3.0 here
+            ([1.0, 2.0, 3.0, 4.0, 5.0], 3.0),
+        ],
+    )
+    def test_median_nearest_rank(self, values, expected):
+        from repro.service.driver import _percentile
+
+        assert _percentile(values, 0.50) == expected
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10, 19])
+    def test_p95_of_small_samples_is_the_max(self, n):
+        # ceil(0.95 n) == n for every n < 20: p95 of a small sample is its
+        # maximum, never an interior element.
+        from repro.service.driver import _percentile
+
+        values = [float(i) for i in range(1, n + 1)]
+        assert _percentile(values, 0.95) == float(n)
+
+    def test_p100_and_p0_clamp_to_the_ends(self):
+        from repro.service.driver import _percentile
+
+        values = [1.0, 2.0, 3.0]
+        assert _percentile(values, 1.0) == 3.0
+        assert _percentile(values, 0.0) == 1.0
+
+
 # --------------------------------------------------------------------------- #
 # differential churn replays
 # --------------------------------------------------------------------------- #

@@ -10,7 +10,8 @@ Three layers:
   mid-trace and restoring it (snapshot + journal tail) yields responses
   payload-identical to the uninterrupted run, across seeded churn traces
   (and via journal-only recovery with no snapshot at all);
-* **concurrency** — a 4-worker replay of a seeded trace is
+* **concurrency** — a 4-worker replay of a seeded trace (both the thread
+  pool and the Λ-epoch process pool of ``mode="process"``) is
   payload-identical to the serial replay, and hammering ``submit`` from
   many threads against a churning fleet never corrupts the registry.
 """
@@ -232,6 +233,37 @@ class TestSnapshotState:
         with pytest.raises(PersistenceError, match="does not cover"):
             PlacementService.restore(tree, snapshot, journal=[])
 
+    def test_failed_write_never_clobbers_previous_snapshot(self, tmp_path, monkeypatch):
+        # Regression: write_snapshot used to open the target directly, so a
+        # crash mid-write left a truncated, unparseable file — destroying
+        # the one good snapshot it was meant to refresh.  The write must be
+        # atomic: stage to a temp file, fsync, then rename over the target.
+        tree = complete_binary_tree(8)
+        service = PlacementService(tree, capacity=3)
+        path = tmp_path / "snap.json"
+        write_snapshot(service.snapshot(), path)
+        before = path.read_text()
+
+        service.submit(AdmitRequest(tenant_id="a", loads=leaf_loads(tree), budget=3))
+        def explode(*args, **kwargs):
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr("repro.service.persistence.json.dump", explode)
+        with pytest.raises(OSError, match="mid-write"):
+            write_snapshot(service.snapshot(), path)
+        monkeypatch.undo()
+
+        # The previous snapshot is byte-identical, still restorable, and no
+        # staging debris is left behind.
+        assert path.read_text() == before
+        assert [entry.name for entry in tmp_path.iterdir()] == ["snap.json"]
+        assert PlacementService.restore(tree, read_snapshot(path)).mutation_seq == 0
+
+        # A successful write still replaces the content (and only then).
+        write_snapshot(service.snapshot(), path)
+        assert path.read_text() != before
+        assert PlacementService.restore(tree, read_snapshot(path)).mutation_seq == 1
+
     def test_request_event_roundtrip(self):
         tree = complete_binary_tree(4)
         index = node_index(tree)
@@ -392,6 +424,45 @@ class TestConcurrentReplay:
             1 for event in trace if event.kind in ("solve", "sweep", "admit")
         )
         assert report.verified == placements
+
+    @pytest.mark.parametrize("seed", [4, 11])
+    def test_four_processes_match_serial_payloads(self, seed):
+        # The Λ-epoch process pool: every solve/sweep runs on a replica
+        # process synced to that epoch's fleet snapshot, yet the payloads
+        # must be bit-identical to the serial replay — across a trace that
+        # actually churns availability (admits, releases, and drains all
+        # change Λ mid-trace, closing epochs).
+        tree = complete_binary_tree(16)
+        trace = generate_churn_trace(tree, 80, seed=seed, budget=4, workload_pool=3)
+        kinds = {event.kind for event in trace}
+        assert {"admit", "release", "drain", "solve", "sweep"} <= kinds
+        serial = replay_trace(tree, trace, capacity=3)
+        assert serial.mode == "serial"
+        concurrent = replay_trace(tree, trace, capacity=3, workers=4, mode="process")
+        assert concurrent.workers == 4 and concurrent.mode == "process"
+        assert [response_payload(r.response) for r in serial.records] == [
+            response_payload(r.response) for r in concurrent.records
+        ]
+
+    def test_process_replay_verifies_against_cold_solves(self):
+        # verify=True re-solves every placement at the Λ the *parent* saw
+        # when it buffered the request — proving the replicas answered from
+        # the right epoch, not just self-consistently.
+        tree = complete_binary_tree(16)
+        trace = generate_churn_trace(tree, 60, seed=5, budget=4, workload_pool=3)
+        report = replay_trace(
+            tree, trace, capacity=3, verify=True, workers=2, mode="process"
+        )
+        placements = sum(
+            1 for event in trace if event.kind in ("solve", "sweep", "admit")
+        )
+        assert report.verified == placements
+
+    def test_unknown_mode_rejected(self):
+        tree = complete_binary_tree(8)
+        trace = generate_churn_trace(tree, 5, seed=1, budget=2)
+        with pytest.raises(ValueError, match="unknown replay mode"):
+            replay_trace(tree, trace, capacity=2, workers=2, mode="fiber")
 
     def test_hammered_submit_keeps_registry_consistent(self):
         # 8 threads of mixed read traffic while the main thread churns
