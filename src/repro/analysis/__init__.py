@@ -1,0 +1,84 @@
+"""Codebase-specific static analysis for the SOAR reproduction.
+
+Generic linters cannot see the three properties this repo lives or dies
+by: bit-identical determinism across gather engines, the
+writer-preferring lock discipline around the service's mutable fleet
+objects, and the coherence of the engine/colour/cost registries plus the
+hand-written ctypes prototypes of the compiled backend.  This package is
+the mechanical check for all of them — a small AST lint framework
+(:mod:`repro.analysis.core`) plus rules written against this codebase's
+idioms, run by ``soar-repro lint`` / ``python -m repro.analysis`` and
+gated in CI against a committed baseline (:mod:`repro.analysis.baseline`).
+
+Rules (each in its own module, self-registered on import):
+
+* ``lock-discipline`` — mutations of ``FleetState`` /
+  ``CapacityTracker`` / ``GatherTableCache`` only inside those classes,
+  under a writer lock, or in ``@_requires_write`` functions.
+* ``determinism-rng`` / ``determinism-clock`` / ``determinism-order`` —
+  no unseeded RNG, no wall-clock reads in ``repro.core`` /
+  ``repro.topology``, no unordered set/dict iteration feeding numeric
+  reductions or digests.
+* ``registry-coherence`` — every ``ENGINES`` name resolves in
+  ``COLOR_KERNELS`` and ``COST_KERNELS``, directly or via a declared
+  fallback.
+* ``layering`` — ``repro.core`` / ``repro.topology`` never import the
+  service/online/experiments layers above them.
+* ``ffi-contract`` — the ``repro_*`` C prototypes match the ctypes
+  ``argtypes`` / ``restype`` declarations symbol by symbol.
+* ``broad-except`` — no bare/broad excepts in ``repro.service`` outside
+  re-raise cleanup paths and the pragma-marked request loop.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules populates the registry (self-registration).
+import repro.analysis.rules_determinism  # noqa: F401  (registration)
+import repro.analysis.rules_excepts  # noqa: F401  (registration)
+import repro.analysis.rules_ffi  # noqa: F401  (registration)
+import repro.analysis.rules_layering  # noqa: F401  (registration)
+import repro.analysis.rules_locks  # noqa: F401  (registration)
+import repro.analysis.rules_registry  # noqa: F401  (registration)
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.analysis.core import (
+    RULES,
+    Finding,
+    Rule,
+    SourceModule,
+    lint_source,
+    module_name_for,
+    register_rule,
+    run_fixture,
+    suppressed_lines,
+)
+from repro.analysis.rules_ffi import check_ffi, parse_c_prototypes, parse_ctypes_decls
+from repro.analysis.rules_registry import check_registries
+from repro.analysis.runner import find_project_root, lint_project, main
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Finding",
+    "RULES",
+    "Rule",
+    "SourceModule",
+    "check_ffi",
+    "check_registries",
+    "find_project_root",
+    "lint_project",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "module_name_for",
+    "parse_c_prototypes",
+    "parse_ctypes_decls",
+    "register_rule",
+    "run_fixture",
+    "split_findings",
+    "suppressed_lines",
+    "write_baseline",
+]

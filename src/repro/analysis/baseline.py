@@ -1,0 +1,86 @@
+"""Baseline handling: only *new* findings fail the build.
+
+A lint gate retrofitted onto a living codebase needs a way to adopt
+rules before every historical finding is fixed: the committed baseline
+file (``lint_baseline.json`` at the repo root) lists the findings that
+are known and accepted, and the runner fails only on findings *not* in
+it.  The shipped baseline is empty — every rule's findings were fixed in
+the PR that introduced the pass — so in practice any finding fails CI;
+the mechanism exists so a future rule can land with documented debt
+instead of being watered down.
+
+Entries key on ``(rule, path, source snippet)`` rather than line numbers,
+so a baseline does not churn when unrelated edits move a flagged line.
+Update the file with ``soar-repro lint --update-baseline`` (and commit
+the diff, which is what makes the accepted debt explicit and reviewed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "split_findings", "write_baseline"]
+
+#: Repo-relative location of the committed baseline.
+DEFAULT_BASELINE: str = "lint_baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """The accepted finding keys; an absent file means an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text())
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unknown baseline version {payload.get('version')!r} in {path}"
+        )
+    return {
+        (entry["rule"], entry["path"], entry["snippet"])
+        for entry in payload.get("findings", [])
+    }
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> Path:
+    """Write the current findings as the new accepted baseline."""
+    path = Path(path)
+    entries = sorted(
+        {finding.key() for finding in findings}
+    )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "path": file_path, "snippet": snippet}
+            for rule, file_path, snippet in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def split_findings(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding], set[tuple[str, str, str]]]:
+    """Partition findings into (new, baselined) and report stale entries.
+
+    Stale entries — baseline lines that no longer fire — are returned so
+    ``--strict`` can fail on them: a stale baseline hides the fact that
+    debt was paid off, and the next regression would slip through it.
+    """
+    new: list[Finding] = []
+    known: list[Finding] = []
+    seen: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = finding.key()
+        if key in baseline:
+            known.append(finding)
+            seen.add(key)
+        else:
+            new.append(finding)
+    stale = baseline - seen
+    return new, known, stale

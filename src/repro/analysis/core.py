@@ -1,0 +1,254 @@
+"""Visitor core of the codebase-specific static-analysis pass.
+
+The repo enforces three properties that generic linters cannot see:
+bit-identical determinism across engines (the reproduction gate), the
+writer-preferring lock discipline around the service's mutable fleet
+objects, and the coherence of the three kernel registries plus the
+hand-written ctypes prototypes of the compiled backend.  This package is
+the mechanical check for those properties: a small AST lint framework
+(:class:`Rule` registry + :class:`SourceModule` walker + fixture runner)
+with rules written against *this* codebase's idioms, run by
+``soar-repro lint`` / ``python -m repro.analysis`` and gated in CI.
+
+This module holds the shared machinery:
+
+* :class:`Finding` — one diagnostic, carrying ``file:line``, the rule id,
+  and a one-line fix hint.  Its :meth:`Finding.key` (rule, file, source
+  snippet) is the identity baselines are diffed against, so findings
+  survive unrelated line drift.
+* :class:`SourceModule` — a parsed source file plus its dotted module
+  name (the layering and scope-restricted rules key on it).
+* :class:`Rule` / :func:`register_rule` — the rule registry.  Rules hook
+  in at two granularities: :meth:`Rule.check_module` (per parsed file)
+  and :meth:`Rule.check_project` (repo-wide facts: registry imports, the
+  C/ctypes cross-check).
+* suppression — a trailing ``# lint: allow(rule-id)`` pragma on the
+  flagged line (or the line above) silences exactly that rule there.
+* :func:`run_fixture` — the fixture runner: test fixtures declare the
+  module name they should be linted *as* via a
+  ``# lint-fixture-module: repro...`` header, so scope-restricted rules
+  (wall-clock in ``repro.core``, broad excepts in ``repro.service``)
+  are exercised from files living under ``tests/analysis_fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "SourceModule",
+    "lint_source",
+    "module_name_for",
+    "register_rule",
+    "run_fixture",
+    "suppressed_lines",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    ``snippet`` is the stripped source line the finding anchors to; the
+    baseline keys on it (not the line number) so committed baselines do
+    not churn when unrelated code moves a flagged line around.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str
+    snippet: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: rule, repo-relative path, source snippet."""
+        return (self.rule, self.path, self.snippet)
+
+    def format(self) -> str:
+        """Render as ``file:line: [rule] message  (fix: hint)``."""
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text
+
+
+#: Pragma silencing one rule on one line: ``# lint: allow(rule-id)``.
+_ALLOW_PRAGMA = re.compile(r"#\s*lint:\s*allow\(\s*([a-z0-9-]+)\s*\)")
+
+#: Fixture header declaring the module name a fixture is linted as.
+_FIXTURE_MODULE = re.compile(r"#\s*lint-fixture-module:\s*([A-Za-z0-9_.]+)")
+
+
+def suppressed_lines(text: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed there by ``allow`` pragmas.
+
+    A trailing pragma suppresses its own line; a pragma on a
+    comment-only line suppresses the line below it, so the pragma can sit
+    either on the flagged statement or on its own line above.
+    """
+    suppressed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _ALLOW_PRAGMA.finditer(line):
+            rule = match.group(1)
+            comment_only = line.lstrip().startswith("#")
+            target = lineno + 1 if comment_only else lineno
+            suppressed.setdefault(target, set()).add(rule)
+    return suppressed
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file as the rules see it."""
+
+    path: str
+    module: str
+    text: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(
+        cls, path: str | Path, module: str | None = None, text: str | None = None
+    ) -> "SourceModule":
+        """Parse ``path`` (or ``text``) into a lintable module.
+
+        ``module`` overrides the dotted module name (the fixture runner
+        uses this); otherwise it is derived from the path's position
+        under ``src/``.
+        """
+        path = Path(path)
+        if text is None:
+            text = path.read_text()
+        if module is None:
+            module = module_name_for(path)
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=str(path),
+            module=module,
+            text=text,
+            tree=tree,
+            lines=text.splitlines(),
+        )
+
+    def snippet(self, lineno: int) -> str:
+        """The stripped source line a finding anchors to."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str, hint: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=lineno,
+            message=message,
+            hint=hint,
+            snippet=self.snippet(lineno),
+        )
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, from its position under ``src/``.
+
+    Files outside a ``src/`` tree (fixtures, scratch files) fall back to
+    their stem — scope-restricted rules then simply do not apply, unless
+    the caller overrides the name (see :func:`run_fixture`).
+    """
+    parts = list(path.resolve().parts)
+    if "src" in parts:
+        rel = parts[parts.index("src") + 1 :]
+        if rel:
+            if rel[-1] == "__init__.py":
+                rel = rel[:-1]
+            elif rel[-1].endswith(".py"):
+                rel = rel[:-1] + [rel[-1][: -len(".py")]]
+            return ".".join(rel)
+    return path.stem
+
+
+class Rule:
+    """Base class: one named check with per-module and per-project hooks."""
+
+    #: Unique kebab-case identifier, referenced by pragmas and baselines.
+    rule_id: str = ""
+    #: One-line description shown by ``soar-repro lint --list-rules``.
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> list[Finding]:
+        """Findings for one parsed source file (default: none)."""
+        return []
+
+    def check_project(self, root: Path) -> list[Finding]:
+        """Repo-wide findings (registry imports, FFI cross-checks)."""
+        return []
+
+
+#: The rule registry, keyed by rule id (import :mod:`repro.analysis` to
+#: populate it — each rule module self-registers, like the kernel
+#: registries in :mod:`repro.core`).
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`RULES` (id must be unique)."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} declares no rule_id")
+    if rule_class.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id!r}")
+    RULES[rule_class.rule_id] = rule_class()
+    return rule_class
+
+
+def _filter_suppressed(module: SourceModule, findings: list[Finding]) -> list[Finding]:
+    suppressed = suppressed_lines(module.text)
+    return [
+        finding
+        for finding in findings
+        if finding.rule not in suppressed.get(finding.line, ())
+    ]
+
+
+def lint_source(
+    path: str | Path,
+    module: str | None = None,
+    text: str | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Run the per-module rules over one file; pragmas already filtered.
+
+    ``module`` overrides the dotted module name so scope-restricted rules
+    can be exercised on files living anywhere (the fixture runner and the
+    unit tests use this).
+    """
+    parsed = SourceModule.parse(path, module=module, text=text)
+    active = list(RULES.values()) if rules is None else rules
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.check_module(parsed))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return _filter_suppressed(parsed, findings)
+
+
+def run_fixture(path: str | Path, rules: list[Rule] | None = None) -> list[Finding]:
+    """The fixture runner: lint a fixture as the module it declares.
+
+    Fixture files under ``tests/analysis_fixtures/`` carry a
+    ``# lint-fixture-module: repro.service.fixture`` header naming the
+    module they should be analyzed *as* — that is what subjects them to
+    the scope-restricted rules.  A fixture without the header is linted
+    under its own stem (scope-restricted rules will not fire).
+    """
+    path = Path(path)
+    text = path.read_text()
+    match = _FIXTURE_MODULE.search(text)
+    module = match.group(1) if match else None
+    return lint_source(path, module=module, text=text, rules=rules)

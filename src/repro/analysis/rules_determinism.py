@@ -1,0 +1,358 @@
+"""Determinism rules: the hazards that break bit-identical reproduction.
+
+The repository's central gate is that every engine, kernel, and replay
+mode produces *bit-identical* results.  Three code shapes silently break
+that without failing any unit test:
+
+* **Unseeded randomness** (``determinism-rng``) — a zero-argument
+  ``np.random.default_rng()`` / ``np.random.SeedSequence()``, the legacy
+  module-level numpy RNG (``np.random.randint`` and friends share hidden
+  global state), or the stdlib ``random`` module's top-level functions.
+  Every generator in this codebase is threaded explicitly from a seed.
+* **Wall-clock reads in the pure layers** (``determinism-clock``) —
+  ``time.time()`` / ``datetime.now()`` inside ``repro.core`` or
+  ``repro.topology`` means an algorithm result can depend on when it ran.
+  (The service layer may measure latency with ``perf_counter``; the pure
+  layers compute functions of their inputs only.)
+* **Unordered iteration into order-sensitive reductions**
+  (``determinism-order``) — iterating a ``set``/``frozenset`` into a
+  ``sum()`` (float summation order changes the bits; string hashes are
+  randomized per process), or feeding set/dict iteration into a chained
+  digest (``_digest`` / ``hashlib``) whose value depends on entry order.
+  Order-independent sinks — ``sorted(...)``,
+  :class:`repro.core.tree.IncrementalDigest`, ``len``/``min``/``max`` —
+  are the sanctioned alternatives and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+
+__all__ = ["UnseededRngRule", "WallClockRule", "UnorderedReductionRule"]
+
+#: Legacy module-level numpy RNG entry points (hidden shared global state).
+_LEGACY_NUMPY_RNG: frozenset[str] = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "gamma", "geometric", "lognormal", "normal",
+        "permutation", "poisson", "rand", "randint", "randn", "random",
+        "random_sample", "ranf", "sample", "seed", "shuffle", "standard_normal",
+        "uniform", "zipf",
+    }
+)
+
+#: stdlib ``random`` attributes that are *not* the shared-state functions.
+_STDLIB_RANDOM_OK: frozenset[str] = frozenset(
+    {"Random", "SystemRandom", "getstate", "setstate"}
+)
+
+#: Wall-clock reads (resolved against import aliases).
+_WALL_CLOCK: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.asctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module prefixes the wall-clock rule applies to (the pure layers).
+_PURE_LAYERS: tuple[str, ...] = ("repro.core", "repro.topology")
+
+
+def _import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted things they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _resolve(expr: ast.expr, aliases: dict[str, str]) -> str:
+    """Dotted name of an attribute chain, with the base alias resolved."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    base = aliases.get(node.id, node.id)
+    return ".".join([base, *reversed(parts)])
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    """Flag unseeded / global-state randomness anywhere in the library."""
+
+    rule_id = "determinism-rng"
+    description = (
+        "no unseeded np.random.default_rng()/SeedSequence(), no legacy "
+        "np.random.* global-state calls, no stdlib random.* module calls"
+    )
+
+    def check_module(self, module: SourceModule) -> list[Finding]:
+        aliases = _import_aliases(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolve(node.func, aliases)
+            if name in ("numpy.random.default_rng", "numpy.random.SeedSequence"):
+                if not node.args and not node.keywords:
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            node,
+                            f"unseeded {name}() draws fresh OS entropy",
+                            "thread an explicit seed or Generator through the call",
+                        )
+                    )
+                continue
+            if (
+                name.startswith("numpy.random.")
+                and name.rsplit(".", 1)[1] in _LEGACY_NUMPY_RNG
+            ):
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"legacy global-state RNG call {name}()",
+                        "use an explicitly seeded np.random.default_rng(seed)",
+                    )
+                )
+                continue
+            if name.startswith("random.") and aliases.get("random", "") == "random":
+                attr = name.split(".", 1)[1]
+                if "." not in attr and attr not in _STDLIB_RANDOM_OK:
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            node,
+                            f"stdlib random.{attr}() uses hidden shared state",
+                            "use random.Random(seed) or a numpy Generator",
+                        )
+                    )
+        return findings
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Flag wall-clock reads inside the pure layers (core / topology)."""
+
+    rule_id = "determinism-clock"
+    description = "no time.time()/datetime.now() inside repro.core or repro.topology"
+
+    def check_module(self, module: SourceModule) -> list[Finding]:
+        if not module.module.startswith(_PURE_LAYERS):
+            return []
+        aliases = _import_aliases(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolve(node.func, aliases)
+            if name in _WALL_CLOCK:
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"wall-clock read {name}() in pure layer {module.module}",
+                        "pure layers compute functions of their inputs; pass "
+                        "timestamps in from the service/experiment layer",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# unordered iteration feeding order-sensitive reductions
+# --------------------------------------------------------------------------- #
+
+
+def _is_set_marker(expr: ast.expr, set_names: frozenset[str]) -> bool:
+    """Syntactically a set/frozenset value (unordered iteration)."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    if isinstance(expr, ast.Name):
+        return expr.id in set_names
+    return False
+
+
+def _is_dict_marker(expr: ast.expr) -> bool:
+    """Syntactically a dict (or a ``.keys()/.values()/.items()`` view)."""
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Attribute) and expr.func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            return True
+        if isinstance(expr.func, ast.Name) and expr.func.id == "dict":
+            return True
+    return False
+
+
+def _unordered_iterable(
+    expr: ast.expr, set_names: frozenset[str], include_dicts: bool
+) -> bool:
+    """Whether ``expr`` iterates in an order the language does not pin.
+
+    A set literal/comprehension is unordered outright (its *result* is a
+    set, whatever it was built from); a generator or list comprehension
+    inherits the hazard from the iterable its first generator draws from.
+    """
+    if _is_set_marker(expr, set_names):
+        return True
+    if isinstance(expr, (ast.GeneratorExp, ast.ListComp)):
+        return _unordered_iterable(
+            expr.generators[0].iter, set_names, include_dicts
+        )
+    return include_dicts and _is_dict_marker(expr)
+
+
+def _set_bound_names(tree: ast.AST) -> frozenset[str]:
+    """Names assigned from set expressions (one level of local inference)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_set_marker(node.value, frozenset()):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+def _hasher_names(tree: ast.AST, aliases: dict[str, str]) -> frozenset[str]:
+    """Names bound to ``hashlib.*()`` hasher objects."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _resolve(node.value.func, aliases).startswith("hashlib."):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return frozenset(names)
+
+
+@register_rule
+class UnorderedReductionRule(Rule):
+    """Flag set/dict iteration feeding sums or chained digests."""
+
+    rule_id = "determinism-order"
+    description = (
+        "no set iteration into sum()/fsum(), no set/dict iteration into "
+        "chained digests — sort first, or use an order-independent combine"
+    )
+
+    #: Digest sinks whose value depends on feed order.
+    _DIGEST_SINKS: frozenset[str] = frozenset({"_digest"})
+
+    def check_module(self, module: SourceModule) -> list[Finding]:
+        aliases = _import_aliases(module.tree)
+        set_names = _set_bound_names(module.tree)
+        hashers = _hasher_names(module.tree, aliases)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(
+                    self._check_call(node, module, aliases, set_names)
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                findings.extend(
+                    self._check_update_loop(node, module, set_names, hashers)
+                )
+        return findings
+
+    def _check_call(
+        self,
+        node: ast.Call,
+        module: SourceModule,
+        aliases: dict[str, str],
+        set_names: frozenset[str],
+    ) -> list[Finding]:
+        name = _resolve(node.func, aliases)
+        if not node.args:
+            return []
+        arg = node.args[0]
+        if name in ("sum", "math.fsum"):
+            if _unordered_iterable(arg, set_names, include_dicts=False):
+                return [
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"{name}() over set iteration: float summation order "
+                        "(and str hash order) varies across processes",
+                        "sum over sorted(...) to pin the reduction order",
+                    )
+                ]
+            return []
+        is_digest = (
+            isinstance(node.func, ast.Name) and node.func.id in self._DIGEST_SINKS
+        ) or name.startswith("hashlib.")
+        if is_digest and _unordered_iterable(arg, set_names, include_dicts=True):
+            return [
+                module.finding(
+                    self.rule_id,
+                    node,
+                    "chained digest fed by unordered set/dict iteration: the "
+                    "fingerprint depends on entry order",
+                    "digest sorted(...) entries, or use IncrementalDigest "
+                    "(order-independent multiset combine)",
+                )
+            ]
+        return []
+
+    def _check_update_loop(
+        self,
+        node: ast.For | ast.AsyncFor,
+        module: SourceModule,
+        set_names: frozenset[str],
+        hashers: frozenset[str],
+    ) -> list[Finding]:
+        if not _unordered_iterable(node.iter, set_names, include_dicts=True):
+            return []
+        findings: list[Finding] = []
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "update"
+                and isinstance(inner.func.value, ast.Name)
+                and inner.func.value.id in hashers
+            ):
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        inner,
+                        "hasher.update() inside a loop over unordered set/dict "
+                        "iteration: the digest depends on entry order",
+                        "iterate sorted(...) entries, or use IncrementalDigest",
+                    )
+                )
+        return findings

@@ -1,0 +1,85 @@
+"""Broad-except rule: the service layer reports typed failures.
+
+PR 5 gave every service failure mode a typed exception
+(:class:`~repro.exceptions.ReproError` and subclasses), which is what
+makes drain eviction, journal detachment, and replay verification
+explainable.  A ``except Exception:`` (or a bare ``except:``) in
+``repro.service`` silently swallows *bugs* along with the typed failures
+— exactly how the drain handler once ate a mid-loop unwind.
+
+This rule flags broad handlers (``except:``, ``except Exception``,
+``except BaseException``, or tuples containing either) in any
+``repro.service`` module, with one principled exemption: a handler whose
+body re-raises via a bare ``raise`` (cleanup-and-propagate, e.g. the
+atomic snapshot writer unlinking its staging file) keeps the error
+flowing and is allowed.  A deliberate top-level catch-all — a request
+loop that must survive anything — can carry an explicit
+``# lint: allow(broad-except)`` pragma, which documents the decision at
+the site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD_NAMES: frozenset[str] = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    exprs = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES for expr in exprs
+    )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise`` (propagates)."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+@register_rule
+class BroadExceptRule(Rule):
+    """Flag broad/bare excepts in ``repro.service`` outside re-raise paths."""
+
+    rule_id = "broad-except"
+    description = (
+        "no bare/broad except in repro.service: catch the typed ReproError "
+        "family and let unexpected errors propagate"
+    )
+
+    def check_module(self, module: SourceModule) -> list[Finding]:
+        if not (
+            module.module == "repro.service"
+            or module.module.startswith("repro.service.")
+        ):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node) or _reraises(node):
+                continue
+            findings.append(
+                module.finding(
+                    self.rule_id,
+                    node,
+                    "broad except swallows bugs along with typed failures",
+                    "catch the typed exceptions (ReproError family, OSError, "
+                    "ValueError) and re-raise anything unexpected; a deliberate "
+                    "request-loop catch-all takes # lint: allow(broad-except)",
+                )
+            )
+        return findings

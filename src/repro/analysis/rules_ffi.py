@@ -1,0 +1,274 @@
+"""FFI-contract rule: the C prototypes and the ctypes declarations agree.
+
+The compiled backend (:mod:`repro.core.engine_compiled`) calls into
+``_gather_kernels.c`` through hand-written ctypes prototypes.  Nothing
+checks those two sides against each other: add a parameter to a C kernel
+and forget the ``argtypes`` list, and the call site passes garbage — at
+best a crash, at worst silently corrupted tables that the numpy-fallback
+CI leg can never notice.  (ctypes validates dtype and contiguity of what
+the *Python* side declares; it cannot see what the *C* side expects.)
+
+This rule closes the loop statically: it regexes the ``repro_*``
+declarations out of the C source, parses the
+``library.repro_*.argtypes / .restype`` assignments out of
+``engine_compiled.py``'s AST, and cross-checks
+
+* the symbol sets (every C kernel declared in Python and vice versa),
+* the arity of every prototype,
+* the *kind* of every argument — pointer element type (``double*`` vs
+  ``_f64``…) and scalar width (``int64_t`` vs ``c_longlong``,
+  ``int32_t`` vs ``c_int32``),
+* the return type (``void`` vs ``restype = None``, ``double`` vs
+  ``c_double``).
+
+Everything is parsed, not loaded, so the check runs identically with or
+without a compiler (both CI legs run it).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Finding, Rule, register_rule
+
+__all__ = ["FfiContractRule", "check_ffi", "parse_c_prototypes", "parse_ctypes_decls"]
+
+#: C base types the kernels use, mapped to the shared kind vocabulary.
+_C_BASE: dict[str, str] = {
+    "double": "f64",
+    "int64_t": "i64",
+    "int32_t": "i32",
+    "uint8_t": "u8",
+}
+
+#: ctypes-side tokens in ``engine_compiled.py`` mapped to the same kinds.
+_PY_TOKENS: dict[str, tuple[str, str]] = {
+    "_f64": ("ptr", "f64"),
+    "_i64": ("ptr", "i64"),
+    "_i32": ("ptr", "i32"),
+    "_u8": ("ptr", "u8"),
+    "_ll": ("scalar", "i64"),
+    "c_longlong": ("scalar", "i64"),
+    "c_int64": ("scalar", "i64"),
+    "c_int32": ("scalar", "i32"),
+    "c_double": ("scalar", "f64"),
+}
+
+_C_DECL = re.compile(
+    r"^[ \t]*(?P<ret>void|double|int64_t|int32_t|uint8_t)[ \t]+"
+    r"(?P<name>repro_\w+)[ \t]*\((?P<params>[^)]*)\)",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Prototype:
+    """One side's view of a kernel: argument kinds and return kind."""
+
+    name: str
+    args: tuple[tuple[str, str], ...]
+    restype: tuple[str, str] | None  # None encodes void
+    line: int
+
+
+def _c_param_kind(param: str) -> tuple[str, str] | None:
+    tokens = param.replace("*", " * ").split()
+    tokens = [token for token in tokens if token != "const"]
+    if not tokens:
+        return None
+    base = _C_BASE.get(tokens[0])
+    if base is None:
+        return None
+    is_pointer = "*" in tokens
+    return ("ptr" if is_pointer else "scalar", base)
+
+
+def parse_c_prototypes(text: str) -> dict[str, Prototype]:
+    """All ``repro_*`` declarations in the C source, by symbol name."""
+    prototypes: dict[str, Prototype] = {}
+    for match in _C_DECL.finditer(text):
+        name = match.group("name")
+        line = text.count("\n", 0, match.start()) + 1
+        ret = match.group("ret")
+        restype = None if ret == "void" else ("scalar", _C_BASE.get(ret, ret))
+        args: list[tuple[str, str]] = []
+        params = match.group("params").strip()
+        if params and params != "void":
+            for param in params.split(","):
+                kind = _c_param_kind(param.strip())
+                if kind is not None:
+                    args.append(kind)
+        prototypes[name] = Prototype(
+            name=name, args=tuple(args), restype=restype, line=line
+        )
+    return prototypes
+
+
+def _py_token_kind(node: ast.expr) -> tuple[str, str] | None:
+    if isinstance(node, ast.Name):
+        return _PY_TOKENS.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return _PY_TOKENS.get(node.attr)
+    return None
+
+
+def parse_ctypes_decls(text: str) -> dict[str, Prototype]:
+    """The ``<lib>.repro_*.argtypes / .restype`` assignments, by symbol.
+
+    Only symbols with an ``argtypes`` list count as declared; a stray
+    ``restype`` without ``argtypes`` surfaces as a symbol mismatch.
+    """
+    tree = ast.parse(text)
+    argtypes: dict[str, tuple[tuple[tuple[str, str], ...], int]] = {}
+    restypes: dict[str, tuple[tuple[str, str] | None, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Attribute):
+            continue
+        owner = target.value
+        if not isinstance(owner, ast.Attribute) or not owner.attr.startswith("repro_"):
+            continue
+        symbol = owner.attr
+        if target.attr == "argtypes" and isinstance(node.value, (ast.List, ast.Tuple)):
+            kinds: list[tuple[str, str]] = []
+            for element in node.value.elts:
+                kind = _py_token_kind(element)
+                kinds.append(kind if kind is not None else ("unknown", "unknown"))
+            argtypes[symbol] = (tuple(kinds), node.lineno)
+        elif target.attr == "restype":
+            value = node.value
+            if isinstance(value, ast.Constant) and value.value is None:
+                restypes[symbol] = (None, node.lineno)
+            else:
+                restypes[symbol] = (_py_token_kind(value), node.lineno)
+    prototypes: dict[str, Prototype] = {}
+    for symbol, (kinds, line) in argtypes.items():
+        restype, _ = restypes.get(symbol, (None, line))
+        prototypes[symbol] = Prototype(
+            name=symbol, args=kinds, restype=restype, line=line
+        )
+    return prototypes
+
+
+def _kind_str(kind: tuple[str, str] | None) -> str:
+    if kind is None:
+        return "void"
+    shape, base = kind
+    return f"{base}*" if shape == "ptr" else base
+
+
+def check_ffi(
+    c_text: str,
+    py_text: str,
+    c_path: str = "src/repro/core/_gather_kernels.c",
+    py_path: str = "src/repro/core/engine_compiled.py",
+) -> list[Finding]:
+    """Cross-check the two prototype sets; pure so tests can perturb either."""
+    rule = FfiContractRule.rule_id
+    c_protos = parse_c_prototypes(c_text)
+    py_protos = parse_ctypes_decls(py_text)
+    findings: list[Finding] = []
+
+    def finding(path: str, line: int, message: str, hint: str) -> Finding:
+        return Finding(
+            rule=rule, path=path, line=line, message=message, hint=hint,
+            snippet=message,
+        )
+
+    for name in sorted(set(c_protos) - set(py_protos)):
+        findings.append(
+            finding(
+                c_path,
+                c_protos[name].line,
+                f"C kernel {name} has no ctypes prototype in engine_compiled.py",
+                "declare argtypes/restype in _configure()",
+            )
+        )
+    for name in sorted(set(py_protos) - set(c_protos)):
+        findings.append(
+            finding(
+                py_path,
+                py_protos[name].line,
+                f"ctypes prototype {name} has no declaration in _gather_kernels.c",
+                "remove the prototype or add the kernel",
+            )
+        )
+    for name in sorted(set(c_protos) & set(py_protos)):
+        c_proto, py_proto = c_protos[name], py_protos[name]
+        if len(c_proto.args) != len(py_proto.args):
+            findings.append(
+                finding(
+                    py_path,
+                    py_proto.line,
+                    f"{name}: arity mismatch — C declares {len(c_proto.args)} "
+                    f"parameters, argtypes lists {len(py_proto.args)}",
+                    "make the argtypes list match the C parameter list "
+                    "position by position",
+                )
+            )
+            continue
+        for position, (c_kind, py_kind) in enumerate(
+            zip(c_proto.args, py_proto.args)
+        ):
+            if c_kind != py_kind:
+                findings.append(
+                    finding(
+                        py_path,
+                        py_proto.line,
+                        f"{name}: argument {position} kind mismatch — C "
+                        f"declares {_kind_str(c_kind)}, argtypes says "
+                        f"{_kind_str(py_kind)}",
+                        "align the ctypes token with the C parameter type",
+                    )
+                )
+        if c_proto.restype != py_proto.restype:
+            findings.append(
+                finding(
+                    py_path,
+                    py_proto.line,
+                    f"{name}: return-type mismatch — C returns "
+                    f"{_kind_str(c_proto.restype)}, restype says "
+                    f"{_kind_str(py_proto.restype)}",
+                    "set restype to match the C return type (None for void)",
+                )
+            )
+    return findings
+
+
+@register_rule
+class FfiContractRule(Rule):
+    """Cross-check ``_gather_kernels.c`` against ``engine_compiled.py``."""
+
+    rule_id = "ffi-contract"
+    description = (
+        "every repro_* C prototype matches the ctypes argtypes/restype "
+        "declaration (symbols, arity, argument kinds, return type)"
+    )
+
+    def check_project(self, root: Path) -> list[Finding]:
+        c_path = root / "src" / "repro" / "core" / "_gather_kernels.c"
+        py_path = root / "src" / "repro" / "core" / "engine_compiled.py"
+        missing = [path for path in (c_path, py_path) if not path.exists()]
+        if missing:
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=str(path),
+                    line=1,
+                    message="FFI contract source missing",
+                    hint="the compiled backend ships both files",
+                    snippet="missing file",
+                )
+                for path in missing
+            ]
+        return check_ffi(
+            c_path.read_text(),
+            py_path.read_text(),
+            c_path=str(c_path),
+            py_path=str(py_path),
+        )

@@ -1,0 +1,65 @@
+"""Layering rule: the pure layers must not import the stateful ones.
+
+The dependency direction of this codebase is one-way: ``repro.core`` and
+``repro.topology`` are pure algorithm/data layers that everything else
+builds on; ``repro.service`` (long-lived fleet state), ``repro.online``
+(capacity tracking and scheduling), and ``repro.experiments`` (figure
+harnesses) sit above them.  An import in the other direction compiles
+fine and usually even works — until it creates an import cycle under a
+different entry point, or quietly couples the differential-tested kernels
+to mutable service state.  This rule pins the direction mechanically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Rule, SourceModule, register_rule
+
+__all__ = ["LayeringRule"]
+
+#: Layers whose modules may not import the layers in :data:`_FORBIDDEN`.
+_PURE_LAYERS: tuple[str, ...] = ("repro.core", "repro.topology")
+
+#: Upper layers the pure layers must stay ignorant of.
+_FORBIDDEN: tuple[str, ...] = ("repro.service", "repro.online", "repro.experiments")
+
+
+def _violates(target: str) -> bool:
+    return any(
+        target == layer or target.startswith(layer + ".") for layer in _FORBIDDEN
+    )
+
+
+@register_rule
+class LayeringRule(Rule):
+    """Flag upward imports out of ``repro.core`` / ``repro.topology``."""
+
+    rule_id = "layering"
+    description = (
+        "repro.core / repro.topology must not import repro.service, "
+        "repro.online, or repro.experiments"
+    )
+
+    def check_module(self, module: SourceModule) -> list[Finding]:
+        if not module.module.startswith(_PURE_LAYERS):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                targets = [node.module]
+            for target in targets:
+                if _violates(target):
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            node,
+                            f"pure layer {module.module} imports {target}",
+                            "invert the dependency: pass the needed values in, "
+                            "or move the code up a layer",
+                        )
+                    )
+        return findings

@@ -1,0 +1,151 @@
+"""Registry-coherence rule: the three kernel registries stay in lockstep.
+
+A solve is a pipeline of three registry lookups — gather engine
+(:data:`repro.core.engine.ENGINES`), colour kernel
+(:data:`repro.core.color.COLOR_KERNELS`), cost kernel
+(:data:`repro.core.cost.COST_KERNELS`) — and the service wires one name
+through all three.  An engine registered without a matching colour/cost
+entry (or vice versa) is a latent ``KeyError`` that only fires when a
+user passes that configuration, long after the registering PR merged.
+
+This rule *imports* the registries and cross-diffs them: every name in
+``ENGINES`` must resolve in ``COLOR_KERNELS`` and ``COST_KERNELS`` —
+either directly, or through the explicit fallback declarations
+(:data:`repro.core.color.ENGINE_COLOR_FALLBACKS` /
+:data:`repro.core.cost.ENGINE_COST_FALLBACKS`, e.g. the ``"flat"``
+engine tracing with the ``"batched"`` colour kernel).  The defaults
+(``DEFAULT_ENGINE`` / ``DEFAULT_COLOR`` / ``DEFAULT_COST``) must resolve
+in their own registries, and fallback declarations must map known
+engines to known kernels.  Because the check imports the real modules,
+it validates whichever leg it runs on — compiled backend present or
+``REPRO_NO_COMPILED=1`` — which is exactly why CI runs it on both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.analysis.core import Finding, Rule, register_rule
+
+__all__ = ["RegistryCoherenceRule", "check_registries"]
+
+
+def check_registries(
+    engines: Mapping[str, object],
+    color_kernels: Mapping[str, object],
+    cost_kernels: Mapping[str, object],
+    color_fallbacks: Mapping[str, str],
+    cost_fallbacks: Mapping[str, str],
+    defaults: Mapping[str, str] | None = None,
+    path: str = "src/repro/core",
+) -> list[Finding]:
+    """Cross-diff the registries; pure so fixtures can exercise it."""
+    findings: list[Finding] = []
+
+    def finding(message: str, hint: str) -> Finding:
+        return Finding(
+            rule=RegistryCoherenceRule.rule_id,
+            path=path,
+            line=1,
+            message=message,
+            hint=hint,
+            snippet=message,
+        )
+
+    def resolve(
+        engine: str, kernels: Mapping[str, object], fallbacks: Mapping[str, str]
+    ) -> str | None:
+        if engine in kernels:
+            return engine
+        target = fallbacks.get(engine)
+        if target is not None and target in kernels:
+            return target
+        return None
+
+    for engine in sorted(engines):
+        if resolve(engine, color_kernels, color_fallbacks) is None:
+            findings.append(
+                finding(
+                    f"engine {engine!r} has no colour kernel: not in "
+                    f"COLOR_KERNELS {sorted(color_kernels)} and no fallback",
+                    "register a colour kernel under the engine's name or add "
+                    "an ENGINE_COLOR_FALLBACKS entry",
+                )
+            )
+        if resolve(engine, cost_kernels, cost_fallbacks) is None:
+            findings.append(
+                finding(
+                    f"engine {engine!r} has no cost kernel: not in "
+                    f"COST_KERNELS {sorted(cost_kernels)} and no fallback",
+                    "register a cost kernel under the engine's name or add "
+                    "an ENGINE_COST_FALLBACKS entry",
+                )
+            )
+    for name, fallbacks, kernels in (
+        ("ENGINE_COLOR_FALLBACKS", color_fallbacks, color_kernels),
+        ("ENGINE_COST_FALLBACKS", cost_fallbacks, cost_kernels),
+    ):
+        for engine, target in sorted(fallbacks.items()):
+            if engine not in engines:
+                findings.append(
+                    finding(
+                        f"{name} maps unknown engine {engine!r}",
+                        "fallback keys must be registered engine names",
+                    )
+                )
+            if target not in kernels:
+                findings.append(
+                    finding(
+                        f"{name} maps {engine!r} to unknown kernel {target!r}",
+                        "fallback targets must be registered kernel names",
+                    )
+                )
+    if defaults:
+        for label, (value, kernels) in {
+            "DEFAULT_ENGINE": (defaults.get("engine"), engines),
+            "DEFAULT_COLOR": (defaults.get("color"), color_kernels),
+            "DEFAULT_COST": (defaults.get("cost"), cost_kernels),
+        }.items():
+            if value is not None and value not in kernels:
+                findings.append(
+                    finding(
+                        f"{label} = {value!r} is not a registered name",
+                        "point the default at a registered entry",
+                    )
+                )
+    return findings
+
+
+@register_rule
+class RegistryCoherenceRule(Rule):
+    """Import the live registries and cross-diff them."""
+
+    rule_id = "registry-coherence"
+    description = (
+        "every ENGINES name must resolve in COLOR_KERNELS and COST_KERNELS "
+        "(directly or via a declared fallback); defaults must resolve"
+    )
+
+    def check_project(self, root: Path) -> list[Finding]:
+        from repro.core.color import (
+            COLOR_KERNELS,
+            DEFAULT_COLOR,
+            ENGINE_COLOR_FALLBACKS,
+        )
+        from repro.core.cost import COST_KERNELS, DEFAULT_COST, ENGINE_COST_FALLBACKS
+        from repro.core.engine import DEFAULT_ENGINE, ENGINES
+
+        return check_registries(
+            ENGINES,
+            COLOR_KERNELS,
+            COST_KERNELS,
+            ENGINE_COLOR_FALLBACKS,
+            ENGINE_COST_FALLBACKS,
+            defaults={
+                "engine": DEFAULT_ENGINE,
+                "color": DEFAULT_COLOR,
+                "cost": DEFAULT_COST,
+            },
+            path="src/repro/core/engine.py",
+        )

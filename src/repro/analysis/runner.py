@@ -1,0 +1,202 @@
+"""The lint runner: discover sources, run rules, diff against the baseline.
+
+``soar-repro lint`` and ``python -m repro.analysis`` both land here.
+The runner walks ``src/`` (or explicit paths), runs every registered
+per-module rule over each parsed file, runs the project-wide rules
+(registry coherence, FFI contracts) once, filters ``# lint:
+allow(rule-id)`` pragmas, and diffs the surviving findings against the
+committed baseline (:mod:`repro.analysis.baseline`).
+
+Exit codes: ``0`` — no findings outside the baseline; ``1`` — new
+findings (always), or a stale baseline entry under ``--strict``; ``2`` —
+a source file failed to parse.  CI runs ``--strict`` on both the
+compiled and ``REPRO_NO_COMPILED=1`` legs, so the import-based registry
+check covers whichever backend the leg exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+# Importing the rule modules populates the registry (self-registration,
+# like the engine/colour/cost kernel registries).
+import repro.analysis.rules_determinism  # noqa: F401  (registration)
+import repro.analysis.rules_excepts  # noqa: F401  (registration)
+import repro.analysis.rules_ffi  # noqa: F401  (registration)
+import repro.analysis.rules_layering  # noqa: F401  (registration)
+import repro.analysis.rules_locks  # noqa: F401  (registration)
+import repro.analysis.rules_registry  # noqa: F401  (registration)
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
+from repro.analysis.core import RULES, Finding, lint_source
+
+__all__ = ["find_project_root", "iter_source_files", "lint_project", "main"]
+
+
+def find_project_root(start: Path | None = None) -> Path:
+    """The repo root: the nearest ancestor holding ``src/repro``."""
+    probe = (start or Path.cwd()).resolve()
+    for candidate in [probe, *probe.parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    # Fall back to the package's own location (installed-from-src layout).
+    package = Path(__file__).resolve()
+    for candidate in package.parents:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return probe
+
+
+def iter_source_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into the ``.py`` files to lint, sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_project(
+    root: Path,
+    paths: list[Path] | None = None,
+    rule_ids: list[str] | None = None,
+    project_rules: bool = True,
+) -> tuple[list[Finding], list[str]]:
+    """Run the pass; returns (findings, parse-error messages).
+
+    ``paths`` defaults to ``<root>/src``; ``rule_ids`` restricts the pass
+    to a subset of :data:`repro.analysis.core.RULES`.  Project-wide rules
+    run once per invocation (they are skipped when an explicit ``paths``
+    selection is combined with ``project_rules=False``).
+    """
+    if rule_ids is not None:
+        unknown = sorted(set(rule_ids) - set(RULES))
+        if unknown:
+            raise ValueError(f"unknown rule ids: {unknown} (known: {sorted(RULES)})")
+        rules = [RULES[rule_id] for rule_id in rule_ids]
+    else:
+        rules = list(RULES.values())
+    targets = iter_source_files(paths if paths is not None else [root / "src"])
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for path in targets:
+        try:
+            findings.extend(lint_source(path, rules=rules))
+        except SyntaxError as exc:
+            errors.append(f"{path}: failed to parse: {exc}")
+    if project_rules:
+        for rule in rules:
+            findings.extend(rule.check_project(root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, errors
+
+
+def _relativize(findings: list[Finding], root: Path) -> list[Finding]:
+    """Rewrite absolute paths repo-relative so baselines are portable."""
+    rewritten: list[Finding] = []
+    for finding in findings:
+        try:
+            rel = Path(finding.path).resolve().relative_to(root.resolve())
+            rewritten.append(
+                Finding(
+                    rule=finding.rule,
+                    path=rel.as_posix(),
+                    line=finding.line,
+                    message=finding.message,
+                    hint=finding.hint,
+                    snippet=finding.snippet,
+                )
+            )
+        except ValueError:
+            rewritten.append(finding)
+    return rewritten
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="soar-repro lint",
+        description="Codebase-specific static analysis: lock discipline, "
+        "determinism, registry coherence, layering, FFI contracts, "
+        "typed-exception discipline.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries (CI mode)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <repo>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id:20s} {RULES[rule_id].description}")
+        return 0
+    root = find_project_root()
+    baseline_path = args.baseline or root / DEFAULT_BASELINE
+    try:
+        findings, errors = lint_project(
+            root,
+            paths=args.paths or None,
+            rule_ids=args.rules,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    findings = _relativize(findings, root)
+    for message in errors:
+        print(f"error: {message}")
+    if args.update_baseline:
+        path = write_baseline(findings, baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {path}")
+        return 0
+    baseline = load_baseline(baseline_path)
+    new, known, stale = split_findings(findings, baseline)
+    for finding in new:
+        print(finding.format())
+    if known:
+        print(f"({len(known)} baselined finding(s) suppressed)")
+    if stale:
+        print(
+            f"note: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} no longer fire"
+            + (" (failing: --strict)" if args.strict else "")
+        )
+        for rule, path, snippet in sorted(stale):
+            print(f"  stale: [{rule}] {path}: {snippet}")
+    if errors:
+        return 2
+    if new:
+        print(f"{len(new)} new finding(s) — fix them or update the baseline")
+        return 1
+    if args.strict and stale:
+        return 1
+    checked = "all rules" if not args.rules else ", ".join(sorted(args.rules))
+    print(f"lint clean ({checked})")
+    return 0

@@ -30,6 +30,14 @@ later resume from the snapshot (the journal tail is replayed on restore)::
     soar-repro serve-replay --workers 4 --mode process
     soar-repro serve-replay --journal /tmp/fleet.jsonl --snapshot /tmp/fleet.json
     soar-repro serve-replay --restore /tmp/fleet.json --journal /tmp/fleet.jsonl --requests 50
+
+Run the codebase-specific static-analysis pass (lock discipline,
+determinism, registry coherence, layering, FFI contracts — see
+``repro.analysis``; CI runs it with ``--strict``)::
+
+    soar-repro lint
+    soar-repro lint --strict
+    soar-repro lint --list-rules
 """
 
 from __future__ import annotations
@@ -329,13 +337,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub_all = subparsers.add_parser("all", help="run every figure in sequence")
     add_common(sub_all)
+
+    # The lint runner owns its options (see repro.analysis.runner); main()
+    # dispatches to it before this parser runs.  Registered here only so
+    # ``soar-repro --help`` lists it.
+    subparsers.add_parser(
+        "lint",
+        help="run the codebase-specific static-analysis pass",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        from repro.analysis.runner import main as lint_main
+
+        return lint_main(arguments[1:])
+
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.command == "all":
         for name, (runner, title) in _COMMANDS.items():

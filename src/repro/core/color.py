@@ -345,6 +345,14 @@ COLOR_KERNELS: dict[str, Callable[..., frozenset[NodeId]]] = {
     COMPILED_COLOR: soar_color_compiled,
 }
 
+#: Engines with no same-named colour kernel declare which kernel traces
+#: their colour phase here (the registry-coherence lint cross-checks
+#: this against :data:`repro.core.engine.ENGINES`): the ``flat`` gather
+#: engine colours with the batched kernel.
+ENGINE_COLOR_FALLBACKS: dict[str, str] = {
+    "flat": BATCHED_COLOR,
+}
+
 
 def trace_color(
     tree: TreeNetwork,

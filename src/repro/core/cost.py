@@ -340,6 +340,12 @@ COST_KERNELS: dict[str, Callable[..., float]] = {
     COMPILED_COST: utilization_cost_compiled,
 }
 
+#: Engines with no same-named cost kernel declare their cost kernel here
+#: (the registry-coherence lint cross-checks this against
+#: :data:`repro.core.engine.ENGINES`).  Currently empty: every engine
+#: name resolves directly in :data:`COST_KERNELS`.
+ENGINE_COST_FALLBACKS: dict[str, str] = {}
+
 
 def evaluate_cost(
     tree: TreeNetwork,

@@ -87,7 +87,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.color import DEFAULT_COLOR
@@ -367,7 +367,7 @@ class ReadWriteLock:
         self._writers_waiting = 0
 
     @contextmanager
-    def read_locked(self):
+    def read_locked(self) -> Iterator[None]:
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
@@ -381,7 +381,7 @@ class ReadWriteLock:
                     self._cond.notify_all()
 
     @contextmanager
-    def write_locked(self):
+    def write_locked(self) -> Iterator[None]:
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -915,14 +915,21 @@ class PlacementService:
 
                     try:
                         self._journal.append(request_to_event(request))
-                    except Exception as exc:
+                    except BaseException as exc:
                         # The mutation is applied but not journaled: the
                         # journal now has a hole and replaying it would
-                        # silently diverge.  Detach it so the hole cannot
-                        # grow, and surface the failure loudly — the
-                        # operator must take a fresh snapshot before
-                        # trusting this journal file again.
+                        # silently diverge.  Detach it on *any* failure so
+                        # the hole cannot grow.  Expected append failures
+                        # (I/O, serialization, typed persistence errors)
+                        # are surfaced as PersistenceError; anything else
+                        # is a bug and propagates as itself — the operator
+                        # must take a fresh snapshot before trusting this
+                        # journal file again either way.
                         self._journal = None
+                        if not isinstance(
+                            exc, (OSError, TypeError, ValueError, ReproError)
+                        ):
+                            raise
                         raise PersistenceError(
                             "write-ahead journal append failed after the "
                             "mutation was applied; journaling is now "
@@ -955,7 +962,11 @@ class PlacementService:
                     loads_fp = fingerprint_loads(request.loads)
                 else:
                     continue
-            except Exception:
+            except (ReproError, TypeError, ValueError, AttributeError):
+                # Planning is advisory only: a malformed request fails
+                # identically when served, so only the failures a bad
+                # request can produce are skipped — a bug in the planner
+                # itself still surfaces here.
                 continue
             self._planned_loads_fp[id(request)] = loads_fp
             group = (loads_fp, request.exact_k)

@@ -1,0 +1,34 @@
+# lint-fixture-module: repro.core.fixture_determinism_bad
+"""Positive fixture: unseeded RNG, wall-clock reads, unordered reductions."""
+
+import hashlib
+import random
+import time
+
+import numpy as np
+
+
+def fresh_entropy():
+    rng = np.random.default_rng()  # unseeded: fresh OS entropy
+    return rng.random() + random.random()
+
+
+def legacy_global_state(n):
+    np.random.seed(0)
+    return np.random.rand(n)
+
+
+def stamped():
+    return time.time()
+
+
+def unordered_sum(loads: dict):
+    blue = {1, 2, 3}
+    return sum(blue) + sum({node for node in loads})
+
+
+def unordered_digest(loads: dict):
+    hasher = hashlib.sha256()
+    for node in loads.values():
+        hasher.update(str(node).encode())
+    return hasher.hexdigest()

@@ -1,0 +1,30 @@
+# lint-fixture-module: repro.core.fixture_determinism_good
+"""Negative fixture: seeded RNG, ordered reductions, no wall clock."""
+
+import hashlib
+
+import numpy as np
+
+
+def seeded(seed: int):
+    rng = np.random.default_rng(seed)
+    spawned = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.random() + spawned.random()
+
+
+def ordered_sum(loads: dict):
+    blue = {1, 2, 3}
+    # Sorting pins the reduction order: allowed.
+    return sum(sorted(blue)) + sum(loads.values())
+
+
+def ordered_digest(loads: dict):
+    hasher = hashlib.sha256()
+    for node in sorted(loads.items()):
+        hasher.update(repr(node).encode())
+    return hasher.hexdigest()
+
+
+def list_reduction(values: list):
+    # Lists carry their own order: allowed.
+    return sum(values)

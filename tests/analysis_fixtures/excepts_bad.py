@@ -1,0 +1,30 @@
+# lint-fixture-module: repro.service.fixture_excepts_bad
+"""Positive fixture: broad handlers that swallow bugs in the service layer."""
+
+
+def swallow_everything(handler, request):
+    try:
+        return handler(request)
+    except Exception:
+        return None
+
+
+def bare_swallow(handler, request):
+    try:
+        return handler(request)
+    except:  # noqa: E722
+        return None
+
+
+def tuple_smuggle(handler, request):
+    try:
+        return handler(request)
+    except (ValueError, Exception) as exc:
+        return exc
+
+
+def base_swallow(handler, request):
+    try:
+        return handler(request)
+    except BaseException as exc:
+        return exc

@@ -1,0 +1,33 @@
+# lint-fixture-module: repro.service.fixture_excepts_good
+"""Negative fixture: typed handlers, re-raise cleanup, pragma'd loop."""
+
+
+class ReproError(Exception):
+    pass
+
+
+def typed_handler(handler, request):
+    try:
+        return handler(request)
+    except (ReproError, ValueError) as exc:
+        return exc
+
+
+def cleanup_and_propagate(path, write):
+    try:
+        write(path)
+    except BaseException:
+        # Re-raising keeps the error flowing: allowed.
+        path.unlink()
+        raise
+
+
+def request_loop(queue, handler):
+    while True:
+        request = queue.get()
+        if request is None:
+            return
+        try:
+            handler(request)
+        except Exception:  # lint: allow(broad-except)
+            continue

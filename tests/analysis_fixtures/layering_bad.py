@@ -1,0 +1,11 @@
+# lint-fixture-module: repro.core.fixture_layering_bad
+"""Positive fixture: a pure-layer module importing the layers above it."""
+
+import repro.online.capacity
+from repro.experiments import sweep
+from repro.service.api import SoarService
+
+
+def solve_via_service(tree, loads):
+    service = SoarService(tree)
+    return service, sweep, repro.online.capacity

@@ -1,0 +1,31 @@
+# lint-fixture-module: repro.experiments.fixture_locks_bad
+"""Positive fixture: protected-object mutations outside allowed contexts."""
+
+from repro.online.capacity import CapacityTracker
+from repro.service.state import FleetState
+
+
+def poke_through_slot(service):
+    # Mutating through the service's protected slot, no lock held.
+    service.state._admitted_total = 0
+
+
+def poke_subscript(service, tenant_id):
+    # Subscript store through a protected slot chain.
+    service._state._tenants[tenant_id] = None
+
+
+def poke_annotated(state: FleetState):
+    # Parameter annotated with a protected class.
+    state._generation += 1
+
+
+def poke_constructed():
+    tracker = CapacityTracker({})
+    # Local bound to a protected constructor call.
+    tracker._residual.clear()
+    tracker._residual = {}
+
+
+def poke_delete(service):
+    del service.state._tenants["t0"]

@@ -1,0 +1,47 @@
+# lint-fixture-module: repro.experiments.fixture_locks_good
+"""Negative fixture: every mutation sits in an allowed context."""
+
+from repro.service.state import FleetState
+
+
+class FleetStateLike:
+    def __init__(self):
+        self.generation = 0
+
+    def bump(self):
+        # Mutating unprotected objects is always fine.
+        self.generation += 1
+
+
+class FleetState:  # noqa: F811  (fixture shadows the import on purpose)
+    def admit(self, tenant_id, record):
+        # Inside a protected class's own method: allowed.
+        self._tenants[tenant_id] = record
+        self._admitted_total += 1
+
+
+def under_writer_lock(service):
+    with service._fleet_lock.write_locked():
+        # Writer lock held: allowed.
+        service.state._generation += 1
+
+
+def under_cache_mutex(cache):
+    with cache._lock:
+        # The cache's own mutex: allowed.
+        cache._entries["key"] = None
+
+
+def _requires_write(func):
+    return func
+
+
+@_requires_write
+def locked_by_contract(state: FleetState):
+    # Decorator marks the caller as lock-holding: allowed.
+    state._generation += 1
+
+
+def read_only(state: FleetState):
+    # Reads are never flagged.
+    return state._generation

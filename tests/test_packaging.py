@@ -41,6 +41,16 @@ PUBLIC_MODULES = [
     "repro.utils",
     "repro.cli",
     "repro.exceptions",
+    "repro.analysis",
+    "repro.analysis.core",
+    "repro.analysis.baseline",
+    "repro.analysis.runner",
+    "repro.analysis.rules_locks",
+    "repro.analysis.rules_determinism",
+    "repro.analysis.rules_layering",
+    "repro.analysis.rules_registry",
+    "repro.analysis.rules_ffi",
+    "repro.analysis.rules_excepts",
 ]
 
 
@@ -64,7 +74,8 @@ def test_top_level_exports_resolve():
 @pytest.mark.parametrize(
     "package_name",
     ["repro.core", "repro.baselines", "repro.topology", "repro.workload", "repro.online",
-     "repro.apps", "repro.simulation", "repro.experiments", "repro.utils"],
+     "repro.apps", "repro.simulation", "repro.experiments", "repro.utils",
+     "repro.analysis"],
 )
 def test_package_all_exports_resolve(package_name):
     package = importlib.import_module(package_name)

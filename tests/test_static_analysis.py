@@ -1,0 +1,415 @@
+"""Tests for the codebase-specific static-analysis pass (repro.analysis).
+
+Each rule family is exercised two ways: its positive fixture under
+``tests/analysis_fixtures/`` must produce findings (the rule catches the
+hazard it exists for) and its negative fixture must produce none (the
+allowed idioms stay quiet).  The project-wide checks — registry
+coherence and the C/ctypes FFI contract — are additionally regression
+tested by perturbing copies of the real inputs: a linter that passes a
+broken contract is worse than no linter.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Finding,
+    check_ffi,
+    check_registries,
+    lint_project,
+    lint_source,
+    load_baseline,
+    run_fixture,
+    split_findings,
+    write_baseline,
+)
+from repro.analysis.runner import find_project_root, main as lint_main
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+REPO_ROOT = find_project_root(Path(__file__).parent)
+
+
+def rule_ids(findings: list[Finding]) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+def fixture_findings(name: str, rule: str) -> list[Finding]:
+    return [f for f in run_fixture(FIXTURES / name) if f.rule == rule]
+
+
+# --------------------------------------------------------------------------- #
+# framework
+# --------------------------------------------------------------------------- #
+
+
+def test_all_rule_families_registered():
+    assert {
+        "lock-discipline",
+        "determinism-rng",
+        "determinism-clock",
+        "determinism-order",
+        "registry-coherence",
+        "layering",
+        "ffi-contract",
+        "broad-except",
+    } <= set(RULES)
+
+
+def test_findings_carry_location_rule_and_hint():
+    finding = fixture_findings("locks_bad.py", "lock-discipline")[0]
+    assert finding.line > 0
+    assert finding.hint
+    rendered = finding.format()
+    assert re.match(r".+:\d+: \[lock-discipline\] ", rendered)
+    assert "(fix: " in rendered
+
+
+def test_allow_pragma_suppresses_exactly_that_rule(tmp_path):
+    source = (
+        "# lint-fixture-module: repro.core.pragma_fixture\n"
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # lint: allow(determinism-rng)\n"
+        "other = np.random.default_rng()\n"
+    )
+    path = tmp_path / "pragma_fixture.py"
+    path.write_text(source)
+    findings = run_fixture(path)
+    assert len([f for f in findings if f.rule == "determinism-rng"]) == 1
+    assert findings[0].line == 4
+
+
+def test_fixture_module_header_controls_scoped_rules(tmp_path):
+    source = "import time\nstamp = time.time()\n"
+    bare = tmp_path / "no_header.py"
+    bare.write_text(source)
+    assert not fixture_rule_hits(bare, "determinism-clock")
+    scoped = tmp_path / "with_header.py"
+    scoped.write_text("# lint-fixture-module: repro.core.clocked\n" + source)
+    assert fixture_rule_hits(scoped, "determinism-clock")
+
+
+def fixture_rule_hits(path: Path, rule: str) -> list[Finding]:
+    return [f for f in run_fixture(path) if f.rule == rule]
+
+
+# --------------------------------------------------------------------------- #
+# lock discipline
+# --------------------------------------------------------------------------- #
+
+
+def test_lock_discipline_flags_unprotected_mutations():
+    findings = fixture_findings("locks_bad.py", "lock-discipline")
+    assert len(findings) == 5
+    flagged = "\n".join(f.snippet for f in findings)
+    assert "service.state._admitted_total" in flagged
+    assert "del service.state._tenants" in flagged
+
+
+def test_lock_discipline_allows_methods_locks_and_decorator():
+    assert fixture_findings("locks_good.py", "lock-discipline") == []
+
+
+# --------------------------------------------------------------------------- #
+# determinism
+# --------------------------------------------------------------------------- #
+
+
+def test_determinism_rules_flag_the_hazards():
+    findings = run_fixture(FIXTURES / "determinism_bad.py")
+    assert {"determinism-rng", "determinism-clock", "determinism-order"} <= rule_ids(
+        findings
+    )
+    rng = [f for f in findings if f.rule == "determinism-rng"]
+    assert len(rng) == 4  # default_rng(), random.random(), np.seed, np.rand
+    order = [f for f in findings if f.rule == "determinism-order"]
+    assert len(order) == 3  # two set sums + one dict-fed hasher loop
+
+
+def test_determinism_rules_allow_seeded_and_sorted():
+    findings = run_fixture(FIXTURES / "determinism_good.py")
+    assert rule_ids(findings) & {
+        "determinism-rng",
+        "determinism-clock",
+        "determinism-order",
+    } == set()
+
+
+def test_wall_clock_rule_scoped_to_pure_layers():
+    source = "# lint-fixture-module: repro.service.latency\nimport time\nt = time.time()\n"
+    findings = lint_source(
+        FIXTURES / "determinism_good.py", module="repro.service.latency", text=source
+    )
+    assert "determinism-clock" not in rule_ids(findings)
+
+
+# --------------------------------------------------------------------------- #
+# layering
+# --------------------------------------------------------------------------- #
+
+
+def test_layering_flags_upward_imports():
+    findings = fixture_findings("layering_bad.py", "layering")
+    assert len(findings) == 3
+    messages = "\n".join(f.message for f in findings)
+    for target in ("repro.service.api", "repro.online.capacity", "repro.experiments"):
+        assert target in messages
+
+
+def test_layering_allows_downward_imports():
+    assert fixture_findings("layering_good.py", "layering") == []
+
+
+# --------------------------------------------------------------------------- #
+# broad excepts
+# --------------------------------------------------------------------------- #
+
+
+def test_broad_except_flags_swallowing_handlers():
+    findings = fixture_findings("excepts_bad.py", "broad-except")
+    assert len(findings) == 4  # Exception, bare, tuple-smuggled, BaseException
+
+
+def test_broad_except_allows_typed_reraise_and_pragma():
+    assert fixture_findings("excepts_good.py", "broad-except") == []
+
+
+def test_broad_except_scoped_to_service_layer(tmp_path):
+    path = tmp_path / "core_like.py"
+    path.write_text(
+        "# lint-fixture-module: repro.experiments.harness\n"
+        "def f(g):\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    assert fixture_rule_hits(path, "broad-except") == []
+
+
+# --------------------------------------------------------------------------- #
+# registry coherence
+# --------------------------------------------------------------------------- #
+
+
+GOOD_REGISTRIES = dict(
+    engines={"flat": 1, "reference": 1, "compiled": 1},
+    color_kernels={"batched": 1, "reference": 1, "compiled": 1},
+    cost_kernels={"flat": 1, "reference": 1, "compiled": 1},
+    color_fallbacks={"flat": "batched"},
+    cost_fallbacks={},
+)
+
+
+def test_registry_check_passes_on_coherent_registries():
+    assert check_registries(**GOOD_REGISTRIES) == []
+    assert (
+        check_registries(
+            **GOOD_REGISTRIES,
+            defaults={"engine": "flat", "color": "batched", "cost": "flat"},
+        )
+        == []
+    )
+
+
+def test_registry_check_flags_unresolvable_engine():
+    broken = dict(GOOD_REGISTRIES, color_fallbacks={})
+    findings = check_registries(**broken)
+    assert any("'flat' has no colour kernel" in f.message for f in findings)
+
+
+def test_registry_check_flags_bad_fallbacks_and_defaults():
+    findings = check_registries(
+        **dict(GOOD_REGISTRIES, color_fallbacks={"flat": "nope", "ghost": "batched"})
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "unknown kernel 'nope'" in messages
+    assert "unknown engine 'ghost'" in messages
+    findings = check_registries(
+        **GOOD_REGISTRIES, defaults={"engine": "turbo", "color": None, "cost": None}
+    )
+    assert any("DEFAULT_ENGINE = 'turbo'" in f.message for f in findings)
+
+
+def test_live_registries_are_coherent():
+    assert RULES["registry-coherence"].check_project(REPO_ROOT) == []
+
+
+# --------------------------------------------------------------------------- #
+# FFI contract
+# --------------------------------------------------------------------------- #
+
+
+C_PATH = REPO_ROOT / "src" / "repro" / "core" / "_gather_kernels.c"
+PY_PATH = REPO_ROOT / "src" / "repro" / "core" / "engine_compiled.py"
+
+
+def test_ffi_contract_passes_on_shipped_sources():
+    assert check_ffi(C_PATH.read_text(), PY_PATH.read_text()) == []
+
+
+def test_ffi_contract_covers_every_repro_symbol():
+    from repro.analysis import parse_c_prototypes, parse_ctypes_decls
+
+    c_symbols = set(parse_c_prototypes(C_PATH.read_text()))
+    py_symbols = set(parse_ctypes_decls(PY_PATH.read_text()))
+    declared = {
+        match.group(0)
+        for match in re.finditer(r"repro_\w+", C_PATH.read_text())
+    }
+    assert c_symbols == declared  # the regex parser misses no repro_* symbol
+    assert c_symbols == py_symbols
+
+
+def test_ffi_contract_fails_on_perturbed_c_copy(tmp_path):
+    c_text = C_PATH.read_text()
+    # Add a parameter to one kernel's declaration(s): arity mismatch.
+    perturbed = c_text.replace(
+        "repro_sequential_sum(", "repro_sequential_sum(int64_t injected_arg, "
+    )
+    assert perturbed != c_text
+    copy = tmp_path / "_gather_kernels.c"
+    copy.write_text(perturbed)
+    findings = check_ffi(copy.read_text(), PY_PATH.read_text())
+    assert any("arity mismatch" in f.message for f in findings)
+
+
+def test_ffi_contract_fails_on_kind_restype_and_symbol_drift():
+    c_text = C_PATH.read_text()
+    py_text = PY_PATH.read_text()
+    # Pointer element type drift: double* -> int64_t* on the C side.
+    kind_drift = c_text.replace(
+        "double repro_sequential_sum(const double *values",
+        "double repro_sequential_sum(const int64_t *values",
+    )
+    assert kind_drift != c_text
+    findings = check_ffi(kind_drift, py_text)
+    assert any("kind mismatch" in f.message for f in findings)
+    # Return-type drift: double repro_sequential_sum -> void.
+    ret_drift = re.sub(
+        r"\bdouble\s+(repro_sequential_sum)", r"void \1", c_text
+    )
+    assert ret_drift != c_text
+    findings = check_ffi(ret_drift, py_text)
+    assert any("return-type mismatch" in f.message for f in findings)
+    # Symbol drift: rename a kernel on the C side only.
+    renamed = c_text.replace("repro_strict_less", "repro_strictly_less")
+    findings = check_ffi(renamed, py_text)
+    messages = "\n".join(f.message for f in findings)
+    assert "repro_strictly_less has no ctypes prototype" in messages
+    assert "repro_strict_less has no declaration" in messages
+
+
+# --------------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------------- #
+
+
+def test_shipped_baseline_is_empty():
+    baseline = load_baseline(REPO_ROOT / "lint_baseline.json")
+    assert baseline == set()
+
+
+def test_baseline_roundtrip_and_split(tmp_path):
+    known = Finding(
+        rule="determinism-rng", path="src/x.py", line=3, message="m", hint="h",
+        snippet="rng = np.random.default_rng()",
+    )
+    fresh = Finding(
+        rule="layering", path="src/y.py", line=9, message="m2", hint="h2",
+        snippet="import repro.service",
+    )
+    stale_key = ("broad-except", "src/z.py", "except Exception:")
+    path = tmp_path / "baseline.json"
+    write_baseline([known], path)
+    baseline = load_baseline(path) | {stale_key}
+    new, old, stale = split_findings([known, fresh], baseline)
+    assert new == [fresh]
+    assert old == [known]
+    assert stale == {stale_key}
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# whole-tree gate and CLI
+# --------------------------------------------------------------------------- #
+
+
+def test_shipped_tree_is_lint_clean():
+    findings, errors = lint_project(REPO_ROOT)
+    assert errors == []
+    assert findings == []
+
+
+def test_runner_cli_exit_codes(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert lint_main(["--list-rules"]) == 0
+    assert lint_main([]) == 0
+    out = capsys.readouterr().out
+    assert "lint clean" in out
+    # A bad file surfaces as a new finding -> exit 1.
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+    assert lint_main([str(bad)]) == 1
+    # --strict fails on stale baseline entries.
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"rule": "layering", "path": "gone.py", "snippet": "x"}],
+    }))
+    assert lint_main([str(FIXTURES / "layering_good.py"), "--baseline", str(stale)]) == 0
+    assert (
+        lint_main(
+            [str(FIXTURES / "layering_good.py"), "--baseline", str(stale), "--strict"]
+        )
+        == 1
+    )
+
+
+def test_cli_lint_subcommand():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--list-rules"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0
+    assert "ffi-contract" in result.stdout
+
+
+# --------------------------------------------------------------------------- #
+# mypy gate (typing debt lives in mypy.ini, not inline ignores)
+# --------------------------------------------------------------------------- #
+
+
+def test_no_inline_type_ignores_in_core_and_service():
+    offenders = []
+    for layer in ("core", "service"):
+        for path in (REPO_ROOT / "src" / "repro" / layer).rglob("*.py"):
+            if "type: ignore" in path.read_text():
+                offenders.append(str(path))
+    assert offenders == []
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None, reason="mypy not installed"
+)
+def test_mypy_clean_on_configured_layers():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini",
+         "src/repro/core", "src/repro/service"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
