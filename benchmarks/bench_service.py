@@ -29,6 +29,18 @@ runs the warm-path scenario standalone (the CI smoke step), writing
 ``service_throughput.csv`` is produced by the churn-replay benchmark at
 acceptance scale with the same warm-path columns appended.
 
+The repair benchmark (:func:`repair_rows`) times the PR 9 delta-repair
+path against the cold gather it replaces: one switch flips availability
+(the single-switch drain of the service's churn traces) and the cached
+gather table is patched along the dirtied ancestor chain instead of
+being rebuilt from scratch.  Every repaired table is asserted
+bit-identical to the cold gather (full DP tensors, placements, costs)
+before its time is trusted; ``repair_speedup = cold_ms / repaired_ms``
+must be ≥ 5x for the single-switch row on BT(1024).  ``python
+benchmarks/bench_service.py --repair`` runs the comparison standalone,
+writing ``benchmarks/results/service_repair_bt1024.csv`` (or the BT(256)
+variant with ``--quick``).
+
 The concurrency benchmark (:func:`concurrency_rows`) replays the same
 trace serially, with a 4-thread worker pool (mutating requests stay
 barriers), and with a 4-process Λ-epoch replica pool
@@ -220,6 +232,165 @@ def test_warm_table_hit_colour_only(benchmark, emit_rows, size):
         assert rows[0]["warm_speedup_vs_pr3"] >= 2.0
 
 
+#: Column order of the repair-benchmark CSV (``service_repair_bt*.csv``).
+#: ``depth`` is the tree depth of the deepest flipped switch — the length
+#: of the dirtied ancestor chain the repair actually recomputes — and
+#: ``repair_speedup`` is the headline ``cold_ms / repaired_ms`` multiplier.
+REPAIR_COLUMNS: tuple[str, ...] = (
+    "network_size",
+    "budget",
+    "engine",
+    "row",
+    "delta_size",
+    "depth",
+    "cold_ms",
+    "repaired_ms",
+    "repair_speedup",
+)
+
+
+def repair_rows(
+    size: int, rounds: int = 25, delta_sizes: tuple[int, ...] = (1, 2, 4, 8)
+) -> list[dict]:
+    """Time delta repair against the cold gather it replaces.
+
+    For every registered repair-capable engine and every delta size, flip
+    the ``delta_size`` deepest available switches (the worst case: the
+    longest dirtied ancestor chains), then measure a cold gather at the
+    churned availability versus :meth:`GatherTable.repair` on the cached
+    table.  Before any time is trusted the repaired table is asserted
+    bit-identical to the cold gather: every *valid* cell of the flat DP
+    tensors (rows beyond a node's depth are ``np.empty`` garbage in a
+    cold gather and never read — see :func:`repro.core.engine.flat_gather`
+    — so they are masked out), every breadcrumb, the placement, and the
+    cost.  The thorough differential (chained repairs, both backend legs,
+    ``exact_k``) lives in ``tests/test_repair.py``; this assertion keeps
+    the benchmark honest about *what* it is timing.
+    """
+    import numpy as np
+
+    from repro.core.engine import REPAIRERS
+
+    tree = apply_rate_scheme(bt_network(size), "constant")
+    loads = sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=2021)
+    workload = tree.with_loads(loads)
+    # Deepest switches first: their ancestor chains span the full height,
+    # so the measured repair never flatters itself with a shallow flip.
+    candidates = sorted(
+        workload.available, key=lambda node: (-workload.depth(node), node)
+    )
+    rows: list[dict] = []
+    for engine in sorted(REPAIRERS):
+        solver = Solver(engine=engine)
+        table = solver.gather(workload, BUDGET)
+        for delta_size in delta_sizes:
+            delta = frozenset(candidates[:delta_size])
+            churned = workload.with_available(workload.available ^ delta)
+            cold = solver.gather(churned, BUDGET)
+            repaired = table.repair(delta)
+            rows_axis = cold.result.flat.y_red.shape[0]
+            valid = (
+                np.arange(rows_axis)[:, None, None] <= cold.result.flat.depth[None, None, :]
+            )
+            for field in ("y_red", "y_blue"):
+                assert np.array_equal(
+                    np.where(valid, getattr(repaired.result.flat, field), 0.0),
+                    np.where(valid, getattr(cold.result.flat, field), 0.0),
+                ), f"repaired {field} diverged from the cold gather ({engine})"
+            for field in ("splits_red", "splits_blue"):
+                assert np.array_equal(
+                    getattr(repaired.result.flat, field),
+                    getattr(cold.result.flat, field),
+                ), f"repaired {field} diverged from the cold gather ({engine})"
+            cold_place = cold.place(BUDGET)
+            repaired_place = repaired.place(BUDGET)
+            assert repaired_place.blue_nodes == cold_place.blue_nodes
+            assert repaired_place.cost == cold_place.cost
+
+            cold_s = _best_of(lambda: solver.gather(churned, BUDGET), rounds)
+            repaired_s = _best_of(lambda: table.repair(delta), rounds)
+            rows.append(
+                {
+                    "network_size": size,
+                    "budget": BUDGET,
+                    "engine": engine,
+                    "row": "repair",
+                    "delta_size": delta_size,
+                    "depth": max(workload.depth(node) for node in delta),
+                    "cold_ms": 1e3 * cold_s,
+                    "repaired_ms": 1e3 * repaired_s,
+                    "repair_speedup": cold_s / repaired_s if repaired_s else 0.0,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="service repair")
+@pytest.mark.parametrize("size", [256, 1024])
+def test_repair_vs_cold_gather(benchmark, emit_rows, size):
+    """Delta repair must beat the cold gather ≥ 5x single-switch on BT(1024)."""
+    rows = benchmark.pedantic(
+        repair_rows, kwargs={"size": size}, rounds=1, iterations=1
+    )
+    emit_rows(
+        [{column: row.get(column, "") for column in REPAIR_COLUMNS} for row in rows],
+        f"service_repair_bt{size}",
+        f"Delta repair vs cold gather on BT({size})",
+    )
+    for row in rows:
+        assert row["repair_speedup"] > 1.0, (
+            f"repair slower than cold gather: {row}"
+        )
+    if size >= 1024:
+        for row in rows:
+            if row["delta_size"] == 1:
+                assert row["repair_speedup"] >= 5.0, (
+                    f"single-switch repair only {row['repair_speedup']:.2f}x "
+                    f"on {row['engine']}"
+                )
+
+
+@pytest.mark.benchmark(group="service repair replay")
+@pytest.mark.parametrize("size", [256])
+def test_service_repair_replay(benchmark, size):
+    """Churn replay with repair on vs off: identical payloads, repairs engaged.
+
+    The same seeded trace is replayed through a repair-enabled service and
+    a ``max_repair_delta=0`` (legacy invalidate-on-drain) service; the
+    response payloads must be identical — repair buys latency, never
+    different answers — and the enabled run must actually exercise the
+    path (``repair_hits > 0``), which is also the CI smoke gate.
+    """
+    from repro.service.api import PlacementService
+    from repro.service.driver import response_payload
+
+    tree, trace = _scenario(size)
+
+    def replay(max_repair_delta: int):
+        service = PlacementService(
+            tree, CAPACITY, max_repair_delta=max_repair_delta
+        )
+        return replay_trace(tree, trace, service=service)
+
+    repaired_report = benchmark.pedantic(
+        replay, kwargs={"max_repair_delta": 8}, rounds=1, iterations=1
+    )
+    legacy_report = replay(max_repair_delta=0)
+
+    repaired_payloads = [
+        response_payload(record.response) for record in repaired_report.records
+    ]
+    legacy_payloads = [
+        response_payload(record.response) for record in legacy_report.records
+    ]
+    assert repaired_payloads == legacy_payloads, (
+        "repair-enabled replay diverged from the invalidate-on-drain replay"
+    )
+    assert repaired_report.repair_hits > 0
+    assert repaired_report.repairs > 0
+    assert legacy_report.repairs == 0
+
+
 def concurrency_rows(
     size: int,
     scenarios: tuple[tuple[int, str], ...] = ((1, "thread"), (4, "thread"), (4, "process")),
@@ -366,6 +537,12 @@ def main(argv: list[str] | None = None) -> int:
         "(writes service_concurrency_bt256.csv)",
     )
     parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="run the delta-repair vs cold-gather comparison instead "
+        "(writes service_repair_bt1024.csv, or the BT(256) variant with --quick)",
+    )
+    parser.add_argument(
         "--csv",
         default=None,
         help="output CSV path (default: benchmarks/results/service_throughput_warm_smoke.csv)",
@@ -375,6 +552,35 @@ def main(argv: list[str] | None = None) -> int:
     from pathlib import Path
 
     from repro.utils.tables import render_table, write_csv
+
+    if args.repair:
+        size = 256 if args.quick else 1024
+        rounds = 5 if args.quick else 25
+        rows = repair_rows(size, rounds=rounds)
+        normalized = [
+            {column: row.get(column, "") for column in REPAIR_COLUMNS} for row in rows
+        ]
+        print(render_table(normalized, title=f"Delta repair vs cold gather on BT({size})"))
+        # Explicit raises, not asserts: these gates must survive `python -O`.
+        # Bit-identity to the cold gather was already asserted per row
+        # inside repair_rows before any time was trusted.
+        for row in rows:
+            if float(row["repair_speedup"]) <= 1.0:
+                raise SystemExit(
+                    f"repair slower than cold gather on {row['engine']} "
+                    f"(delta {row['delta_size']}: {row['repair_speedup']:.2f}x)"
+                )
+            if not args.quick and row["delta_size"] == 1 and (
+                float(row["repair_speedup"]) < 5.0
+            ):
+                raise SystemExit(
+                    f"single-switch repair only {row['repair_speedup']:.2f}x "
+                    f"over the cold gather on {row['engine']} (need ≥ 5x)"
+                )
+        default_path = Path(__file__).parent / "results" / f"service_repair_bt{size}.csv"
+        path = write_csv(normalized, Path(args.csv) if args.csv else default_path)
+        print(f"wrote {len(normalized)} rows to {path}")
+        return 0
 
     if args.concurrency:
         size = 256

@@ -58,11 +58,18 @@ Use :func:`gather` to pick an engine by name.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.flat import FlatTables, flat_order, level_slices_for
+from repro.core.flat import (
+    FlatTables,
+    LazyNodeTables,
+    dirty_ancestor_positions,
+    dirty_level_groups,
+    flat_order,
+    level_slices_for,
+)
 from repro.core.gather import (
     BLUE,
     RED,
@@ -72,6 +79,7 @@ from repro.core.gather import (
     soar_gather,
 )
 from repro.core.tree import TreeNetwork
+from repro.exceptions import RepairError
 
 #: Name of the vectorized flat-array engine (the default).
 FLAT_ENGINE: str = "flat"
@@ -104,6 +112,51 @@ class GatherKernels:
     color_choice: Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
+def _combine_small_batch(
+    previous: np.ndarray,
+    child_row: np.ndarray,
+    budget: int,
+    blue: bool,
+    j_max: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked-candidate variant of :func:`_batched_combine` for tiny batches.
+
+    The sequential split loop of the batched kernel pays ~6 numpy
+    dispatches per ``j``; on the big level slabs of a cold gather that
+    overhead amortizes over hundreds of node columns, but the delta-repair
+    path calls the kernel with a handful of dirty nodes per level, where
+    dispatch dominates the arithmetic.  This variant materializes every
+    candidate split in one ``(J, H, k + 1, B)`` stack (invalid cells
+    ``+inf``) and reduces with a single min/argmin pair.
+
+    Bit-identity with the sequential loop: every candidate value is the
+    same ``np.add`` of the same operands; the one-shot minimum of a
+    NaN-free, ``-0.0``-free candidate set is the exact same float the
+    running ``np.minimum`` converges to (float min is exact, order-free);
+    and ``np.argmin``'s first-minimum rule reproduces the loop's
+    smallest-split strict-improvement tie-break, including split 0 for
+    all-``inf`` columns.
+    """
+    height, width, batch = previous.shape[0], budget + 1, previous.shape[2]
+    if j_max is None:
+        j_max = budget
+    offset = 1 if blue else 0  # a blue parent keeps one unit for itself
+    splits = min(budget, j_max) + 1
+    stacked = np.full((splits, height, width, batch), np.inf, dtype=np.float64)
+    for j in range(splits):
+        start = j + offset
+        if start > budget:
+            break
+        np.add(
+            previous[:, offset : width - j],
+            child_row[:, j : j + 1],
+            out=stacked[j, :, start:],
+        )
+    best = stacked.min(axis=0)
+    best_split = stacked.argmin(axis=0).astype(np.int32)
+    return best, best_split
+
+
 def _batched_combine(
     previous: np.ndarray,
     child_row: np.ndarray,
@@ -134,7 +187,14 @@ def _batched_combine(
     ``+inf`` — so the capped convolution is bit-identical to the full one,
     including the stored argmin (the uncapped candidates never win the
     strict-improvement tie-break).
+
+    Tiny batches (a few dirty nodes during a delta repair, the near-root
+    levels of a cold gather) are routed to the bit-identical
+    :func:`_combine_small_batch`, which trades the per-split dispatch
+    overhead for one stacked min/argmin reduction.
     """
+    if previous.shape[0] * previous.shape[2] <= 64:
+        return _combine_small_batch(previous, child_row, budget, blue, j_max)
     height, width, batch = previous.shape[0], budget + 1, previous.shape[2]
     if j_max is None:
         j_max = budget
@@ -446,6 +506,258 @@ def flat_gather(
     return _gather_flat_tensors(
         tree, budget, exact_k, kernels=NUMPY_KERNELS, engine=FLAT_ENGINE
     )
+
+
+def _repair_flat_tensors(
+    result: GatherResult,
+    tree: TreeNetwork,
+    kernels: GatherKernels,
+    engine: str,
+) -> GatherResult:
+    """Delta-repair a flat gather result towards ``tree``'s availability.
+
+    ``result`` was gathered for ``result.flat.tree`` (availability Λ₀);
+    ``tree`` is the same structure and loads under a different Λ.  Only the
+    switches of the symmetric difference Λ₀ ^ Λ and their ancestors have
+    stale DP slabs — every other subtree sees an unchanged Λ ∩ T_v — so
+    the repair clones the flat tensors and re-runs the level-batched
+    convolution for the dirty columns alone: O(depth · k² · |delta|) work
+    instead of the cold gather's O(n · k²).
+
+    Bit-identity with a cold gather is preserved end to end:
+
+    * dirty columns are recomputed with the *same kernels* in the same
+      level order, reading child ``x`` rows as ``min(y_red, y_blue)`` —
+      exactly the values the cold driver materialized in its ``x`` tensor
+      (every valid entry was written as that minimum, and the inputs are
+      NaN-free and sign-consistent, so the minimum is bitwise unique);
+    * the convolution runs uncapped (no ``j_max``), which the kernel
+      contract guarantees is bit-identical to the subtree-availability
+      capped run, argmin included (see :func:`_batched_combine`);
+    * ``path_rho`` for dirty columns is rebuilt from
+      ``TreeNetwork.path_rho_prefix`` — the accumulation the cold driver's
+      level walk reproduces value for value;
+    * stale blue breadcrumbs of dirty nodes are re-zeroed before the blue
+      convolution writes, matching the cold driver's zero-initialized
+      split tensors for nodes that can no longer be blue.
+
+    Clean columns keep their cloned values untouched, rows beyond a
+    node's depth stay unspecified (never read) exactly as in a cold
+    gather, and the repaired result carries :class:`LazyNodeTables` so no
+    per-node view materialization is paid up front.
+
+    Raises :class:`~repro.exceptions.RepairError` when repair is unsound:
+    no flat tensors, different structure or loads, or a changed effective
+    budget (the tensor width would differ).
+    """
+    old_flat = result.flat
+    if not isinstance(old_flat, FlatTables):
+        raise RepairError("gather result carries no flat tensors to repair")
+    old_tree = old_flat.tree
+    if old_tree.structure_fingerprint() != tree.structure_fingerprint():
+        raise RepairError(
+            "cannot repair a gather table across structure changes; "
+            "the flat tensor layout is structure-specific"
+        )
+    if old_tree.loads_fingerprint() != tree.loads_fingerprint():
+        raise RepairError(
+            "cannot repair a gather table across load changes; "
+            "every column of the DP depends on its subtree loads"
+        )
+    k = normalize_budget(tree, result.requested_budget)
+    if k != result.budget:
+        raise RepairError(
+            f"effective budget changed ({result.budget} -> {k}): the delta "
+            "moved |Λ| across the requested budget, so the tensor width of "
+            "the cached tables no longer matches"
+        )
+
+    order = old_flat.order
+    index = old_flat.index
+    depth = old_flat.depth
+    leaf = old_flat.leaf
+    child_concat = old_flat.child_concat
+    child_offset = old_flat.child_offset
+    stage_offset = old_flat.stage_offset
+    n = len(order)
+    height = tree.height
+    width = k + 1
+    load = old_flat.load.astype(np.float64)
+
+    delta = old_tree.available ^ tree.available
+    dirty = dirty_ancestor_positions(tree, index, delta)
+
+    avail = old_flat.avail.copy()
+    for switch in delta:
+        avail[index[switch]] = switch in tree.available
+
+    # Copy-on-write clone: the repaired result must not mutate the cached
+    # tensors (the cache may repair the same artifact towards several Λ's).
+    y_blue_flat = old_flat.y_blue.copy()
+    y_red_flat = old_flat.y_red.copy()
+    splits_blue_flat = old_flat.splits_blue.copy()
+    splits_red_flat = old_flat.splits_red.copy()
+
+    # rho(v, A^l_v) for the dirty columns only; rows beyond a node's depth
+    # stay 0.0, exactly like the cold driver's level walk leaves them.
+    path_rho = np.zeros((height + 1, n), dtype=np.float64)
+    for position in dirty.tolist():
+        prefix = tree.path_rho_prefix(order[position])
+        path_rho[: len(prefix), position] = prefix
+
+    # ---- dirty leaves: the same frontier broadcast, restricted ------------
+    dirty_leaves = dirty[leaf[dirty]]
+    if dirty_leaves.size:
+        # The driver's x tensor is never kept by repairs (child x rows are
+        # re-derived as min(y_red, y_blue) below); leaf_init still writes
+        # one, so hand it a scratch tensor that is dropped afterwards.
+        x_scratch = np.empty((height + 1, width, n), dtype=np.float64)
+        kernels.leaf_init(
+            x_scratch,
+            y_blue_flat,
+            y_red_flat,
+            path_rho,
+            load,
+            dirty_leaves,
+            avail,
+            result.exact_k,
+            k,
+        )
+
+    # ---- dirty internal nodes, level-batched from the deepest level up ----
+    dirty_internal = dirty[~leaf[dirty]]
+    for level, group in dirty_level_groups(depth, dirty_internal):
+        rows = level + 1
+        num_children = old_flat.num_children[group]
+        upward = path_rho[:rows, group]
+        can_blue = avail[group] & (k >= 1)
+
+        # Children live one level deeper and were finalized before this
+        # level (dirty or clean alike), so their x rows are the minimum of
+        # the y tensors as they stand now.
+        x_row1 = np.minimum(y_red_flat[1], y_blue_flat[1])
+
+        # stage m = 1
+        first_child = child_concat[child_offset[group]]
+        child_x = np.minimum(
+            y_red_flat[1 : rows + 1, :, first_child],
+            y_blue_flat[1 : rows + 1, :, first_child],
+        )
+        y_red = child_x + (upward * load[group])[:, None, :]
+        y_blue = np.full_like(y_red, np.inf)
+        if can_blue.any():  # can_blue already folds in k >= 1
+            sel = np.nonzero(can_blue)[0]
+            y_blue[:, 1:, sel] = (
+                x_row1[:k, first_child[sel]][None, :, :] + upward[:, sel][:, None, :]
+            )
+
+        # stages m = 2 .. C(v)
+        for stage in range(2, int(num_children.max(initial=1)) + 1):
+            active = np.nonzero(num_children >= stage)[0]
+            if not active.size:
+                break
+            nodes = group[active]
+            child = child_concat[child_offset[nodes] + (stage - 1)]
+            slots = stage_offset[nodes] + (stage - 2)
+
+            child_red = np.minimum(
+                y_red_flat[1 : rows + 1, :, child],
+                y_blue_flat[1 : rows + 1, :, child],
+            )
+            merged_red, split_red = kernels.combine(
+                y_red[:, :, active], child_red, k, blue=False
+            )
+            y_red[:, :, active] = merged_red
+            splits_red_flat[:rows, :, slots] = split_red
+
+            # A dirty node that could be blue at Λ₀ but cannot any more
+            # would otherwise keep its stale breadcrumbs; the cold driver
+            # leaves such slots zero-initialized.
+            splits_blue_flat[:rows, :, slots] = 0
+            blue_active = np.nonzero(can_blue[active])[0]
+            if blue_active.size:
+                child_blue = x_row1[:, child[blue_active]][None, :, :]
+                merged_blue, split_blue = kernels.combine(
+                    y_blue[:, :, active[blue_active]], child_blue, k, blue=True
+                )
+                y_blue[:, :, active[blue_active]] = merged_blue
+                splits_blue_flat[:rows, :, slots[blue_active]] = split_blue
+
+        y_red_flat[:rows, :, group] = y_red
+        y_blue_flat[:rows, :, group] = y_blue
+
+    new_flat = FlatTables(
+        tree=tree,
+        order=order,
+        index=index,
+        depth=depth,
+        load=old_flat.load,
+        avail=avail,
+        leaf=leaf,
+        num_children=old_flat.num_children,
+        child_concat=child_concat,
+        child_offset=child_offset,
+        stage_offset=stage_offset,
+        level_slices=old_flat.level_slices,
+        y_blue=y_blue_flat,
+        y_red=y_red_flat,
+        splits_blue=splits_blue_flat,
+        splits_red=splits_red_flat,
+    )
+    old_model = old_flat.cost_model
+    if old_model is not None:
+        # The cost model depends on structure, rates, and loads only — all
+        # unchanged by construction — so the repaired artifact inherits it
+        # (rebased onto the new tree) and its first placement skips the
+        # O(n) model build.
+        new_flat.cost_model = replace(old_model, tree=tree)
+
+    return GatherResult(
+        tables=LazyNodeTables(new_flat),
+        root=tree.root,
+        budget=k,
+        requested_budget=result.requested_budget,
+        exact_k=result.exact_k,
+        engine=engine,
+        flat=new_flat,
+        cost_model=new_flat.cost_model,
+    )
+
+
+def flat_repair(result: GatherResult, tree: TreeNetwork) -> GatherResult:
+    """Delta-repair a flat-engine gather result towards ``tree``.
+
+    Drop-in sibling of :func:`flat_gather`: the returned result is
+    bit-identical (costs, tables, breadcrumbs, traced placements) to
+    ``flat_gather(tree, result.requested_budget, result.exact_k)``.
+    """
+    return _repair_flat_tensors(result, tree, kernels=NUMPY_KERNELS, engine=FLAT_ENGINE)
+
+
+#: Registry of gather-table repairers, keyed by engine name.  The
+#: ``"compiled"`` entry is appended by :mod:`repro.core.engine_compiled`;
+#: the ``"reference"`` engine has none (its results may not carry flat
+#: tensors), so repairing a reference table falls back to a cold gather.
+REPAIRERS: dict[str, Callable[[GatherResult, TreeNetwork], GatherResult]] = {
+    FLAT_ENGINE: flat_repair,
+}
+
+
+def repair(result: GatherResult, tree: TreeNetwork, engine: str | None = None) -> GatherResult:
+    """Delta-repair ``result`` towards ``tree`` with the named engine.
+
+    Defaults to the engine that produced the result.  Raises
+    :class:`~repro.exceptions.RepairError` when the engine has no
+    registered repairer or the repair would be unsound (see
+    :func:`_repair_flat_tensors`); callers handle it by re-gathering.
+    """
+    name = result.engine if engine is None else engine
+    repairer = REPAIRERS.get(name)
+    if repairer is None:
+        raise RepairError(
+            f"no gather-table repairer registered for engine {name!r}"
+        )
+    return repairer(result, tree)
 
 
 #: Registry of gather engines, keyed by their public name.  The

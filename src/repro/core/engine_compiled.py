@@ -54,8 +54,10 @@ from repro.core.engine import (
     COMPILED_ENGINE,
     ENGINES,
     NUMPY_KERNELS,
+    REPAIRERS,
     GatherKernels,
     _gather_flat_tensors,
+    _repair_flat_tensors,
 )
 from repro.core.gather import GatherResult
 from repro.core.tree import TreeNetwork
@@ -254,6 +256,19 @@ def compiled_gather(
     )
 
 
+def compiled_repair(result: GatherResult, tree: TreeNetwork) -> GatherResult:
+    """Delta-repair a compiled-engine gather result towards ``tree``.
+
+    The shared repair driver of :mod:`repro.core.engine` parameterized by
+    the compiled kernel set — the dirty-slab convolutions and the leaf
+    re-broadcast run in C (releasing the GIL) when the backend is active,
+    and fall back to numpy otherwise, bit-identical either way.
+    """
+    return _repair_flat_tensors(
+        result, tree, kernels=COMPILED_KERNELS, engine=COMPILED_ENGINE
+    )
+
+
 # --------------------------------------------------------------------------- #
 # helpers for the compiled colour / cost kernels
 # --------------------------------------------------------------------------- #
@@ -291,3 +306,4 @@ def sequential_sum(values: np.ndarray) -> float:
 # Self-registration: done here (not in repro.core.engine) so the modules
 # can be imported in either order without a partially-initialized cycle.
 ENGINES[COMPILED_ENGINE] = compiled_gather
+REPAIRERS[COMPILED_ENGINE] = compiled_repair

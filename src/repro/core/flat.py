@@ -43,8 +43,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.gather import GatherResult
+from repro.core.gather import GatherResult, NodeTables
 from repro.core.tree import NodeId, TreeNetwork
+from repro.exceptions import RepairError
 
 
 @dataclass
@@ -104,6 +105,41 @@ class FlatTables:
     #: Lazily-derived :class:`FlatCostModel` sharing this layout (see
     #: :func:`cost_model_for`); never built by the engines themselves.
     cost_model: "FlatCostModel | None" = field(default=None, repr=False, compare=False)
+
+    def children_of(self, position: int) -> np.ndarray:
+        """Flat positions of the children of the node at ``position``."""
+        start = int(self.child_offset[position])
+        return self.child_concat[start : start + int(self.num_children[position])]
+
+    def node_tables(self, position: int) -> NodeTables:
+        """The per-node slab views of one flat position, as :class:`NodeTables`.
+
+        ``y_blue`` / ``y_red`` and the breadcrumb slices are zero-copy views
+        into the flat tensors; ``x`` and ``choice`` are derived per node
+        (``x = min(y_red, y_blue)`` elementwise and the strict
+        ``y_blue < y_red`` decision), which is bit-identical to slicing the
+        full-tensor versions the gather driver materializes — every valid
+        ``x`` entry was *written* as exactly that minimum.  This is what
+        lets a delta repair skip the O(n) view-materialization loop and
+        hand out per-node tables on demand (:class:`LazyNodeTables`).
+        """
+        rows = int(self.depth[position]) + 1
+        y_blue = self.y_blue[:rows, :, position]
+        y_red = self.y_red[:rows, :, position]
+        stages = max(int(self.num_children[position]) - 1, 0)
+        base = int(self.stage_offset[position])
+        return NodeTables(
+            x=np.minimum(y_red, y_blue),
+            y_blue=y_blue,
+            y_red=y_red,
+            choice=np.less(y_blue, y_red).view(np.uint8),
+            splits_blue=[
+                self.splits_blue[:rows, :, base + stage] for stage in range(stages)
+            ],
+            splits_red=[
+                self.splits_red[:rows, :, base + stage] for stage in range(stages)
+            ],
+        )
 
 
 @dataclass
@@ -337,3 +373,129 @@ def flat_tables_for(tree: TreeNetwork, result: GatherResult) -> FlatTables:
     if result.flat is None:
         result.flat = _stack_result(tree, result)
     return result.flat
+
+
+class LazyNodeTables(dict):
+    """``node -> NodeTables`` mapping materialized on demand from flat tensors.
+
+    A delta repair recomputes only the dirtied DP slabs; eagerly rebuilding
+    all ``n`` per-node views afterwards would cost a sizeable fraction of a
+    cold gather and defeat the point.  Repaired results therefore carry this
+    mapping instead: a real ``dict`` (so every consumer treating ``tables``
+    as a mapping keeps working) whose entries are built from
+    :meth:`FlatTables.node_tables` the first time a node is looked up.  The
+    batched colour kernel never reads ``tables`` at all, and
+    ``cost_for_budget`` touches only the root, so the common warm path
+    materializes a single node.
+
+    Bulk protocols (iteration, ``len``, ``keys``/``values``/``items``,
+    containment, equality) reflect the *full* node set: they materialize
+    every node in canonical flat order first, making the mapping
+    indistinguishable from the eager dict a cold gather builds.
+    """
+
+    def __init__(self, flat: FlatTables) -> None:
+        super().__init__()
+        self._flat = flat
+
+    def __missing__(self, node: NodeId) -> NodeTables:
+        tables = self._flat.node_tables(self._flat.index[node])
+        dict.__setitem__(self, node, tables)
+        return tables
+
+    # ``dict.get`` does not consult ``__missing__``; route it through
+    # ``__getitem__`` so lazily-absent nodes still resolve.
+    def get(self, node, default=None):
+        if node not in self._flat.index:
+            return default
+        return self[node]
+
+    def _materialize_all(self) -> None:
+        for node in self._flat.order:
+            if not dict.__contains__(self, node):
+                self[node]
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._flat.index
+
+    def __len__(self) -> int:
+        return len(self._flat.order)
+
+    def __iter__(self):
+        self._materialize_all()
+        return dict.__iter__(self)
+
+    def keys(self):
+        self._materialize_all()
+        return dict.keys(self)
+
+    def values(self):
+        self._materialize_all()
+        return dict.values(self)
+
+    def items(self):
+        self._materialize_all()
+        return dict.items(self)
+
+    def __eq__(self, other: object) -> bool:
+        self._materialize_all()
+        return dict.__eq__(self, other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+
+def dirty_ancestor_positions(
+    tree: TreeNetwork,
+    index: dict[NodeId, int],
+    delta: frozenset[NodeId] | set[NodeId],
+) -> np.ndarray:
+    """Flat positions whose DP slabs an availability delta invalidates.
+
+    A switch's ``X`` table depends on the availability of every switch in
+    its subtree, so flipping Λ membership of the delta switches dirties
+    exactly those switches plus all their ancestors up to the root — the
+    union of the delta's root paths.  Ancestor walks stop early when they
+    hit a position already collected, so overlapping paths are not
+    re-walked.  Returns the positions sorted ascending (``np.int64``).
+
+    Raises
+    ------
+    RepairError
+        If a delta entry is not a switch of ``tree`` (repairing towards a
+        different structure is unsound).
+    """
+    destination = tree.destination
+    dirty: set[int] = set()
+    for switch in delta:
+        if switch not in index:
+            raise RepairError(
+                f"availability delta entry {switch!r} is not a switch of the network"
+            )
+        node = switch
+        while True:
+            position = index[node]
+            if position in dirty:
+                break
+            dirty.add(position)
+            node = tree.parent(node)
+            if node == destination:
+                break
+    return np.array(sorted(dirty), dtype=np.int64)
+
+
+def dirty_level_groups(
+    depth: np.ndarray, positions: np.ndarray
+) -> list[tuple[int, np.ndarray]]:
+    """Group dirty flat positions by level, deepest level first.
+
+    Mirrors the cold gather's traversal order: levels descend (children
+    are final before any parent is touched) and positions within a level
+    stay ascending — the order ``positions`` already has.
+    """
+    levels = depth[positions]
+    return [
+        (int(level), positions[levels == level])
+        for level in np.unique(levels)[::-1]
+    ]

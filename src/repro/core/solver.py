@@ -47,7 +47,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.color import COLOR_KERNELS, DEFAULT_COLOR, trace_color
 from repro.core.cost import COST_KERNELS, DEFAULT_COST, FLAT_COST, evaluate_cost
-from repro.core.engine import DEFAULT_ENGINE, ENGINES, gather as run_gather
+from repro.core.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    gather as run_gather,
+    repair as run_repair,
+)
 from repro.core.flat import FlatCostModel, cost_model_for
 from repro.core.gather import GatherResult, normalize_budget
 from repro.core.tree import NodeId, TreeNetwork
@@ -128,6 +133,14 @@ class GatherTable:
         with (bound from the producing :class:`Solver`; the flat default
         reuses the trace metadata the artifact already carries, so a warm
         table hit never rebuilds the per-link message-count dicts).
+    repaired_from:
+        Repair lineage: the fingerprint of the table this one was
+        delta-repaired out of (:meth:`repair`), ``None`` for a cold
+        gather.  Purely provenance — repaired tables are bit-identical to
+        cold ones.
+    repair_generation:
+        Number of repairs between this table and its cold-gathered
+        ancestor (0 for a cold gather).
     """
 
     result: GatherResult = field(repr=False)
@@ -137,6 +150,8 @@ class GatherTable:
     color: str
     fingerprint: str
     cost_kernel: str = DEFAULT_COST
+    repaired_from: str | None = field(default=None, repr=False)
+    repair_generation: int = 0
 
     @property
     def budget(self) -> int:
@@ -244,6 +259,45 @@ class GatherTable:
                 by_effective[effective] = self.place(effective, color=color)
             placements[budget] = by_effective[effective]
         return placements
+
+    def repair(self, delta: Iterable[NodeId]) -> "GatherTable":
+        """Delta-repair this table for an availability change.
+
+        ``delta`` is the set of switches whose Λ-membership flips (added
+        or removed — the symmetric difference between the table's Λ and
+        the target Λ).  Returns a *new* table for the flipped availability
+        whose DP tables, costs, and traced placements are bit-identical to
+        a cold ``Solver.gather`` on the new network, computed in
+        O(depth · k² · |delta|) instead of O(n · k²): only the columns of
+        the delta switches and their ancestors are re-convolved
+        (:func:`repro.core.engine.repair`).
+
+        The repaired artifact records its lineage (:attr:`repaired_from`,
+        :attr:`repair_generation`) and can itself be repaired again.
+
+        Raises
+        ------
+        RepairError
+            When the repair would be unsound — the table's engine has no
+            registered repairer (``"reference"``), the result carries no
+            flat tensors, or the delta changes the effective budget
+            (|Λ| crossing the requested ``k`` changes the tensor width).
+            Callers fall back to a cold gather.
+        """
+        flips = frozenset(delta)
+        new_tree = self.tree.with_available(self.tree.available ^ flips)
+        result = run_repair(self.result, new_tree, engine=self.engine)
+        return GatherTable(
+            result=result,
+            tree=new_tree,
+            engine=self.engine,
+            exact_k=self.exact_k,
+            color=self.color,
+            fingerprint=new_tree.fingerprint(),
+            cost_kernel=self.cost_kernel,
+            repaired_from=self.fingerprint,
+            repair_generation=self.repair_generation + 1,
+        )
 
 
 @dataclass(frozen=True)

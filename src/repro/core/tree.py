@@ -109,6 +109,20 @@ class IncrementalDigest:
         clone._combined = self._combined
         return clone
 
+    @classmethod
+    def from_hexdigest(cls, hexdigest: str) -> "IncrementalDigest":
+        """Resume a digest from a previously recorded :meth:`hexdigest`.
+
+        The hex form is the combined group element verbatim, so a resumed
+        digest behaves exactly like a :meth:`copy` of the instance that
+        produced it — this is what lets :meth:`TreeNetwork.with_available`
+        patch a memoized Λ fingerprint by the delta instead of re-digesting
+        the whole set.
+        """
+        clone = cls()
+        clone._combined = int(hexdigest, 16) % _COMBINE_MODULUS
+        return clone
+
     def hexdigest(self) -> str:
         """Current combined digest (64 hex chars)."""
         return format(self._combined, f"0{_COMBINE_BITS // 4}x")
@@ -703,14 +717,64 @@ class TreeNetwork:
         )
 
     def with_available(self, available: Iterable[NodeId] | None) -> "TreeNetwork":
-        """Return a copy of the network with a different availability set Λ."""
-        return TreeNetwork(
-            self._parents,
-            rates=self._rates,
-            loads=self._loads,
-            available=available,
-            destination=self._destination,
-        )
+        """Return a copy of the network with a different availability set Λ.
+
+        The copy *structurally shares* every Λ-independent attribute with
+        ``self`` — parents, children, rates, loads, depths, cumulative
+        path costs, the post-order — instead of re-running the O(n)
+        constructor: none of them can change when only Λ does, all of
+        them are treated as immutable after construction, and the churn
+        hot path (one availability flip per drain, repaired rather than
+        re-gathered) calls this per request.  Only the new Λ itself is
+        validated.
+
+        Fingerprint memos ride along the same way: structure and loads
+        are unaffected by Λ, so their cached digests transfer verbatim,
+        and a memoized availability fingerprint is *patched by the
+        delta* — the :class:`IncrementalDigest` is resumed from the
+        cached hex value and the added/removed switches are folded
+        in/out, O(|delta|) instead of O(|Λ|).  :func:`fingerprint_nodes`
+        remains the ground truth the patched digest is equivalent to
+        (the combine is order-independent and every ``add`` has an exact
+        inverse), which the test-suite pins against the full recompute.
+        """
+        if available is None:
+            available_set = frozenset(self._parents)
+        else:
+            available_set = frozenset(available)
+            unknown = available_set - set(self._parents)
+            if unknown:
+                raise AvailabilityError(
+                    f"availability set references unknown switches: "
+                    f"{sorted(map(repr, unknown))}"
+                )
+        clone = object.__new__(TreeNetwork)
+        clone._destination = self._destination
+        clone._parents = self._parents
+        clone._root = self._root
+        clone._children = self._children
+        clone._rates = self._rates
+        clone._rho = self._rho
+        clone._loads = self._loads
+        clone._available = available_set
+        clone._depth = self._depth
+        clone._cum_rho = self._cum_rho
+        clone._postorder = self._postorder
+        clone._height = self._height
+        clone._fingerprints = {}
+        for key in ("structure", "loads"):
+            cached = self._fingerprints.get(key)
+            if cached is not None:
+                clone._fingerprints[key] = cached
+        cached = self._fingerprints.get("available")
+        if cached is not None:
+            digest = IncrementalDigest.from_hexdigest(cached)
+            for node in self._available - clone._available:
+                digest.remove(repr(node))
+            for node in clone._available - self._available:
+                digest.add(repr(node))
+            clone._fingerprints["available"] = digest.hexdigest()
+        return clone
 
     def with_rates(self, rates: Mapping[NodeId, float]) -> "TreeNetwork":
         """Return a copy of the network with different link rates.

@@ -81,6 +81,20 @@ class SemanticsMismatchError(TableMismatchError):
     """
 
 
+class RepairError(TableMismatchError):
+    """A gather table cannot be delta-repaired to the requested network.
+
+    Incremental repair (:meth:`repro.core.solver.GatherTable.repair`)
+    splices recomputed DP slabs into a clone of the cached flat tensors,
+    which is only sound when the target network differs from the gather's
+    network in *availability alone* and the effective budget (the tensor
+    width) is unchanged.  Structure or load differences, a delta that
+    shrinks Λ below the requested budget, an engine without a registered
+    repairer, or a result carrying no flat tensors all raise this error;
+    callers fall back to a cold gather.
+    """
+
+
 class CapacityError(ReproError):
     """An online allocation violates per-switch aggregation capacity."""
 

@@ -72,6 +72,8 @@ ROW_COLUMNS: tuple[str, ...] = (
     "warm_speedup_vs_pr3",
     "warm_path_speedup",
     "concurrent_speedup",
+    "repairs",
+    "repair_hits",
     "verified",
     "engine",
 )

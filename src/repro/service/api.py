@@ -93,7 +93,7 @@ from typing import TYPE_CHECKING
 from repro.core.color import DEFAULT_COLOR
 from repro.core.cost import COST_KERNELS, DEFAULT_COST
 from repro.core.engine import DEFAULT_ENGINE, ENGINES
-from repro.core.solver import Solver
+from repro.core.solver import GatherTable, Solver
 from repro.core.tree import (
     NodeId,
     TreeNetwork,
@@ -103,6 +103,7 @@ from repro.exceptions import (
     CapacityError,
     InvalidBudgetError,
     PersistenceError,
+    RepairError,
     ReproError,
     WorkloadError,
 )
@@ -432,6 +433,13 @@ class PlacementService:
         Cost kernel placements' achieved utilization is recomputed with
         (see :data:`repro.core.cost.COST_KERNELS`); the flat default is
         the other half of the cheap warm hit.
+    max_repair_delta:
+        Cache policy knob for incremental gather-table repair: the largest
+        availability delta (switch flips) an availability miss may bridge
+        by delta-repairing a cached table instead of re-gathering, and the
+        switch between repair-instead-of-invalidate (``> 0``) and the
+        historical invalidate-on-drain behaviour (``0``).  See
+        :mod:`repro.service.cache`.
     """
 
     def __init__(
@@ -443,6 +451,7 @@ class PlacementService:
         color: str = DEFAULT_COLOR,
         cost_kernel: str = DEFAULT_COST,
         journal: "Journal | None" = None,
+        max_repair_delta: int = 8,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(
@@ -454,7 +463,9 @@ class PlacementService:
                 f"expected one of {sorted(COST_KERNELS)}"
             )
         self._state = FleetState(tree, capacity)
-        self._cache = GatherTableCache(max_entries=cache_entries)
+        self._cache = GatherTableCache(
+            max_entries=cache_entries, max_repair_delta=max_repair_delta
+        )
         self._engine = engine
         self._color = color
         self._cost_kernel = cost_kernel
@@ -637,13 +648,20 @@ class PlacementService:
 
         table = self._cache.lookup(key, effective)
         if table is None:
-            source = "gather"
             planned = self._planned_budgets.get((loads_fp, exact_k), 0)
             stored = self._cache.stored_budget(key) or 0
             gather_budget = max(effective, planned, stored)
-            workload_tree = self._workload_tree(loads)
-            table = self._solvers[exact_k].gather(workload_tree, gather_budget)
-            self._cache.store(key, table)
+            # Availability miss: before paying a cold O(n·k²) gather, try
+            # delta-repairing the nearest cached same-workload table — the
+            # post-churn fast path (O(depth·k²·|delta|), bit-identical).
+            table = self._repair_from_neighbor(key, gather_budget)
+            if table is not None:
+                source = "repair"
+            else:
+                source = "gather"
+                workload_tree = self._workload_tree(loads)
+                table = self._solvers[exact_k].gather(workload_tree, gather_budget)
+                self._cache.store(key, table)
         else:
             source = "table"
 
@@ -665,6 +683,31 @@ class PlacementService:
             cache_hit=source == "table",
             cache_source=source,
         )
+
+    def _repair_from_neighbor(
+        self, key: CacheKey, budget: int
+    ) -> GatherTable | None:
+        """Answer an availability miss by delta-repairing a cached table.
+
+        Asks the cache for the nearest same-family candidate (same
+        structure, loads, semantics, engine — differing from the live Λ in
+        at most ``max_repair_delta`` switch flips), splices the delta into
+        a clone of its tensors, and stores the repaired table under the
+        missed key.  Returns ``None`` when no candidate qualifies or the
+        engine-level repair refuses (:class:`~repro.exceptions.RepairError`
+        — e.g. no repairer for the engine); the caller then cold-gathers.
+        """
+        candidate = self._cache.repair_candidate(key, budget, self.available())
+        if candidate is None:
+            return None
+        source_table, delta = candidate
+        try:
+            repaired = source_table.repair(delta)
+        except RepairError:
+            return None
+        self._cache.store(key, repaired)
+        self._cache.note_repair()
+        return repaired
 
     # ------------------------------------------------------------------ #
     # request handlers
@@ -805,7 +848,15 @@ class PlacementService:
         """
         start = time.perf_counter()
         displaced = self._state.drain(request.switch)
-        invalidated = self._cache.invalidate_switches({request.switch})
+        if self._cache.repair_enabled:
+            # Repair-instead-of-invalidate: entries mentioning the drained
+            # switch stay cached — each is a repair source exactly one
+            # availability flip away from the post-drain Λ, so the displaced
+            # tenants below (and follow-up solves) delta-repair instead of
+            # paying cold gathers.  They age out through the LRU as usual.
+            invalidated = 0
+        else:
+            invalidated = self._cache.invalidate_switches({request.switch})
         replacements: list[Replacement] = []
         failures: list[DrainFailure] = []
         for record in displaced:

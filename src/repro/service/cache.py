@@ -53,7 +53,36 @@ Entries evict in LRU order beyond ``max_entries``.  Invalidation exists for
 *reachability*, not correctness: after a drain, Λ can never again contain
 the drained switch, so every entry whose availability set mentions it is
 dead weight — :meth:`invalidate_switches` drops exactly those entries and
-leaves the rest untouched.
+leaves the rest untouched.  A switch → keys reverse index (maintained by
+every store/evict/invalidate) makes that O(affected entries) instead of a
+scan over every entry's whole Λ.
+
+Repair versus invalidate
+------------------------
+Availability churn used to be a hard boundary: a changed Λ changes the
+key, so every admit/release/drain turned the next solve per workload into
+a cold O(n · k²) gather — and drains additionally *deleted* the affected
+entries outright.  Delta repair replaces both behaviours.  On an
+availability miss, :meth:`repair_candidate` looks for the nearest cached
+table of the same *family* — identical structure, loads, semantics, and
+engine, differing only in Λ — and returns it together with the symmetric
+difference between its recorded Λ and the live one.  The service then
+splices that delta into the cached tensors via
+:meth:`repro.core.solver.GatherTable.repair` (O(depth · k² · |delta|),
+bit-identical to a cold gather) and stores the result under the missed
+key.  Under the same policy a drain *keeps* the entries mentioning the
+drained switch: each is now a repair source one switch away from the
+post-drain Λ, which is exactly the delta repair was built for (they still
+evict LRU-wise once stale enough).
+
+The policy knob is ``max_repair_delta``: candidates further than that many
+switch flips away are ignored (a large delta approaches cold-gather cost),
+and ``0`` disables repair entirely, restoring the historical
+invalidate-on-drain behaviour.  Candidates whose tensor width would change
+(the delta moves |Λ| across the requested budget) or whose stored budget
+cannot answer the request are skipped; :class:`CacheStats` counts
+candidate matches (``repair_hits``) and completed repairs (``repairs``)
+separately so a silent fallback to cold gathers is observable.
 
 Concurrency
 -----------
@@ -106,6 +135,13 @@ class CacheStats:
     budget_upcasts: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Availability misses for which :meth:`GatherTableCache.repair_candidate`
+    #: found a repairable neighbour (counted at candidate time).
+    repair_hits: int = 0
+    #: Delta repairs actually completed and stored (``note_repair``).  A
+    #: ``repair_hits`` > ``repairs`` gap means candidates were found but the
+    #: repair itself fell back to a cold gather.
+    repairs: int = 0
 
     @property
     def hits(self) -> int:
@@ -131,6 +167,8 @@ class CacheStats:
             "budget_upcasts": self.budget_upcasts,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "repair_hits": self.repair_hits,
+            "repairs": self.repairs,
             "hit_rate": self.hit_rate,
         }
 
@@ -151,6 +189,16 @@ class _Entry:
         return self.table.tree.available
 
 
+#: Everything of a :class:`CacheKey` except the availability fingerprint —
+#: two entries in the same family describe the same gather under different
+#: Λ's, i.e. exactly the pairs delta repair can bridge.
+_FamilyKey = tuple[str, str, bool, str]
+
+
+def _family_of(key: CacheKey) -> _FamilyKey:
+    return (key.structure, key.loads, key.exact_k, key.engine)
+
+
 class GatherTableCache:
     """LRU cache of gather tables with budget upcasting and a solution memo.
 
@@ -159,13 +207,29 @@ class GatherTableCache:
     max_entries:
         Maximum number of gather results kept (each entry's solution memo
         rides along with it).  The oldest-used entry evicts first.
+    max_repair_delta:
+        Largest availability delta (switch flips) :meth:`repair_candidate`
+        will bridge with an incremental repair; ``0`` disables repair (see
+        the module docstring).
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(self, max_entries: int = 64, max_repair_delta: int = 8) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_repair_delta < 0:
+            raise ValueError(
+                f"max_repair_delta must be non-negative, got {max_repair_delta}"
+            )
         self._max_entries = int(max_entries)
+        self._max_repair_delta = int(max_repair_delta)
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        # switch -> keys whose Λ contains it: makes drain invalidation
+        # O(affected entries) instead of O(cache size · |Λ|).
+        self._switch_index: dict[NodeId, set[CacheKey]] = {}
+        # family -> keys, insertion-ordered: the candidate pool of
+        # repair_candidate (every same-family entry differs from the target
+        # in availability alone).
+        self._families: dict[_FamilyKey, OrderedDict[CacheKey, None]] = {}
         self.stats = CacheStats()
         # One mutex over the LRU book-keeping and the stats counters.  The
         # cached GatherTable artifacts themselves are immutable, so the
@@ -185,6 +249,44 @@ class GatherTableCache:
     @property
     def max_entries(self) -> int:
         return self._max_entries
+
+    @property
+    def max_repair_delta(self) -> int:
+        return self._max_repair_delta
+
+    @property
+    def repair_enabled(self) -> bool:
+        """Whether the repair-instead-of-invalidate policy is active."""
+        return self._max_repair_delta > 0
+
+    # ------------------------------------------------------------------ #
+    # index maintenance (callers hold self._lock)
+    # ------------------------------------------------------------------ #
+
+    def _index_entry(self, key: CacheKey, entry: _Entry) -> None:
+        for switch in entry.available:
+            self._switch_index.setdefault(switch, set()).add(key)
+        self._families.setdefault(_family_of(key), OrderedDict())[key] = None
+
+    def _unindex_entry(self, key: CacheKey, entry: _Entry) -> None:
+        for switch in entry.available:
+            keys = self._switch_index.get(switch)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._switch_index[switch]
+        family = _family_of(key)
+        members = self._families.get(family)
+        if members is not None:
+            members.pop(key, None)
+            if not members:
+                del self._families[family]
+
+    def _remove_entry(self, key: CacheKey) -> _Entry | None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._unindex_entry(key, entry)
+        return entry
 
     def keys(self) -> tuple[CacheKey, ...]:
         """Current keys, least-recently-used first (for tests/diagnostics)."""
@@ -262,7 +364,7 @@ class GatherTableCache:
         so either winner serves the same answers).
         """
         with self._lock:
-            previous = self._entries.pop(key, None)
+            previous = self._remove_entry(key)
             if previous is not None and previous.table.budget > table.budget:
                 table = previous.table
             entry = _Entry(table=table)
@@ -271,8 +373,10 @@ class GatherTableCache:
                 # so the memoized traces stay valid.
                 entry.solutions.update(previous.solutions)
             self._entries[key] = entry
+            self._index_entry(key, entry)
             while len(self._entries) > self._max_entries:
-                self._entries.popitem(last=False)
+                oldest = next(iter(self._entries))
+                self._remove_entry(oldest)
                 self.stats.evictions += 1
 
     def store_solution(
@@ -288,25 +392,90 @@ class GatherTableCache:
                 entry.solutions[budget] = solution
 
     # ------------------------------------------------------------------ #
+    # repair
+    # ------------------------------------------------------------------ #
+
+    def repair_candidate(
+        self,
+        key: CacheKey,
+        budget: int,
+        available: frozenset[NodeId],
+    ) -> tuple[GatherTable, frozenset[NodeId]] | None:
+        """The nearest cached table repairable to ``key``'s availability.
+
+        Scans the entries of ``key``'s family (same structure, loads,
+        semantics, and engine — candidates differ from the live network in
+        Λ alone) and returns ``(table, delta)`` for the one whose recorded
+        Λ is the fewest switch flips from ``available``, or ``None`` when
+        no candidate qualifies.  ``delta`` is the symmetric difference to
+        feed :meth:`repro.core.solver.GatherTable.repair`.
+
+        A candidate qualifies only when the repair is sound and worthwhile:
+        the delta is non-empty and at most ``max_repair_delta`` flips, the
+        stored table can answer the requested effective ``budget``, and the
+        repaired table's effective budget would keep the stored tensor
+        width (``min(requested_budget, |Λ|)`` unchanged — the engine-level
+        repair enforces the same and would refuse otherwise).  Ties on
+        delta size keep the earliest-stored candidate.  A returned
+        candidate counts as a ``repair_hit`` and refreshes the source
+        entry's LRU position (it is doing useful work).
+        """
+        if not self.repair_enabled:
+            return None
+        with self._lock:
+            members = self._families.get(_family_of(key))
+            if not members:
+                return None
+            best_key: CacheKey | None = None
+            best_table: GatherTable | None = None
+            best_delta: frozenset[NodeId] | None = None
+            for other_key in members:
+                if other_key == key:
+                    # The same key missed (absent or too narrow); there is
+                    # nothing a zero-delta repair could add.
+                    continue
+                table = self._entries[other_key].table
+                if table.budget < budget:
+                    continue
+                if min(int(table.requested_budget), len(available)) != table.budget:
+                    continue
+                delta = self._entries[other_key].available ^ available
+                if not delta or len(delta) > self._max_repair_delta:
+                    continue
+                if best_delta is None or len(delta) < len(best_delta):
+                    best_key, best_table, best_delta = other_key, table, delta
+            if best_key is None or best_table is None or best_delta is None:
+                return None
+            self._entries.move_to_end(best_key)
+            self.stats.repair_hits += 1
+            return best_table, best_delta
+
+    def note_repair(self) -> None:
+        """Count one completed delta repair (the repaired table was stored)."""
+        with self._lock:
+            self.stats.repairs += 1
+
+    # ------------------------------------------------------------------ #
     # invalidation
     # ------------------------------------------------------------------ #
 
     def invalidate_switches(self, switches: frozenset[NodeId] | set[NodeId]) -> int:
         """Drop entries whose Λ intersects ``switches``; return the count.
 
-        Used after a drain: Λ will never again contain a drained switch, so
-        entries gathered under an availability set mentioning it can never
-        be looked up again.  Entries whose Λ already excluded the switches
-        (gathered while they were saturated) are untouched and stay live.
+        Used after a drain when repair is disabled: Λ will never again
+        contain a drained switch, so entries gathered under an availability
+        set mentioning it can never be looked up again *verbatim*.  (Under
+        the repair policy the service keeps them as repair sources instead
+        — see the module docstring.)  Entries whose Λ already excluded the
+        switches are untouched and stay live.  The switch → keys reverse
+        index makes this O(affected entries), not a scan of every Λ.
         """
         with self._lock:
-            doomed = [
-                key
-                for key, entry in self._entries.items()
-                if entry.available & switches
-            ]
+            doomed: set[CacheKey] = set()
+            for switch in switches:
+                doomed |= self._switch_index.get(switch, set())
             for key in doomed:
-                del self._entries[key]
+                self._remove_entry(key)
             self.stats.invalidations += len(doomed)
             return len(doomed)
 
@@ -315,5 +484,7 @@ class GatherTableCache:
         with self._lock:
             count = len(self._entries)
             self._entries.clear()
+            self._switch_index.clear()
+            self._families.clear()
             self.stats.invalidations += count
             return count

@@ -109,6 +109,12 @@ class ReplayReport:
     engine: str
     workers: int = 1
     mode: str = "serial"
+    #: Cache counters captured after the replay: completed delta repairs and
+    #: repair-candidate matches (see :class:`repro.service.cache.CacheStats`).
+    #: ``repair_hits == 0`` over a churn trace means the repair path never
+    #: engaged — the CI smoke asserts it did.
+    repairs: int = 0
+    repair_hits: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -218,6 +224,8 @@ class ReplayReport:
             "table_hit_mean_ms": 1e3 * self.table_hit_mean_s,
             "memo_hit_mean_ms": 1e3 * self.memo_hit_mean_s,
             "warm_speedup": self.warm_speedup,
+            "repairs": self.repairs,
+            "repair_hits": self.repair_hits,
             "verified": self.verified,
             "engine": self.engine,
         }
@@ -664,6 +672,9 @@ def replay_trace(
         records, wall, verified = _replay_process(
             service, tree, events, requests, workers, cache_entries, verify
         )
+        # Repair counters reflect the coordinating service only: the
+        # read-only fan-out runs in replica processes whose caches (and
+        # counters) are private to them.
         return ReplayReport(
             records=records,
             wall_s=wall,
@@ -671,6 +682,8 @@ def replay_trace(
             engine=service.engine,
             workers=workers,
             mode="process",
+            repairs=service.cache.stats.repairs,
+            repair_hits=service.cache.stats.repair_hits,
         )
 
     records: list[ReplayRecord] = []
@@ -747,4 +760,6 @@ def replay_trace(
         engine=service.engine,
         workers=workers,
         mode="serial" if workers == 1 else "thread",
+        repairs=service.cache.stats.repairs,
+        repair_hits=service.cache.stats.repair_hits,
     )

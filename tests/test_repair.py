@@ -1,0 +1,300 @@
+"""Differential verification of incremental gather-table repair (PR 9).
+
+A repaired table must be *bit-identical* to a cold gather at the new
+availability — tables, argmin breadcrumbs, traced placements, costs — on
+both backend legs (numpy flat and compiled), for chains of
+repair-of-repair, and for every budget semantics.  Where repair is
+unsound (structure or load changes, a shifted effective budget, results
+without flat tensors) it must refuse with
+:class:`~repro.exceptions.RepairError` so callers fall back to a cold
+gather instead of serving a wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.color import soar_color, soar_color_batched
+from repro.core.engine import REPAIRERS, flat_gather, gather, repair
+from repro.core.engine_compiled import HAVE_COMPILED, compiled_gather
+from repro.core.flat import LazyNodeTables, dirty_ancestor_positions
+from repro.core.solver import Solver
+from repro.exceptions import AvailabilityError, RepairError
+from repro.testing import (
+    assert_tables_equal,
+    instance_stream,
+    near_tie_stream,
+)
+from repro.topology.binary_tree import bt_network
+from repro.workload.distributions import PowerLawLoadDistribution, sample_leaf_loads
+
+requires_compiled = pytest.mark.skipif(
+    not HAVE_COMPILED, reason="C backend unavailable (no compiler); numpy fallback active"
+)
+
+#: Engines with a registered repairer; "compiled" stays registered under the
+#: numpy fallback (REPRO_NO_COMPILED or no compiler), so both legs always run.
+REPAIR_ENGINES = ("flat", "compiled")
+
+COLD_GATHERS = {"flat": flat_gather, "compiled": compiled_gather}
+
+
+def _random_delta(rng, tree, max_flips=3):
+    """A random non-empty availability delta over the tree's switches."""
+    switches = list(tree.switches)
+    flips = int(rng.integers(1, min(max_flips, len(switches)) + 1))
+    picks = rng.choice(len(switches), size=flips, replace=False)
+    return frozenset(switches[int(p)] for p in picks)
+
+
+def _assert_repair_matches_cold(engine, result, new_tree):
+    """Repair ``result`` towards ``new_tree`` and compare to a cold gather."""
+    repaired = repair(result, new_tree)
+    cold = COLD_GATHERS[engine](
+        new_tree, result.requested_budget, exact_k=result.exact_k
+    )
+    assert repaired.engine == engine
+    assert_tables_equal(cold, repaired)
+    assert soar_color(new_tree, repaired) == soar_color(new_tree, cold)
+    assert soar_color_batched(new_tree, repaired) == soar_color_batched(new_tree, cold)
+    for budget in range(result.budget + 1):
+        assert repaired.cost_for_budget(budget) == cold.cost_for_budget(budget)
+    return repaired
+
+
+class TestRepairBitIdentity:
+    """Repair equals cold gather on seeded instance streams, both legs."""
+
+    @pytest.mark.parametrize("engine", REPAIR_ENGINES)
+    @pytest.mark.parametrize("exact_k", [False, True])
+    def test_instance_stream(self, engine, exact_k):
+        rng = np.random.default_rng(90210 + int(exact_k))
+        repaired_count = 0
+        for tree, budget in instance_stream(
+            seed=4590 + int(exact_k), count=30, max_switches=12
+        ):
+            result = gather(tree, budget, exact_k=exact_k, engine=engine)
+            delta = _random_delta(rng, tree)
+            new_tree = tree.with_available(tree.available ^ delta)
+            try:
+                _assert_repair_matches_cold(engine, result, new_tree)
+            except RepairError:
+                # Legitimate refusal: the delta moved |Λ| across the
+                # requested budget, so the tensor width changed.
+                assert min(budget, len(new_tree.available)) != result.budget
+                continue
+            repaired_count += 1
+        assert repaired_count >= 15  # the stream must mostly exercise repair
+
+    @pytest.mark.parametrize("engine", REPAIR_ENGINES)
+    def test_near_tie_stream(self, engine):
+        # Symmetric rates and loads make every argmin a tie-break — where
+        # a repair replaying the convolution in a different order would
+        # diverge first.
+        rng = np.random.default_rng(777)
+        repaired_count = 0
+        for tree, budget in near_tie_stream(seed=9182, count=20, max_switches=12):
+            result = gather(tree, budget, engine=engine)
+            delta = _random_delta(rng, tree)
+            new_tree = tree.with_available(tree.available ^ delta)
+            try:
+                _assert_repair_matches_cold(engine, result, new_tree)
+            except RepairError:
+                assert min(budget, len(new_tree.available)) != result.budget
+                continue
+            repaired_count += 1
+        assert repaired_count >= 10
+
+    @pytest.mark.parametrize("engine", REPAIR_ENGINES)
+    def test_chained_repairs_track_cold_gathers(self, engine):
+        """Satellite: 50+ chained repair-of-repair steps stay bit-identical.
+
+        The table is only ever repaired (never re-gathered), so any drift
+        — a stale breadcrumb, a missed ancestor, an un-repaired don't-care
+        cell that later becomes load-bearing — compounds and surfaces as a
+        mismatch against the per-step cold gather.
+        """
+        rng = np.random.default_rng(1123)
+        tree = bt_network(32)
+        loads = sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=7)
+        workload = tree.with_loads(loads)
+        budget = 4
+        floor = budget + 4  # keep |Λ| clear of the budget so repair stays sound
+
+        solver = Solver(engine=engine)
+        table = solver.gather(workload, budget)
+        assert table.repair_generation == 0 and table.repaired_from is None
+
+        current = workload
+        generation = 0
+        for _ in range(60):
+            delta = _random_delta(rng, current)
+            available = current.available ^ delta
+            if len(available) < floor:
+                delta = frozenset(delta - current.available)  # adds only
+                if not delta:
+                    continue
+                available = current.available | delta
+            previous_fingerprint = table.fingerprint
+            table = table.repair(delta)
+            current = table.tree
+            generation += 1
+            assert current.available == available
+            assert table.repair_generation == generation
+            assert table.repaired_from == previous_fingerprint
+            cold = solver.gather(tree.with_loads(loads, available=available), budget)
+            assert_tables_equal(cold.result, table.result)
+            assert cold.place(budget).blue_nodes == table.place(budget).blue_nodes
+            assert cold.place(budget).cost == table.place(budget).cost
+        assert table.repair_generation >= 50
+
+    def test_numpy_fallback_leg_bit_identical(self):
+        """Satellite: the compiled registry entry repairs under the numpy
+        fallback too (fresh interpreter, REPRO_NO_COMPILED=1)."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_NO_COMPILED="1")
+        script = (
+            "import numpy as np\n"
+            "from repro.core.engine_compiled import HAVE_COMPILED\n"
+            "from repro.core.engine import REPAIRERS, gather, repair\n"
+            "from repro.testing import assert_tables_equal, instance_stream\n"
+            "assert not HAVE_COMPILED\n"
+            "assert set(REPAIRERS) == {'flat', 'compiled'}\n"
+            "rng = np.random.default_rng(5)\n"
+            "checked = 0\n"
+            "for tree, budget in instance_stream(seed=31, count=10, max_switches=10):\n"
+            "    switches = list(tree.switches)\n"
+            "    pick = switches[int(rng.integers(len(switches)))]\n"
+            "    new_tree = tree.with_available(tree.available ^ {pick})\n"
+            "    result = gather(tree, budget, engine='compiled')\n"
+            "    try:\n"
+            "        repaired = repair(result, new_tree)\n"
+            "    except Exception:\n"
+            "        continue\n"
+            "    cold = gather(new_tree, budget, engine='compiled')\n"
+            "    assert_tables_equal(cold, repaired)\n"
+            "    checked += 1\n"
+            "assert checked >= 5\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", script], check=True, env=env, cwd="/root/repo"
+        )
+
+
+class TestRepairRefusals:
+    """Unsound repairs must raise RepairError, never return wrong tables."""
+
+    @pytest.fixture()
+    def workload(self):
+        tree = bt_network(8)
+        loads = sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=3)
+        return tree.with_loads(loads)
+
+    def test_reference_engine_has_no_repairer(self, workload):
+        result = gather(workload, 2, engine="reference")
+        new_tree = workload.with_available(
+            workload.available - {next(iter(sorted(workload.available)))}
+        )
+        with pytest.raises(RepairError, match="reference"):
+            repair(result, new_tree)
+
+    def test_repairer_registry_matches_flat_backends(self):
+        assert set(REPAIRERS) == {"flat", "compiled"}
+
+    def test_load_change_refused(self, workload):
+        result = flat_gather(workload, 2)
+        leaves = [s for s in workload.switches if not workload.children(s)]
+        patched = workload.with_loads(
+            {**workload.loads, leaves[0]: workload.loads[leaves[0]] + 1}
+        )
+        with pytest.raises(RepairError, match="load"):
+            repair(result, patched)
+
+    def test_structure_change_refused(self, workload):
+        result = flat_gather(workload, 2)
+        other = bt_network(16)
+        other = other.with_loads(
+            sample_leaf_loads(other, PowerLawLoadDistribution(), rng=3)
+        )
+        with pytest.raises(RepairError, match="structure"):
+            repair(result, other)
+
+    def test_effective_budget_shift_refused(self, workload):
+        # |Λ| = 3 with requested budget 5 → effective 3; removing one more
+        # available switch narrows the tensor width, so repair must refuse.
+        small = workload.with_available(sorted(workload.available)[:3])
+        result = flat_gather(small, 5)
+        assert result.budget == 3
+        shrunk = small.with_available(sorted(small.available)[:2])
+        with pytest.raises(RepairError, match="budget"):
+            repair(result, shrunk)
+
+    def test_non_switch_delta_refused(self, workload):
+        result = flat_gather(workload, 2)
+        with pytest.raises(RepairError, match="switch"):
+            dirty_ancestor_positions(
+                workload, result.flat.index, {"no-such-switch"}
+            )
+
+    def test_table_repair_with_unknown_switch(self, workload):
+        table = Solver().gather(workload, 2)
+        with pytest.raises(AvailabilityError):
+            table.repair({"no-such-switch"})
+
+
+class TestLazyNodeTables:
+    """The repaired result's table mapping materializes views on demand."""
+
+    @pytest.fixture()
+    def repaired(self):
+        tree = bt_network(8)
+        loads = sample_leaf_loads(tree, PowerLawLoadDistribution(), rng=11)
+        workload = tree.with_loads(loads)
+        result = flat_gather(workload, 3)
+        switch = sorted(workload.available)[0]
+        new_tree = workload.with_available(workload.available ^ {switch})
+        return repair(result, new_tree), flat_gather(new_tree, 3)
+
+    def test_is_lazy_and_complete(self, repaired):
+        lazy, cold = repaired
+        tables = lazy.tables
+        assert isinstance(tables, LazyNodeTables)
+        assert dict.__len__(tables) == 0  # nothing materialized up front
+        assert len(tables) == len(cold.tables)
+        assert set(tables) == set(cold.tables)
+
+    def test_access_materializes_and_caches(self, repaired):
+        lazy, _ = repaired
+        tables = lazy.tables
+        node = lazy.root
+        first = tables[node]
+        assert dict.__len__(tables) == 1
+        assert tables[node] is first  # cached, not rebuilt
+
+    def test_get_and_contains(self, repaired):
+        lazy, _ = repaired
+        tables = lazy.tables
+        node = lazy.root
+        assert node in tables
+        assert "no-such-node" not in tables
+        assert tables.get("no-such-node") is None
+        assert tables.get("no-such-node", "sentinel") == "sentinel"
+        assert tables.get(node) is tables[node]
+
+    def test_views_match_cold_tables(self, repaired):
+        lazy, cold = repaired
+        assert_tables_equal(cold, lazy)
+
+    def test_mapping_protocol_materializes(self, repaired):
+        lazy, cold = repaired
+        tables = lazy.tables
+        assert sorted(tables.keys()) == sorted(cold.tables.keys())
+        assert len(list(tables.values())) == len(cold.tables)
+        assert {k for k, _ in tables.items()} == set(cold.tables)
+        # Equality against a same-valued dict works via the dict identity
+        # shortcut once materialized.
+        assert tables == dict(tables.items())

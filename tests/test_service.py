@@ -21,7 +21,12 @@ import pytest
 
 from repro.core.solver import Solver
 from repro.core.tree import fingerprint_loads, fingerprint_nodes
-from repro.exceptions import CapacityError, InvalidBudgetError, WorkloadError
+from repro.exceptions import (
+    AvailabilityError,
+    CapacityError,
+    InvalidBudgetError,
+    WorkloadError,
+)
 from repro.online.capacity import CapacityTracker
 from repro.service import (
     AdmitRequest,
@@ -91,6 +96,43 @@ class TestFingerprints:
     def test_availability_fingerprint_matches_nodes_digest(self):
         tree = complete_binary_tree(4)
         assert tree.availability_fingerprint() == fingerprint_nodes(tree.switches)
+
+    def test_with_available_patches_digest_by_delta(self):
+        # Satellite: with_available resumes the memoized IncrementalDigest
+        # and folds the delta in/out instead of recomputing over Λ.  The
+        # patched digest must equal the from-scratch digest of the new Λ —
+        # for removals, additions, mixed flips, and chains of them.
+        tree = complete_binary_tree(8, leaf_loads=[1, 2, 3, 4, 5, 6, 7, 8])
+        tree.fingerprint()  # memoize all digests so the patch path runs
+        switches = sorted(tree.switches)
+        current = tree
+        rng = np.random.default_rng(8)
+        for _ in range(12):
+            flips = frozenset(
+                switches[int(p)]
+                for p in rng.choice(len(switches), size=int(rng.integers(1, 4)), replace=False)
+            )
+            current = current.with_available(current.available ^ flips)
+            fresh = complete_binary_tree(8, leaf_loads=[1, 2, 3, 4, 5, 6, 7, 8]).with_loads(
+                current.loads, available=current.available
+            )
+            assert current.availability_fingerprint() == fresh.availability_fingerprint()
+            assert current.fingerprint() == fresh.fingerprint()
+            assert current.availability_fingerprint() == fingerprint_nodes(
+                current.available
+            )
+
+    def test_with_available_shares_structure(self):
+        # with_available must not pay the O(n) constructor: the clone
+        # shares every Λ-independent attribute and only swaps Λ.
+        tree = complete_binary_tree(8)
+        clone = tree.with_available(sorted(tree.available)[:5])
+        assert clone.switches is tree.switches
+        assert clone.loads == tree.loads
+        assert clone.height == tree.height
+        assert clone.available == frozenset(sorted(tree.available)[:5])
+        with pytest.raises(AvailabilityError):
+            tree.with_available(["not-a-switch"])
 
 
 # --------------------------------------------------------------------------- #
@@ -172,11 +214,17 @@ class _FakeTree:
 
 
 class _FakeTable:
-    """Stand-in for a GatherTable: the cache only reads ``budget`` and
-    the Λ of the table's own workload network."""
+    """Stand-in for a GatherTable: the cache only reads ``budget``,
+    ``requested_budget``, and the Λ of the table's own workload network."""
 
-    def __init__(self, budget: int, available: frozenset = frozenset()) -> None:
+    def __init__(
+        self,
+        budget: int,
+        available: frozenset = frozenset(),
+        requested_budget: int | None = None,
+    ) -> None:
         self.budget = budget
+        self.requested_budget = budget if requested_budget is None else requested_budget
         self.tree = _FakeTree(frozenset(available))
 
 
@@ -243,6 +291,171 @@ class TestGatherTableCache:
     def test_rejects_nonpositive_size(self):
         with pytest.raises(ValueError):
             GatherTableCache(max_entries=0)
+
+    def test_rejects_negative_repair_delta(self):
+        with pytest.raises(ValueError):
+            GatherTableCache(max_entries=4, max_repair_delta=-1)
+
+
+def _avail_key(tag: str) -> CacheKey:
+    """Keys of one repair family: they differ in availability alone."""
+    return CacheKey(
+        structure="s", available=f"a-{tag}", loads="l", exact_k=False, engine="flat"
+    )
+
+
+def _switch_index_snapshot(cache: GatherTableCache) -> dict:
+    """White-box view of the reverse index, empty buckets dropped."""
+    return {s: set(keys) for s, keys in cache._switch_index.items() if keys}
+
+
+def _switch_index_expected(cache: GatherTableCache) -> dict:
+    """The reverse index rebuilt from the live entries (ground truth)."""
+    expected: dict = {}
+    for key, entry in cache._entries.items():
+        for switch in entry.available:
+            expected.setdefault(switch, set()).add(key)
+    return expected
+
+
+class TestSwitchIndex:
+    """Satellite: the switch→keys reverse index stays coherent with the
+    entry map across stores, upcasts, LRU evictions, and invalidations."""
+
+    def _assert_coherent(self, cache: GatherTableCache) -> None:
+        assert _switch_index_snapshot(cache) == _switch_index_expected(cache)
+
+    def test_index_tracks_store_and_replace(self):
+        cache = GatherTableCache(max_entries=4)
+        key = _avail_key("x")
+        cache.store(key, _FakeTable(2, frozenset({"a", "b"})))
+        self._assert_coherent(cache)
+        assert _switch_index_snapshot(cache) == {"a": {key}, "b": {key}}
+        # A replacement with a different Λ must drop the stale buckets.
+        cache.store(key, _FakeTable(4, frozenset({"b", "c"})))
+        self._assert_coherent(cache)
+        assert "a" not in _switch_index_snapshot(cache)
+
+    def test_index_tracks_eviction(self):
+        cache = GatherTableCache(max_entries=2)
+        first, second, third = _avail_key("1"), _avail_key("2"), _avail_key("3")
+        cache.store(first, _FakeTable(1, frozenset({"s1"})))
+        cache.store(second, _FakeTable(1, frozenset({"s2"})))
+        cache.store(third, _FakeTable(1, frozenset({"s3"})))  # evicts "1"
+        self._assert_coherent(cache)
+        assert "s1" not in _switch_index_snapshot(cache)
+
+    def test_index_tracks_invalidation(self):
+        cache = GatherTableCache(max_entries=4)
+        with_s = _avail_key("with")
+        without_s = _avail_key("without")
+        cache.store(with_s, _FakeTable(1, frozenset({"s", "t"})))
+        cache.store(without_s, _FakeTable(1, frozenset({"t"})))
+        assert cache.invalidate_switches({"s"}) == 1
+        self._assert_coherent(cache)
+        assert _switch_index_snapshot(cache) == {"t": {without_s}}
+        assert cache.invalidate_all() == 1
+        self._assert_coherent(cache)
+        assert _switch_index_snapshot(cache) == {}
+
+    def test_index_coherent_under_random_churn(self):
+        rng = np.random.default_rng(42)
+        cache = GatherTableCache(max_entries=3)
+        switches = [f"sw{i}" for i in range(6)]
+        for step in range(120):
+            op = int(rng.integers(3))
+            if op == 0:
+                tag = str(int(rng.integers(8)))
+                chosen = frozenset(
+                    s for s in switches if rng.random() < 0.5
+                )
+                cache.store(_avail_key(tag), _FakeTable(1, chosen))
+            elif op == 1:
+                cache.invalidate_switches({switches[int(rng.integers(len(switches)))]})
+            else:
+                cache.lookup(_avail_key(str(int(rng.integers(8)))), 1)
+            self._assert_coherent(cache)
+
+
+class TestRepairCandidate:
+    """The nearest-neighbor scan behind repair-instead-of-invalidate."""
+
+    def test_disabled_cache_never_offers_candidates(self):
+        cache = GatherTableCache(max_entries=4, max_repair_delta=0)
+        assert not cache.repair_enabled
+        cache.store(_avail_key("a"), _FakeTable(2, frozenset({"s"})))
+        assert cache.repair_candidate(_avail_key("b"), 2, frozenset({"s", "t"})) is None
+        assert cache.stats.repair_hits == 0
+
+    def test_smallest_delta_wins(self):
+        cache = GatherTableCache(max_entries=4)
+        near_key, far_key = _avail_key("near"), _avail_key("far")
+        near = _FakeTable(3, frozenset({"a", "b"}), requested_budget=3)
+        far = _FakeTable(3, frozenset({"a", "b", "c", "d", "e"}), requested_budget=3)
+        cache.store(far_key, far)
+        cache.store(near_key, near)
+        candidate = cache.repair_candidate(
+            _avail_key("target"), 3, frozenset({"a", "b", "c"})
+        )
+        assert candidate is not None
+        table, delta = candidate
+        assert table is near and delta == frozenset({"c"})
+        assert cache.stats.repair_hits == 1
+
+    def test_tie_keeps_earliest_stored(self):
+        cache = GatherTableCache(max_entries=4)
+        first = _FakeTable(2, frozenset({"a"}))
+        second = _FakeTable(2, frozenset({"b"}))
+        cache.store(_avail_key("first"), first)
+        cache.store(_avail_key("second"), second)
+        candidate = cache.repair_candidate(_avail_key("t"), 2, frozenset({"a", "b"}))
+        assert candidate is not None and candidate[0] is first
+
+    def test_zero_delta_and_same_key_skipped(self):
+        cache = GatherTableCache(max_entries=4)
+        key = _avail_key("same")
+        cache.store(key, _FakeTable(2, frozenset({"a"})))
+        # The key itself is skipped, and another entry at the identical Λ
+        # would be a zero-flip repair (i.e. not a repair at all).
+        assert cache.repair_candidate(key, 2, frozenset({"a"})) is None
+
+    def test_delta_above_cap_rejected(self):
+        cache = GatherTableCache(max_entries=4, max_repair_delta=1)
+        cache.store(_avail_key("far"), _FakeTable(2, frozenset({"a", "b", "c"})))
+        # Budget-sound (min(2, |{d, e}|) == 2) but five flips away.
+        assert cache.repair_candidate(_avail_key("t"), 2, frozenset({"d", "e"})) is None
+        assert cache.stats.repair_hits == 0
+
+    def test_narrow_table_rejected(self):
+        cache = GatherTableCache(max_entries=4)
+        cache.store(_avail_key("narrow"), _FakeTable(1, frozenset({"a", "b"})))
+        assert cache.repair_candidate(_avail_key("t"), 2, frozenset({"a"})) is None
+
+    def test_effective_budget_shift_rejected(self):
+        cache = GatherTableCache(max_entries=4)
+        # Stored at effective budget 4 = min(requested 4, |Λ| = 4); at the
+        # target Λ of 3 switches the effective budget would narrow to 3,
+        # so the tensor width no longer matches and repair must refuse.
+        cache.store(
+            _avail_key("wide"),
+            _FakeTable(4, frozenset({"a", "b", "c", "d"}), requested_budget=4),
+        )
+        assert (
+            cache.repair_candidate(_avail_key("t"), 3, frozenset({"a", "b", "c"}))
+            is None
+        )
+
+    def test_other_family_not_scanned(self):
+        cache = GatherTableCache(max_entries=4)
+        cache.store(_key("other-loads"), _FakeTable(2, frozenset({"a"})))
+        assert cache.repair_candidate(_avail_key("t"), 2, frozenset({"a", "b"})) is None
+
+    def test_note_repair_counts(self):
+        cache = GatherTableCache(max_entries=4)
+        cache.note_repair()
+        cache.note_repair()
+        assert cache.stats.repairs == 2
+        assert cache.stats.snapshot()["repairs"] == 2
 
 
 # --------------------------------------------------------------------------- #
@@ -347,7 +560,10 @@ class TestPlacementService:
         assert service.state.num_tenants == 1
 
     def test_drain_invalidates_only_affected_entries(self):
-        service = small_service(num_leaves=8, capacity=4)
+        # max_repair_delta=0 pins the legacy invalidate-on-drain policy;
+        # under the default repair policy drains keep the affected entries
+        # as repair sources (covered by TestCacheRepair below).
+        service = small_service(num_leaves=8, capacity=4, max_repair_delta=0)
         tree = service.state.tree
         loads_a = leaf_loads(tree, seed=1)
         loads_b = leaf_loads(tree, seed=2)
@@ -531,8 +747,9 @@ class TestPlacementService:
         # The full counter story across one scripted request sequence:
         # cold miss, memo hit, upcast (miss + budget_upcast), table hit,
         # then a drain that invalidates exactly the entries whose Λ held
-        # the switch.
-        service = small_service(num_leaves=8, capacity=4)
+        # the switch.  Repair is disabled so the drain actually invalidates
+        # (the default policy keeps entries as repair sources instead).
+        service = small_service(num_leaves=8, capacity=4, max_repair_delta=0)
         tree = service.state.tree
         loads = leaf_loads(tree)
         service.submit(SolveRequest(loads=loads, budget=2))  # cold gather
@@ -634,6 +851,87 @@ class TestPlacementService:
         # serial service pays an upcast re-gather instead.
         assert batched_service.cache.stats.budget_upcasts == 0
         assert serial_service.cache.stats.budget_upcasts >= 1
+
+
+# --------------------------------------------------------------------------- #
+# repair-instead-of-invalidate (the PR 9 tentpole at the service layer)
+# --------------------------------------------------------------------------- #
+
+
+class TestCacheRepair:
+    """Drains keep cache entries as repair sources under the default policy.
+
+    The next solve at the drained Λ is answered by delta-repairing the
+    nearest cached table instead of a cold re-gather — bit-identically to
+    the legacy invalidate-on-drain policy, which stays available via
+    ``max_repair_delta=0``.
+    """
+
+    def _churn(self, **kwargs):
+        """Solve, drain, solve, drain, solve; return the solve responses."""
+        service = small_service(num_leaves=8, capacity=4, **kwargs)
+        loads = leaf_loads(service.state.tree, seed=1)
+        responses = [service.submit(SolveRequest(loads=loads, budget=2))]
+        drains = [service.submit(DrainRequest(switch="s3_0"))]
+        responses.append(service.submit(SolveRequest(loads=loads, budget=2)))
+        drains.append(service.submit(DrainRequest(switch="s3_1")))
+        responses.append(service.submit(SolveRequest(loads=loads, budget=2)))
+        return service, responses, drains
+
+    def test_drain_keeps_entries_and_solves_repair(self):
+        service, responses, drains = self._churn()
+        # Under the repair policy drains invalidate nothing: the affected
+        # entries are one availability flip from being useful again.
+        assert [drain.invalidated_entries for drain in drains] == [0, 0]
+        assert [response.cache_source for response in responses] == [
+            "gather",
+            "repair",
+            "repair",
+        ]
+        # A repair is cheaper than a gather but it is not a cache hit.
+        assert not any(response.cache_hit for response in responses)
+        stats = service.cache.stats
+        assert stats.repair_hits == 2 and stats.repairs == 2
+        assert stats.snapshot()["repair_hits"] == 2
+
+    def test_repaired_answers_match_legacy_invalidate_policy(self):
+        _, repaired, _ = self._churn()
+        legacy_service, legacy, legacy_drains = self._churn(max_repair_delta=0)
+        # The legacy policy really does invalidate on drain...
+        assert any(drain.invalidated_entries > 0 for drain in legacy_drains)
+        assert legacy_service.cache.stats.repairs == 0
+        assert [response.cache_source for response in legacy] == ["gather"] * 3
+        # ... and both policies serve bit-identical answers.
+        for fast, slow in zip(repaired, legacy):
+            assert fast.blue_nodes == slow.blue_nodes
+            assert fast.cost == slow.cost
+
+    def test_repaired_answers_match_direct_solver(self):
+        service, responses, _ = self._churn()
+        loads = leaf_loads(service.state.tree, seed=1)
+        workload = service.state.tree.with_loads(
+            loads, available=service.available()
+        )
+        direct = Solver().solve(workload, 2)
+        assert responses[-1].blue_nodes == direct.blue_nodes
+        assert responses[-1].cost == direct.cost
+
+    def test_delta_cap_falls_back_to_cold_gather(self):
+        service = small_service(num_leaves=8, capacity=4, max_repair_delta=1)
+        loads = leaf_loads(service.state.tree, seed=1)
+        service.submit(SolveRequest(loads=loads, budget=2))
+        service.submit(DrainRequest(switch="s3_0"))
+        service.submit(DrainRequest(switch="s3_1"))
+        # Two flips from the only cached entry but the cap is one: the
+        # solve must fall back to a cold gather, not stretch the repair.
+        response = service.submit(SolveRequest(loads=loads, budget=2))
+        assert response.cache_source == "gather"
+        assert service.cache.stats.repair_hits == 0
+        assert service.cache.stats.repairs == 0
+
+    def test_repair_policy_knob_validated(self):
+        with pytest.raises(ValueError):
+            small_service(max_repair_delta=-2)
 
 
 # --------------------------------------------------------------------------- #
