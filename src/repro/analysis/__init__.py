@@ -28,15 +28,33 @@ Rules (each in its own module, self-registered on import):
   ``argtypes`` / ``restype`` declarations symbol by symbol.
 * ``broad-except`` — no bare/broad excepts in ``repro.service`` outside
   re-raise cleanup paths and the pragma-marked request loop.
+
+Interprocedural rules (over the whole-program call graph built by
+:mod:`repro.analysis.callgraph` and the lock summaries of
+:mod:`repro.analysis.summaries`):
+
+* ``lock-order`` — the global lock-acquisition graph is acyclic; cycles
+  and non-reentrant re-acquisitions are reported as potential deadlocks,
+  and the graph is emitted as a DOT artifact in CI.
+* ``blocking-under-lock`` — no ``os.fsync`` / file write / ``open`` /
+  ``subprocess`` / ``sleep`` reachable while ``write_locked()`` or a
+  plain mutex is held (the deliberate WAL-append-under-write-lock site
+  carries a pragma).
+* ``atomicity`` — no raise-capable call between multi-field mutations of
+  the shared fleet objects without try/finally or a locals-then-assign
+  rewrite (the static cousin of the PR 5 ``note_forced_release`` bug).
 """
 
 from __future__ import annotations
 
 # Importing the rule modules populates the registry (self-registration).
+import repro.analysis.rules_atomicity  # noqa: F401  (registration)
+import repro.analysis.rules_blocking  # noqa: F401  (registration)
 import repro.analysis.rules_determinism  # noqa: F401  (registration)
 import repro.analysis.rules_excepts  # noqa: F401  (registration)
 import repro.analysis.rules_ffi  # noqa: F401  (registration)
 import repro.analysis.rules_layering  # noqa: F401  (registration)
+import repro.analysis.rules_lockorder  # noqa: F401  (registration)
 import repro.analysis.rules_locks  # noqa: F401  (registration)
 import repro.analysis.rules_registry  # noqa: F401  (registration)
 from repro.analysis.baseline import (
@@ -45,40 +63,57 @@ from repro.analysis.baseline import (
     split_findings,
     write_baseline,
 )
+from repro.analysis.callgraph import ProjectIndex
 from repro.analysis.core import (
+    PARSE_COUNTS,
     RULES,
     Finding,
     Rule,
     SourceModule,
+    filter_suppressed,
     lint_source,
     module_name_for,
     register_rule,
     run_fixture,
     suppressed_lines,
+    suppression_spans,
 )
+from repro.analysis.formats import FORMATS, render_findings
 from repro.analysis.rules_ffi import check_ffi, parse_c_prototypes, parse_ctypes_decls
+from repro.analysis.rules_lockorder import collect_lock_edges, lock_graph_dot
 from repro.analysis.rules_registry import check_registries
 from repro.analysis.runner import find_project_root, lint_project, main
+from repro.analysis.summaries import SummaryTable, table_for
 
 __all__ = [
     "DEFAULT_BASELINE",
+    "FORMATS",
     "Finding",
+    "PARSE_COUNTS",
+    "ProjectIndex",
     "RULES",
     "Rule",
     "SourceModule",
+    "SummaryTable",
     "check_ffi",
     "check_registries",
+    "collect_lock_edges",
+    "filter_suppressed",
     "find_project_root",
     "lint_project",
     "lint_source",
     "load_baseline",
+    "lock_graph_dot",
     "main",
     "module_name_for",
     "parse_c_prototypes",
     "parse_ctypes_decls",
     "register_rule",
+    "render_findings",
     "run_fixture",
     "split_findings",
     "suppressed_lines",
+    "suppression_spans",
+    "table_for",
     "write_baseline",
 ]

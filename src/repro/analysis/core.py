@@ -19,11 +19,16 @@ This module holds the shared machinery:
 * :class:`SourceModule` — a parsed source file plus its dotted module
   name (the layering and scope-restricted rules key on it).
 * :class:`Rule` / :func:`register_rule` — the rule registry.  Rules hook
-  in at two granularities: :meth:`Rule.check_module` (per parsed file)
-  and :meth:`Rule.check_project` (repo-wide facts: registry imports, the
-  C/ctypes cross-check).
+  in at three granularities: :meth:`Rule.check_module` (per parsed
+  file), :meth:`Rule.check_project` (repo-wide facts: registry imports,
+  the C/ctypes cross-check), and :meth:`Rule.check_interprocedural`
+  (facts needing the whole-program call graph — see
+  :mod:`repro.analysis.callgraph`).
 * suppression — a trailing ``# lint: allow(rule-id)`` pragma on the
   flagged line (or the line above) silences exactly that rule there.
+  Pragmas match against the *full line span* of the statement they sit
+  on, so a pragma on the ``with``/decorator line of a multi-line
+  statement still reaches a finding anchored to a child line.
 * :func:`run_fixture` — the fixture runner: test fixtures declare the
   module name they should be linted *as* via a
   ``# lint-fixture-module: repro...`` header, so scope-restricted rules
@@ -35,20 +40,30 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 __all__ = [
     "Finding",
+    "PARSE_COUNTS",
     "Rule",
     "RULES",
     "SourceModule",
+    "filter_suppressed",
     "lint_source",
     "module_name_for",
     "register_rule",
     "run_fixture",
     "suppressed_lines",
+    "suppression_spans",
 ]
+
+#: How many times each path was fed through :meth:`SourceModule.parse`
+#: this process.  The runner's shared-AST pipeline promises one parse per
+#: file per run; ``tests/test_static_analysis.py`` resets this counter,
+#: lints the tree, and asserts exactly that.
+PARSE_COUNTS: Counter[str] = Counter()
 
 
 @dataclass(frozen=True)
@@ -66,6 +81,14 @@ class Finding:
     message: str
     hint: str
     snippet: str = ""
+    #: Last line of the flagged construct (``node.end_lineno``); equal to
+    #: ``line`` for single-line findings.  Pragma spans and the SARIF /
+    #: GitHub renderers use it; the baseline key does not.
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     def key(self) -> tuple[str, str, str]:
         """Baseline identity: rule, repo-relative path, source snippet."""
@@ -128,6 +151,7 @@ class SourceModule:
             text = path.read_text()
         if module is None:
             module = module_name_for(path)
+        PARSE_COUNTS[str(path)] += 1
         tree = ast.parse(text, filename=str(path))
         return cls(
             path=str(path),
@@ -153,6 +177,7 @@ class SourceModule:
             message=message,
             hint=hint,
             snippet=self.snippet(lineno),
+            end_line=getattr(node, "end_lineno", None) or lineno,
         )
 
 
@@ -191,6 +216,16 @@ class Rule:
         """Repo-wide findings (registry imports, FFI cross-checks)."""
         return []
 
+    def check_interprocedural(self, project) -> list[Finding]:
+        """Findings over the whole-program call graph.
+
+        ``project`` is a :class:`repro.analysis.callgraph.ProjectIndex`
+        built once per run from the shared parsed modules (the annotation
+        stays loose to keep this module free of the callgraph import).
+        Default: none.
+        """
+        return []
+
 
 #: The rule registry, keyed by rule id (import :mod:`repro.analysis` to
 #: populate it — each rule module self-registers, like the kernel
@@ -208,13 +243,82 @@ def register_rule(rule_class: type[Rule]) -> type[Rule]:
     return rule_class
 
 
-def _filter_suppressed(module: SourceModule, findings: list[Finding]) -> list[Finding]:
-    suppressed = suppressed_lines(module.text)
-    return [
-        finding
-        for finding in findings
-        if finding.rule not in suppressed.get(finding.line, ())
+def _statement_header_span(stmt: ast.stmt) -> tuple[int, int]:
+    """The line range of a statement's *header* (body excluded).
+
+    For simple statements this is the whole statement.  For compound
+    statements it runs from the first decorator line (defs) or the
+    keyword line to the end of the header expressions — the ``with``
+    items, the loop iterable, the ``if`` test, the full signature — but
+    never into the body, so a pragma on a ``with`` line cannot blanket
+    an entire block.
+    """
+    start = stmt.lineno
+    end = stmt.lineno
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        for decorator in stmt.decorator_list:
+            start = min(start, decorator.lineno)
+    if not hasattr(stmt, "body"):
+        return start, getattr(stmt, "end_lineno", None) or end
+    body_fields = {"body", "orelse", "finalbody", "handlers"}
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in body_fields:
+            continue
+        nodes = value if isinstance(value, list) else [value]
+        for node in nodes:
+            if isinstance(node, ast.AST):
+                node_end = getattr(node, "end_lineno", None)
+                if node_end is not None:
+                    end = max(end, node_end)
+    return start, end
+
+
+def suppression_spans(module: SourceModule) -> list[tuple[int, int, frozenset[str]]]:
+    """Pragma suppressions widened to full statement-header spans.
+
+    Each ``# lint: allow(rule-id)`` pragma targets a line (its own, or
+    the one below for a comment-only line).  A finding on that exact line
+    is always suppressed; additionally, when the target line falls inside
+    a statement's header span (a multi-line ``with`` item list, a
+    decorated ``def`` signature, a call broken across lines), the pragma
+    covers the whole span — so findings anchored to a *child* line of the
+    same statement are suppressed too.
+    """
+    by_line = suppressed_lines(module.text)
+    spans: list[tuple[int, int, frozenset[str]]] = [
+        (line, line, frozenset(rules)) for line, rules in by_line.items()
     ]
+    if not by_line:
+        return spans
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start, end = _statement_header_span(node)
+        if end <= start:
+            continue
+        for line, rules in by_line.items():
+            if start <= line <= end:
+                spans.append((start, end, frozenset(rules)))
+    return spans
+
+
+def filter_suppressed(module: SourceModule, findings: list[Finding]) -> list[Finding]:
+    """Drop findings silenced by an ``allow`` pragma in ``module``."""
+    spans = suppression_spans(module)
+    if not spans:
+        return list(findings)
+
+    def keep(finding: Finding) -> bool:
+        for start, end, rules in spans:
+            if finding.rule in rules and start <= finding.line <= end:
+                return False
+        return True
+
+    return [finding for finding in findings if keep(finding)]
+
+
+# Backwards-compatible private alias (pre-span name).
+_filter_suppressed = filter_suppressed
 
 
 def lint_source(
@@ -246,9 +350,26 @@ def run_fixture(path: str | Path, rules: list[Rule] | None = None) -> list[Findi
     module they should be analyzed *as* — that is what subjects them to
     the scope-restricted rules.  A fixture without the header is linted
     under its own stem (scope-restricted rules will not fire).
+
+    Besides the per-module rules, the fixture is wrapped in a
+    single-module :class:`~repro.analysis.callgraph.ProjectIndex` and fed
+    through every interprocedural rule, so the lock-order / blocking /
+    atomicity fixtures exercise the same code path the runner uses.
     """
     path = Path(path)
     text = path.read_text()
     match = _FIXTURE_MODULE.search(text)
     module = match.group(1) if match else None
-    return lint_source(path, module=module, text=text, rules=rules)
+    parsed = SourceModule.parse(path, module=module, text=text)
+    active = list(RULES.values()) if rules is None else rules
+    findings: list[Finding] = []
+    for rule in active:
+        findings.extend(rule.check_module(parsed))
+    # Lazy import: callgraph imports SourceModule from this module.
+    from repro.analysis.callgraph import ProjectIndex
+
+    project = ProjectIndex.build([parsed])
+    for rule in active:
+        findings.extend(rule.check_interprocedural(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return filter_suppressed(parsed, findings)

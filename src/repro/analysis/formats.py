@@ -1,0 +1,104 @@
+"""Output renderers for the lint runner: text, GitHub, SARIF.
+
+``text`` is the human default (``file:line: [rule] message  (fix: …)``).
+``github`` emits workflow commands (``::error file=…,line=…``) that the
+CI lint job surfaces as PR line annotations.  ``sarif`` emits a minimal
+SARIF 2.1.0 document for anything that ingests the standard format.
+Each renderer is deterministic for a given finding list — the golden
+tests in ``tests/test_static_analysis.py`` pin the exact output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import RULES, Finding
+
+__all__ = ["FORMATS", "render_findings"]
+
+#: Recognized ``--format`` values.
+FORMATS: tuple[str, ...] = ("text", "github", "sarif")
+
+
+def _escape_github(text: str) -> str:
+    """Escape a workflow-command message (the documented %-encodings)."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def render_text(findings: list[Finding]) -> str:
+    return "\n".join(finding.format() for finding in findings)
+
+
+def render_github(findings: list[Finding]) -> str:
+    lines = []
+    for finding in findings:
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"endLine={finding.end_line},title={finding.rule}::"
+            f"{_escape_github(finding.message)}"
+        )
+    return "\n".join(lines)
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    rule_ids = sorted({finding.rule for finding in findings})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": RULES[rule_id].description
+                if rule_id in RULES
+                else rule_id
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "endLine": finding.end_line,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "soar-repro-lint",
+                        "informationUri": "",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_findings(findings: list[Finding], fmt: str) -> str:
+    """Render findings in one of :data:`FORMATS`."""
+    if fmt == "text":
+        return render_text(findings)
+    if fmt == "github":
+        return render_github(findings)
+    if fmt == "sarif":
+        return render_sarif(findings)
+    raise ValueError(f"unknown format {fmt!r} (known: {', '.join(FORMATS)})")

@@ -1,0 +1,257 @@
+"""Atomicity rule: no raise-capable call between related field mutations.
+
+The static cousin of the PR 5 ``note_forced_release`` bug: a method of a
+shared mutable class updates field A, then calls something that can
+raise, then updates field B — an exception at the call leaves the object
+with A new and B old, and the writer lock does nothing about it (the
+lock serializes threads; it does not roll back half-applied state).
+
+The rule analyzes every method of the protected classes
+(:data:`TARGET_CLASSES` — ``FleetState``, ``CapacityTracker``,
+``GatherTableCache``, ``CacheStats``) with a small sequence machine over
+each statement block:
+
+* a **mutation** is an assign / aug-assign / delete whose target chain
+  is rooted at ``self`` (``self._x = …``, ``self._counts[k] += 1``,
+  ``del self._tenants[t]``);
+* a **raise-capable call** is one whose resolved callee (via the project
+  call graph) contains a ``raise`` anywhere, directly or transitively —
+  a *direct* ``raise`` in the method itself is a guard, not a finding;
+* the pattern **mutation → raise-capable call → mutation** inside one
+  block fires, anchored at the call (within a single statement, value
+  expressions evaluate before the target store, so
+  ``self._b = self._risky()`` after ``self._a = …`` fires too);
+* a **loop** whose body both mutates ``self`` and makes a raise-capable
+  call fires once: an exception in iteration *i* leaves iterations
+  ``< i`` applied (the ``FleetState.drain`` shape);
+* a ``try`` with handlers or a ``finally`` exempts its subtree — the
+  author has taken responsibility for rollback — and resets the machine;
+* ``if``/``elif`` branches are analyzed with copies of the incoming
+  state; ``with`` bodies share it (they always execute).
+
+``__init__`` is exempt: a constructor that raises surrenders the
+half-built object to the garbage collector, not to other threads.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, Rule, register_rule
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
+from repro.analysis.summaries import SummaryTable, table_for
+
+__all__ = ["AtomicityRule", "TARGET_CLASSES"]
+
+#: Classes whose multi-field update sequences must be exception-safe.
+TARGET_CLASSES: frozenset[str] = frozenset(
+    {"FleetState", "CapacityTracker", "GatherTableCache", "CacheStats"}
+)
+
+
+def _self_mutations(stmt: ast.stmt) -> list[tuple[ast.expr, str]]:
+    """``(target, attr)`` for each self-rooted mutation in a statement."""
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    else:
+        return []
+    found: list[tuple[ast.expr, str]] = []
+
+    def visit(target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                visit(element)
+            return
+        node = target
+        attr = ""
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node, ast.Attribute):
+                attr = node.attr
+            node = node.value
+        if isinstance(node, ast.Name) and node.id == "self" and attr:
+            found.append((target, attr))
+
+    for target in targets:
+        visit(target)
+    return found
+
+
+@dataclass
+class _State:
+    """Sequence-machine state: the last mutation, and a pending risky call."""
+
+    mut: tuple[int, str] | None = None  # (line, attr)
+    rc: tuple[ast.Call, str] | None = None  # (call node, callee qualname)
+
+    def copy(self) -> "_State":
+        return _State(mut=self.mut, rc=self.rc)
+
+
+@register_rule
+class AtomicityRule(Rule):
+    """Flag mutate → raise-capable call → mutate sequences without rollback."""
+
+    rule_id = "atomicity"
+    description = (
+        "FleetState / CapacityTracker / cache methods must not interleave a "
+        "raise-capable call between field mutations without try/finally or "
+        "a locals-then-assign rewrite"
+    )
+
+    def check_interprocedural(self, project: ProjectIndex) -> list[Finding]:
+        table = table_for(project)
+        findings: list[Finding] = []
+        for class_name in sorted(TARGET_CLASSES):
+            info = project.classes.get(class_name)
+            if info is None:
+                continue
+            for method in info.methods.values():
+                if method.name == "__init__":
+                    continue
+                self._check_method(method, project, table, findings)
+        return findings
+
+    # ------------------------------------------------------------------ #
+    # per-method sequence machine
+    # ------------------------------------------------------------------ #
+
+    def _check_method(
+        self,
+        method: FunctionInfo,
+        project: ProjectIndex,
+        table: SummaryTable,
+        findings: list[Finding],
+    ) -> None:
+        local_types = project._local_types(method)
+
+        def risky_calls(node: ast.AST) -> list[tuple[ast.Call, str]]:
+            """Resolved raise-capable calls anywhere under ``node``."""
+            out: list[tuple[ast.Call, str]] = []
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                for callee in project.resolve_call(call, method, local_types):
+                    if table.raise_capable(callee):
+                        out.append((call, callee.qualname))
+                        break
+            return out
+
+        def fire_sequence(state: _State, mut_line: int, attr: str) -> None:
+            assert state.mut is not None and state.rc is not None
+            call, callee = state.rc
+            findings.append(
+                method.module.finding(
+                    self.rule_id,
+                    call,
+                    f"{method.qualname} mutates self.{state.mut[1]} (line "
+                    f"{state.mut[0]}) and self.{attr} (line {mut_line}) with "
+                    f"raise-capable call {callee} between them and no "
+                    "try/finally or rollback — an exception leaves the object "
+                    "half-updated",
+                    "compute into locals and assign after the last "
+                    "raise-capable call, or wrap the sequence in try/finally "
+                    "with a rollback",
+                )
+            )
+
+        def scan_block(stmts: list[ast.stmt], state: _State) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(stmt, ast.Try):
+                    if stmt.handlers or stmt.finalbody:
+                        # Author-handled: exempt the subtree, reset the machine.
+                        state.mut = None
+                        state.rc = None
+                        continue
+                    scan_block(stmt.body, state)
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    scan_block(stmt.body, state)
+                    continue
+                if isinstance(stmt, ast.If):
+                    scan_block(stmt.body, state.copy())
+                    scan_block(stmt.orelse, state.copy())
+                    continue
+                if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    self._check_loop(stmt, method, risky_calls, findings)
+                    muts = [
+                        m
+                        for inner in stmt.body
+                        for m in self._block_mutations(inner)
+                    ]
+                    rcs = risky_calls(stmt)
+                    if muts:
+                        target, attr = muts[-1]
+                        state.mut = (target.lineno, attr)
+                        state.rc = None
+                    elif rcs and state.mut is not None:
+                        state.rc = state.rc or rcs[0]
+                    continue
+                if isinstance(stmt, (ast.Raise, ast.Assert)):
+                    continue  # guards; a direct raise is not a finding
+                # Simple statement: calls evaluate before the target store.
+                rcs = risky_calls(stmt)
+                muts = _self_mutations(stmt)
+                if rcs and state.mut is not None and state.rc is None:
+                    state.rc = rcs[0]
+                if muts:
+                    target, attr = muts[0]
+                    if state.mut is not None and state.rc is not None:
+                        fire_sequence(state, target.lineno, attr)
+                    last_target, last_attr = muts[-1]
+                    state.mut = (last_target.lineno, last_attr)
+                    state.rc = None
+
+        scan_block(list(method.node.body), _State())
+
+    def _block_mutations(self, stmt: ast.stmt) -> list[tuple[ast.expr, str]]:
+        """Self-mutations in a statement subtree (excluding protected trys)."""
+        out: list[tuple[ast.expr, str]] = []
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Try) and (node.handlers or node.finalbody):
+                continue
+            if isinstance(node, ast.stmt):
+                out.extend(_self_mutations(node))
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def _check_loop(
+        self,
+        loop: ast.For | ast.AsyncFor | ast.While,
+        method: FunctionInfo,
+        risky_calls,
+        findings: list[Finding],
+    ) -> None:
+        muts = [m for stmt in loop.body for m in self._block_mutations(stmt)]
+        if not muts:
+            return
+        rcs = [
+            rc
+            for stmt in loop.body
+            for rc in risky_calls(stmt)
+        ]
+        if not rcs:
+            return
+        call, callee = rcs[0]
+        attrs = ", ".join(sorted({f"self.{attr}" for _, attr in muts}))
+        findings.append(
+            method.module.finding(
+                self.rule_id,
+                call,
+                f"{method.qualname}: loop body mutates {attrs} and makes "
+                f"raise-capable call {callee} each iteration — an exception "
+                "mid-loop leaves earlier iterations applied",
+                "split into two loops (all raise-capable work first, then "
+                "the mutations), or build into locals and commit after",
+            )
+        )

@@ -1,0 +1,94 @@
+"""Blocking-under-lock rule: no slow I/O inside a critical section.
+
+The service's writer-preferring ``ReadWriteLock`` stalls *every* reader
+while a writer runs, so anything slow under ``write_locked()`` — an
+``os.fsync``, a file ``write``/``flush``, an ``open``, a ``subprocess``
+spawn (the compile-on-demand kernel build), a ``time.sleep`` — turns one
+request's disk latency into fleet-wide convoy.  The same applies to the
+cache's mutex and the counters lock.  This rule walks every call site
+whose held-lock set contains a *trigger* lock (a write-mode RW
+acquisition, or any plain mutex / RLock / condition — shared *read*
+acquisitions do not block other readers and are exempt) and reports:
+
+* direct blocking operations at the site, and
+* calls into functions that transitively reach one, with the resolved
+  call chain in the message (``submit -> Journal.append ->
+  Journal._write_line``), anchored at the outermost call site so a
+  ``# lint: allow(blocking-under-lock)`` pragma can bless a deliberate
+  design (the WAL append under the write lock) exactly where the
+  decision is made.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Finding, Rule, register_rule
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.summaries import LockAcquisition, table_for
+
+__all__ = ["BlockingUnderLockRule"]
+
+
+def _trigger(acq: LockAcquisition) -> bool:
+    """Whether holding this acquisition makes blocking ops a finding."""
+    if acq.mode == "read":
+        return False  # shared read side: other readers proceed
+    return True  # write-mode RW, plain lock/rlock/condition, unknown
+
+
+@register_rule
+class BlockingUnderLockRule(Rule):
+    """Flag blocking operations reachable while an exclusive lock is held."""
+
+    rule_id = "blocking-under-lock"
+    description = (
+        "os.fsync / file writes / subprocess / sleep must not run (directly "
+        "or via calls) while write_locked() or a plain mutex is held"
+    )
+
+    def check_interprocedural(self, project: ProjectIndex) -> list[Finding]:
+        table = table_for(project)
+        findings: list[Finding] = []
+        for summary in table.summaries.values():
+            module = summary.func.module
+            for site in summary.calls:
+                triggers = [acq for acq in site.held if _trigger(acq)]
+                if not triggers:
+                    continue
+                held_names = ", ".join(
+                    sorted({acq.display for acq in triggers})
+                )
+                direct = table.blocking_op(site.node)
+                if direct is not None:
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            site.node,
+                            f"blocking operation {direct} inside a critical "
+                            f"section (holding {held_names})",
+                            "move the I/O outside the lock, or mark the "
+                            "deliberate design with "
+                            "# lint: allow(blocking-under-lock)",
+                        )
+                    )
+                    continue
+                for callee in site.resolved:
+                    chain = table.transitive_blocking(callee)
+                    if chain is None:
+                        continue
+                    op, path = chain
+                    route = " -> ".join(
+                        (summary.func.qualname, *path)
+                    )
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            site.node,
+                            f"call reaches blocking operation {op} while "
+                            f"holding {held_names} (chain: {route})",
+                            "move the call outside the lock, or mark the "
+                            "deliberate design with "
+                            "# lint: allow(blocking-under-lock)",
+                        )
+                    )
+                    break  # one finding per site is enough
+        return findings

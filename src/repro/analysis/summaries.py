@@ -1,0 +1,380 @@
+"""Per-function lock / blocking / raise summaries over the call graph.
+
+This is the analysis layer the three interprocedural rule families share.
+For every function in the :class:`~repro.analysis.callgraph.ProjectIndex`
+it computes a :class:`FunctionSummary`:
+
+* the **locks acquired** directly — ``with self._lock:`` /
+  ``with self._counts_lock:`` / ``with <expr>.read_locked():`` /
+  ``with <expr>.write_locked():`` — each canonicalized to an owner-class
+  slot (``PlacementService._fleet_lock``) with an acquisition mode and
+  the lock's constructor kind (``Lock`` / ``RLock`` / ``Condition`` /
+  ``ReadWriteLock``);
+* the **lock-order edges** witnessed inside the function (a lock
+  acquired while another is held);
+* the **blocking operations** invoked directly (``os.fsync``, file
+  ``write``/``flush``, ``open`` / ``write_text`` / ``write_bytes``,
+  ``subprocess.*``, ``time.sleep`` — the compile-on-demand kernel build
+  is caught through its ``subprocess.run``);
+* every **call site**, with the set of locks held at it;
+* whether the function contains a ``raise`` statement.
+
+On top of the per-function facts, three memoized transitive queries
+propagate along resolved call edges (context-insensitive, recursion
+guarded — the "bounded context" of the design):
+:meth:`SummaryTable.transitive_acquisitions` (what a callee eventually
+locks), :meth:`SummaryTable.transitive_blocking` (the call chain to the
+nearest blocking op, if any), and :meth:`SummaryTable.raise_capable`
+(can the callee raise).  Unresolved callees contribute nothing — the
+rules stay quiet rather than noisy.
+
+The bodies of recognized lock context managers (``read_locked`` /
+``write_locked``) are *not* traversed as callees: they are the lock
+implementation itself, and treating their internal ``Condition`` use as
+ordinary acquisitions would wire the RW lock's machinery into every
+caller's held-set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
+
+__all__ = [
+    "BLOCKING_ATTR_CALLS",
+    "BLOCKING_QUALIFIED_CALLS",
+    "LockAcquisition",
+    "CallSite",
+    "FunctionSummary",
+    "SummaryTable",
+    "table_for",
+]
+
+#: ``with <expr>.<mode>():`` context-manager methods granting RW access.
+_RW_MODES: frozenset[str] = frozenset({"read_locked", "write_locked"})
+
+#: Attribute-call names that block regardless of the receiver: file
+#: handles, streams, and path writes.
+BLOCKING_ATTR_CALLS: frozenset[str] = frozenset(
+    {"flush", "fsync", "write_text", "write_bytes"}
+)
+
+#: Dotted (or bare) call names that block: syscalls and subprocess spawns.
+BLOCKING_QUALIFIED_CALLS: frozenset[str] = frozenset(
+    {
+        "os.fsync",
+        "fsync",
+        "open",
+        "subprocess.run",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "time.sleep",
+        "sleep",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LockAcquisition:
+    """One lock acquisition site, canonicalized."""
+
+    #: Canonical base-lock identity, e.g. ``PlacementService._fleet_lock``.
+    lock: str
+    #: ``"read"`` / ``"write"`` for RW locks, ``None`` for plain mutexes.
+    mode: str | None
+    #: Constructor kind: ``lock`` / ``rlock`` / ``condition`` / ``rwlock``
+    #: / ``unknown``.
+    kind: str
+    path: str
+    line: int
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind == "rlock"
+
+    @property
+    def display(self) -> str:
+        return f"{self.lock}[{self.mode}]" if self.mode else self.lock
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, with the locks held when it runs."""
+
+    node: ast.Call
+    held: tuple[LockAcquisition, ...]
+    resolved: tuple[FunctionInfo, ...]
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the interprocedural rules need to know about one function."""
+
+    func: FunctionInfo
+    acquisitions: list[LockAcquisition] = field(default_factory=list)
+    #: (held, acquired) pairs witnessed directly in this function.
+    order_edges: list[tuple[LockAcquisition, LockAcquisition]] = field(
+        default_factory=list
+    )
+    #: (call node, op name) for direct blocking operations.
+    blocking: list[tuple[ast.Call, str]] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    has_raise: bool = False
+
+
+def _dotted_name(expr: ast.expr) -> str:
+    """``os.fsync`` for ``os.fsync(...)``; ``""`` for non-chain callees."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def table_for(project: ProjectIndex) -> "SummaryTable":
+    """The (cached) summary table of a project index.
+
+    All three interprocedural rule families and the DOT emitter run over
+    the same :class:`SummaryTable`; building it once per
+    :class:`ProjectIndex` keeps the added passes within the PR 9 runner's
+    wall-clock budget.
+    """
+    table = getattr(project, "_summary_table", None)
+    if table is None:
+        table = SummaryTable(project)
+        project._summary_table = table
+    return table
+
+
+def _looks_like_lock(attr: str) -> bool:
+    lowered = attr.lower()
+    return "lock" in lowered or "cond" in lowered or "mutex" in lowered
+
+
+class SummaryTable:
+    """Summaries for every indexed function, plus the transitive queries."""
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        self.summaries: dict[str, FunctionSummary] = {}
+        self._acq_memo: dict[str, frozenset[LockAcquisition]] = {}
+        self._block_memo: dict[str, tuple[str, tuple[str, ...]] | None] = {}
+        self._raise_memo: dict[str, bool] = {}
+        for info in list(project.functions.values()):
+            self.summaries[info.qualname] = self._summarize(info)
+
+    # ------------------------------------------------------------------ #
+    # per-function summaries
+    # ------------------------------------------------------------------ #
+
+    def recognize_lock_item(
+        self, item: ast.withitem, context: FunctionInfo
+    ) -> LockAcquisition | None:
+        """Classify one ``with`` item as a lock acquisition, if it is one."""
+        expr = item.context_expr
+        mode: str | None = None
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _RW_MODES
+        ):
+            mode = "read" if expr.func.attr == "read_locked" else "write"
+            base: ast.expr = expr.func.value
+        elif isinstance(expr, (ast.Attribute, ast.Name)):
+            attr_name = expr.attr if isinstance(expr, ast.Attribute) else expr.id
+            if not _looks_like_lock(attr_name):
+                return None
+            base = expr
+        else:
+            return None
+        line = getattr(expr, "lineno", item.context_expr.lineno)
+        path = context.module.path
+        if isinstance(base, ast.Attribute):
+            owner = self.project.infer_class(base.value, context)
+            slot = base.attr
+            if owner is not None:
+                kind = self.project.lock_kind(owner, slot) or (
+                    "rwlock" if mode else "unknown"
+                )
+                return LockAcquisition(
+                    lock=f"{owner}.{slot}", mode=mode, kind=kind,
+                    path=path, line=line,
+                )
+            return LockAcquisition(
+                lock=f"{context.module.module}:{ast.unparse(base)}",
+                mode=mode,
+                kind="rwlock" if mode else "unknown",
+                path=path,
+                line=line,
+            )
+        if isinstance(base, ast.Name):
+            return LockAcquisition(
+                lock=f"{context.module.module}.{base.id}",
+                mode=mode,
+                kind="rwlock" if mode else "unknown",
+                path=path,
+                line=line,
+            )
+        return None
+
+    def _summarize(self, info: FunctionInfo) -> FunctionSummary:
+        summary = FunctionSummary(func=info)
+        local_types = self.project._local_types(info)
+        lock_call_nodes: set[int] = set()
+
+        def handle(node: ast.AST, held: tuple[LockAcquisition, ...]) -> None:
+            """One uniform dispatcher, wherever a node appears in the tree."""
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return  # nested defs are summarized as their own functions
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired: list[LockAcquisition] = []
+                for item in node.items:
+                    lock = self.recognize_lock_item(item, info)
+                    if lock is not None:
+                        if isinstance(item.context_expr, ast.Call):
+                            lock_call_nodes.add(id(item.context_expr))
+                        summary.acquisitions.append(lock)
+                        for holder in (*held, *acquired):
+                            summary.order_edges.append((holder, lock))
+                        acquired.append(lock)
+                    else:
+                        handle(item.context_expr, held)
+                    if item.optional_vars is not None:
+                        handle(item.optional_vars, held)
+                inner = (*held, *acquired)
+                for stmt in node.body:
+                    handle(stmt, inner)
+                return
+            if isinstance(node, ast.Raise):
+                summary.has_raise = True
+            if isinstance(node, ast.Call):
+                visit_call(node, held)
+            for child in ast.iter_child_nodes(node):
+                handle(child, held)
+
+        def visit_call(call: ast.Call, held: tuple[LockAcquisition, ...]) -> None:
+            if id(call) in lock_call_nodes:
+                return
+            op = self.blocking_op(call)
+            if op is not None:
+                summary.blocking.append((call, op))
+            resolved = tuple(self.project.resolve_call(call, info, local_types))
+            summary.calls.append(CallSite(node=call, held=held, resolved=resolved))
+
+        for child in ast.iter_child_nodes(info.node):
+            handle(child, ())
+        return summary
+
+    @staticmethod
+    def blocking_op(call: ast.Call) -> str | None:
+        """The blocking operation a call performs directly, or ``None``."""
+        dotted = _dotted_name(call.func)
+        if dotted in BLOCKING_QUALIFIED_CALLS:
+            return dotted
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in BLOCKING_ATTR_CALLS:
+                return f".{attr}()"
+            # File-handle writes: ``handle.write(...)`` blocks; exclude
+            # the csv/StringIO-ish ``writer.writerow`` shapes by keying on
+            # the exact method name only.
+            if attr == "write":
+                return ".write()"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # transitive queries (memoized, recursion-guarded)
+    # ------------------------------------------------------------------ #
+
+    def transitive_acquisitions(
+        self, func: FunctionInfo, _stack: frozenset[str] = frozenset()
+    ) -> frozenset[LockAcquisition]:
+        """Every lock the function may acquire, directly or via callees."""
+        qual = func.qualname
+        if qual in self._acq_memo:
+            return self._acq_memo[qual]
+        if qual in _stack:
+            return frozenset()
+        summary = self.summaries.get(qual)
+        if summary is None:
+            return frozenset()
+        acquired = set(summary.acquisitions)
+        stack = _stack | {qual}
+        for site in summary.calls:
+            for callee in site.resolved:
+                acquired |= self.transitive_acquisitions(callee, stack)
+        result = frozenset(acquired)
+        # Memoizing inside a cycle would freeze a partial result; caching
+        # only top-level completions keeps the math right and still makes
+        # the pass near-linear (the tree has no deep recursion).
+        if not _stack:
+            self._acq_memo[qual] = result
+        return result
+
+    def transitive_blocking(
+        self, func: FunctionInfo, _stack: frozenset[str] = frozenset()
+    ) -> tuple[str, tuple[str, ...]] | None:
+        """``(op, call chain)`` to the nearest blocking op, or ``None``."""
+        qual = func.qualname
+        if qual in self._block_memo:
+            return self._block_memo[qual]
+        if qual in _stack:
+            return None
+        summary = self.summaries.get(qual)
+        if summary is None:
+            return None
+        if summary.blocking:
+            result: tuple[str, tuple[str, ...]] | None = (
+                summary.blocking[0][1],
+                (qual,),
+            )
+            self._block_memo[qual] = result
+            return result
+        stack = _stack | {qual}
+        for site in summary.calls:
+            for callee in site.resolved:
+                deeper = self.transitive_blocking(callee, stack)
+                if deeper is not None:
+                    result = (deeper[0], (qual, *deeper[1]))
+                    self._block_memo[qual] = result
+                    return result
+        # A negative answer inside a recursion cycle may be an artifact of
+        # the guard; only cache it when computed from the top.
+        if not _stack:
+            self._block_memo[qual] = None
+        return None
+
+    def raise_capable(
+        self, func: FunctionInfo, depth: int = 3, _stack: frozenset[str] = frozenset()
+    ) -> bool:
+        """Whether the function (or a callee, to ``depth``) may raise."""
+        qual = func.qualname
+        if qual in self._raise_memo:
+            return self._raise_memo[qual]
+        if qual in _stack or depth < 0:
+            return False
+        summary = self.summaries.get(qual)
+        if summary is None:
+            return False
+        if summary.has_raise or any(
+            isinstance(node, ast.Raise) for node in ast.walk(summary.func.node)
+        ):
+            self._raise_memo[qual] = True
+            return True
+        stack = _stack | {qual}
+        for site in summary.calls:
+            for callee in site.resolved:
+                if self.raise_capable(callee, depth - 1, stack):
+                    self._raise_memo[qual] = True
+                    return True
+        if not _stack:
+            self._raise_memo[qual] = False
+        return False

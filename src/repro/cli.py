@@ -32,12 +32,18 @@ later resume from the snapshot (the journal tail is replayed on restore)::
     soar-repro serve-replay --restore /tmp/fleet.json --journal /tmp/fleet.jsonl --requests 50
 
 Run the codebase-specific static-analysis pass (lock discipline,
-determinism, registry coherence, layering, FFI contracts — see
-``repro.analysis``; CI runs it with ``--strict``)::
+determinism, registry coherence, layering, FFI contracts, plus the
+interprocedural lock-order / blocking-under-lock / atomicity families —
+see ``repro.analysis``; CI runs it with ``--strict`` and uploads the
+lock-acquisition graph)::
 
     soar-repro lint
-    soar-repro lint --strict
+    soar-repro lint --strict --timing
     soar-repro lint --list-rules
+    soar-repro lint --jobs 4
+    soar-repro lint --format github
+    soar-repro lint --format sarif > lint.sarif
+    soar-repro lint --lock-graph-dot lock_order.dot
 """
 
 from __future__ import annotations
@@ -343,7 +349,8 @@ def build_parser() -> argparse.ArgumentParser:
     # ``soar-repro --help`` lists it.
     subparsers.add_parser(
         "lint",
-        help="run the codebase-specific static-analysis pass",
+        help="run the codebase-specific static-analysis pass "
+        "(--format text|github|sarif, --jobs N, --lock-graph-dot PATH)",
         add_help=False,
     )
     return parser

@@ -283,13 +283,20 @@ class CapacityTracker:
                     f"capacity snapshot references unknown switch {name!r}"
                 ) from exc
 
-        self._initial = {resolve(n): int(v) for n, v in state["initial"].items()}
-        self._residual = {resolve(n): int(v) for n, v in state["residual"].items()}
-        self._drained = {resolve(n) for n in state.get("drained", [])}
-        self._assignments = [
+        # Resolve everything into locals first: a payload referencing an
+        # unknown switch raises before any field is touched, so a failed
+        # restore leaves the tracker exactly as it was (atomicity rule).
+        initial = {resolve(n): int(v) for n, v in state["initial"].items()}
+        residual = {resolve(n): int(v) for n, v in state["residual"].items()}
+        drained = {resolve(n) for n in state.get("drained", [])}
+        assignments = [
             frozenset(resolve(n) for n in blue)
             for blue in state.get("assignments", [])
         ]
+        self._initial = initial
+        self._residual = residual
+        self._drained = drained
+        self._assignments = assignments
         self._rebuild_availability()
 
     def utilization_of_capacity(self) -> float:

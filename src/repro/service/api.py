@@ -965,7 +965,13 @@ class PlacementService:
                     from repro.service.events import request_to_event
 
                     try:
-                        self._journal.append(request_to_event(request))
+                        # Deliberate WAL-under-write-lock: the journal line
+                        # must land before any reader can observe the
+                        # mutation, else a crash between unlock and append
+                        # replays to a fleet the readers never saw.
+                        self._journal.append(  # lint: allow(blocking-under-lock)
+                            request_to_event(request)
+                        )
                     except BaseException as exc:
                         # The mutation is applied but not journaled: the
                         # journal now has a hole and replaying it would

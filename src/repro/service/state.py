@@ -262,8 +262,12 @@ class FleetState:
             raise CapacityError(f"{switch!r} is not a switch of this network")
         displaced = self.tenants_using(switch)
         self._tracker.drain(switch)
+        # Two phases: all (raise-capable) releases first, then the registry
+        # deletions — an exception mid-release cannot leave some tenants
+        # deleted and others still charged (atomicity rule).
         for record in displaced:
             self._tracker.release(record.blue_nodes)
+        for record in displaced:
             del self._tenants[record.tenant_id]
         return displaced
 
@@ -298,16 +302,21 @@ class FleetState:
         """
         self._tracker.load_state(state["capacity"], node_index)
         counters = state.get("counters", {})
-        self._admitted_total = int(counters.get("admitted_total", 0))
-        self._released_total = int(counters.get("released_total", 0))
-        self._tenants = {}
+        # Rebuild the registry into a local first: a malformed tenant
+        # payload raises before the counters or the registry are touched,
+        # so a failed restore does not half-update the fleet (atomicity
+        # rule; the tracker restore above is itself all-or-nothing).
+        tenants: dict[str, TenantRecord] = {}
         for payload in state.get("tenants", []):
             record = TenantRecord.from_state(payload, node_index)
-            if record.tenant_id in self._tenants:
+            if record.tenant_id in tenants:
                 raise WorkloadError(
                     f"fleet snapshot lists tenant {record.tenant_id!r} twice"
                 )
-            self._tenants[record.tenant_id] = record
+            tenants[record.tenant_id] = record
+        self._admitted_total = int(counters.get("admitted_total", 0))
+        self._released_total = int(counters.get("released_total", 0))
+        self._tenants = tenants
 
     def residual_summary(self) -> dict[str, int | float]:
         """Aggregate capacity counters for the ``Stats`` endpoint."""

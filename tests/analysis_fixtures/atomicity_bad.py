@@ -1,0 +1,41 @@
+# lint-fixture-module: repro.service.fixture_atomicity_bad
+"""Positive fixture: raise-capable calls between related field mutations.
+
+``CapacityTracker.adopt`` interleaves a resolving (raising) call between
+two field assignments; ``FleetState.drain_all`` mutates the registry and
+makes a raise-capable call in the same loop body — an exception mid-loop
+leaves earlier iterations applied.  Class names are the protected ones
+(the rule is scoped to the shared fleet classes).
+"""
+
+
+class SnapshotError(Exception):
+    pass
+
+
+class CapacityTracker:
+    def resolve(self, name):
+        if name is None:
+            raise SnapshotError("unknown switch")
+        return name
+
+    def adopt(self, names):
+        self._initial = [self.resolve(n) for n in names]
+        self._residual = [self.resolve(n) for n in names]
+
+    def shift(self, value):
+        self._admitted = value
+        checked = self.resolve(value)
+        self._released = checked
+
+
+class FleetState:
+    def parse(self, payload):
+        if not payload:
+            raise SnapshotError("empty payload")
+        return payload
+
+    def drain_all(self, records):
+        for record in records:
+            self.parse(record)
+            del self._tenants[record]

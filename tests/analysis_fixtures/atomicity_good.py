@@ -1,0 +1,52 @@
+# lint-fixture-module: repro.service.fixture_atomicity_good
+"""Negative fixture: exception-safe update sequences.
+
+``register`` does all raise-capable validation *before* the first field
+mutation; ``load`` builds into locals and commits with plain assignments
+after the last raise-capable call; ``guarded`` wraps the interleaving in
+``try``/``except`` (the author owns the rollback).  ``Helper`` has the
+bad shape but is not a protected class, so the rule must ignore it.
+"""
+
+
+class SnapshotError(Exception):
+    pass
+
+
+class FleetState:
+    def check(self, record):
+        if record is None:
+            raise SnapshotError("bad record")
+        return record
+
+    def register(self, record):
+        checked = self.check(record)
+        self._tenants[checked] = 1
+        self._admitted += 1
+
+    def load(self, payloads):
+        tenants = {}
+        for payload in payloads:
+            tenants[payload] = self.check(payload)
+        self._tenants = tenants
+        self._count = len(tenants)
+
+    def guarded(self, payload):
+        try:
+            self._first = self.check(payload)
+            self._second = self.check(payload)
+        except SnapshotError:
+            self._first = None
+            raise
+
+
+class Helper:
+    def check(self, record):
+        if record is None:
+            raise SnapshotError("bad record")
+        return record
+
+    def unprotected(self, value):
+        self._first = value
+        self.check(value)
+        self._second = value

@@ -1,0 +1,60 @@
+# lint-fixture-module: repro.service.fixture_blocking_bad
+"""Positive fixture: blocking operations inside critical sections.
+
+``direct_fsync`` syscalls under the mutex; ``journal_append`` reaches
+``os.fsync`` through a two-deep call chain (the WAL shape);
+``compile_kernels`` spawns a subprocess (the compile-on-demand build
+shape) under a write-mode RW acquisition.
+"""
+
+import os
+import subprocess
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+
+    @contextmanager
+    def read_locked(self):
+        with self._cond:
+            yield
+
+    @contextmanager
+    def write_locked(self):
+        with self._cond:
+            yield
+
+
+class Journal:
+    def __init__(self, handle) -> None:
+        self._handle = handle
+
+    def append(self, line: str) -> None:
+        self._write_line(line)
+
+    def _write_line(self, line: str) -> None:
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+
+class Service:
+    def __init__(self, journal: Journal) -> None:
+        self._lock = threading.Lock()
+        self._fleet_lock = ReadWriteLock()
+        self._journal = journal
+
+    def direct_fsync(self, fd: int) -> None:
+        with self._lock:
+            os.fsync(fd)
+
+    def journal_append(self, line: str) -> None:
+        with self._lock:
+            self._journal.append(line)
+
+    def compile_kernels(self) -> None:
+        with self._fleet_lock.write_locked():
+            subprocess.run(["cc", "-O2", "kernel.c"])

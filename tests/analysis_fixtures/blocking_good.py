@@ -1,0 +1,52 @@
+# lint-fixture-module: repro.service.fixture_blocking_good
+"""Negative fixture: I/O kept outside critical sections.
+
+``flush_after`` computes under the mutex and performs the file I/O after
+releasing it.  ``read_side_flush`` flushes under a shared *read*
+acquisition — other readers proceed, so the rule leaves it alone (the
+write side is the convoy hazard).  Pure computation under the write lock
+is fine.
+"""
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+
+    @contextmanager
+    def read_locked(self):
+        with self._cond:
+            yield
+
+    @contextmanager
+    def write_locked(self):
+        with self._cond:
+            yield
+
+
+class Service:
+    def __init__(self, handle) -> None:
+        self._lock = threading.Lock()
+        self._fleet_lock = ReadWriteLock()
+        self._handle = handle
+        self._total = 0
+
+    def flush_after(self, value: int) -> None:
+        with self._lock:
+            payload = self._format(value)
+        self._handle.write(payload)
+        self._handle.flush()
+
+    def read_side_flush(self) -> None:
+        with self._fleet_lock.read_locked():
+            self._handle.flush()
+
+    def pure_update(self, value: int) -> None:
+        with self._fleet_lock.write_locked():
+            self._total = self._total + value
+
+    def _format(self, value: int) -> str:
+        return f"{value}\n"

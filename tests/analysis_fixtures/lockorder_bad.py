@@ -1,0 +1,41 @@
+# lint-fixture-module: repro.service.fixture_lockorder_bad
+"""Positive fixture: lock-order cycles and non-reentrant re-acquisition.
+
+``Pair`` takes its two locks in opposite orders on two call paths — the
+classic AB/BA deadlock; the rule must report the cycle with both
+acquisition sites named.  ``Reentry`` re-acquires a plain (non-reentrant)
+``threading.Lock`` through a call made while it is already held.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self) -> None:
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+        self.value = 0
+
+    def forward(self) -> int:
+        with self._alpha_lock:
+            with self._beta_lock:
+                return self.value
+
+    def backward(self) -> int:
+        with self._beta_lock:
+            with self._alpha_lock:
+                return self.value
+
+
+class Reentry:
+    def __init__(self) -> None:
+        self._guard_lock = threading.Lock()
+        self.count = 0
+
+    def outer(self) -> int:
+        with self._guard_lock:
+            return self.inner_locked()
+
+    def inner_locked(self) -> int:
+        with self._guard_lock:
+            return self.count

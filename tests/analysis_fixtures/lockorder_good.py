@@ -1,0 +1,44 @@
+# lint-fixture-module: repro.service.fixture_lockorder_good
+"""Negative fixture: a consistent lock order and legal RLock re-entry.
+
+Every path through ``Ordered`` takes ``_outer_lock`` before
+``_inner_lock`` (directly nested, and via a call made while the outer
+lock is held) — one global order, acyclic graph.  ``Cache`` re-enters a
+``threading.RLock``, which is reentrant and must not be flagged.
+"""
+
+import threading
+
+
+class Ordered:
+    def __init__(self) -> None:
+        self._outer_lock = threading.Lock()
+        self._inner_lock = threading.Lock()
+        self.value = 0
+
+    def nested(self) -> int:
+        with self._outer_lock:
+            with self._inner_lock:
+                return self.value
+
+    def via_call(self) -> int:
+        with self._outer_lock:
+            return self.locked_leaf()
+
+    def locked_leaf(self) -> int:
+        with self._inner_lock:
+            return self.value
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.entries: dict[str, int] = {}
+
+    def outer(self, key: str) -> int:
+        with self._lock:
+            return self.inner(key)
+
+    def inner(self, key: str) -> int:
+        with self._lock:
+            return self.entries.get(key, 0)

@@ -1,0 +1,34 @@
+# lint-fixture-module: repro.service.fixture_pragma_multiline
+"""Regression fixture: pragmas on the first line of multi-line statements.
+
+Each pragma sits on the *first* line of a statement that spans several
+lines, while the finding it silences anchors to a *child* line (the
+blocking ``flush`` call is an argument on the next line; the assignment
+value sits below the target).  Span-based matching must suppress both;
+the old exact-line matching missed them.  ``run_fixture`` over this file
+must return no findings.
+"""
+
+import threading
+
+
+class Spooler:
+    def __init__(self, handle) -> None:
+        self._lock = threading.Lock()
+        self._handle = handle
+        self._last = None
+
+    def flush_spool(self) -> None:
+        with self._lock:
+            self.record(  # lint: allow(blocking-under-lock)
+                self._handle.flush()
+            )
+
+    def record(self, value) -> None:
+        self._last = value
+
+
+def poke_counter(service) -> None:
+    service.state._admitted_total = (  # lint: allow(lock-discipline)
+        0
+    )

@@ -51,6 +51,12 @@ PUBLIC_MODULES = [
     "repro.analysis.rules_registry",
     "repro.analysis.rules_ffi",
     "repro.analysis.rules_excepts",
+    "repro.analysis.callgraph",
+    "repro.analysis.summaries",
+    "repro.analysis.formats",
+    "repro.analysis.rules_lockorder",
+    "repro.analysis.rules_blocking",
+    "repro.analysis.rules_atomicity",
 ]
 
 
